@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Ablation: fake traffic and the replenishment window (SIII-A2 and
+ * SIV-B4).
+ *
+ * Part 1 - fake traffic on/off. The paper's claim is that fake
+ * traffic keeps the *observed traffic distribution* fixed when demand
+ * drops, so a bus observer's per-window activity carries no signal:
+ * we measure windowed MI between the victim's intrinsic activity and
+ * its bus activity. We also report the per-request gap MI, which
+ * exposes a nuance: when the budget far exceeds demand, real bursts
+ * and exact-bin fakes remain sequence-distinguishable, so operators
+ * should provision the budget near the average demand.
+ *
+ * Part 2 - replenishment window sweep: fake traffic takes over one
+ * window after a demand drop, so a shorter window shrinks the
+ * leaky transition (SIV-B4), at some performance cost.
+ */
+
+#include <cstdio>
+
+#include "src/security/mutual_information.h"
+#include "src/sim/presets.h"
+#include "src/sim/runner.h"
+
+using namespace camo;
+
+namespace {
+
+constexpr Cycle kRunCycles = 3000000;
+
+struct Outcome
+{
+    double throughput = 0.0;
+    double busMi = 0.0; ///< windowed intrinsic-vs-bus MI
+    double gapMi = 0.0; ///< per-request gap MI
+    std::uint64_t fakes = 0;
+    std::uint64_t reals = 0;
+    double nJPerServedRead = 0.0; ///< DRAM dynamic energy efficiency
+};
+
+const std::vector<shaper::TrafficEvent> &
+reference()
+{
+    static const std::vector<shaper::TrafficEvent> events =
+        sim::unshapedIntrinsicEvents(sim::paperConfig(),
+                                     sim::adversaryMix("bzip", "apache"),
+                                     1, kRunCycles);
+    return events;
+}
+
+Outcome
+runCase(bool fakes, Cycle period, double budget_scale)
+{
+    sim::SystemConfig cfg = sim::paperConfig();
+    cfg.mitigation = sim::Mitigation::ReqC;
+    cfg.shapeCore = {false, true, true, true};
+    cfg.fakeTraffic = fakes;
+    const Cycle base = std::max<Cycle>(2, 20 * period / 10000);
+    cfg.reqBins = shaper::BinConfig::desired(base, 1.7, period);
+    // Hold the bandwidth *rate* constant across periods: credits
+    // scale with the window length.
+    const double rate_scale =
+        budget_scale * static_cast<double>(period) / 10000.0;
+    for (auto &c : cfg.reqBins.credits) {
+        c = std::max<std::uint32_t>(
+            period >= 10000 ? 1 : 0,
+            static_cast<std::uint32_t>(c * rate_scale + 0.5));
+    }
+    if (cfg.reqBins.totalCredits() == 0)
+        cfg.reqBins.credits[0] = 1;
+    cfg.recordTraffic = true;
+    sim::System system(cfg, sim::adversaryMix("bzip", "apache"));
+    system.run(kRunCycles);
+
+    Outcome o;
+    for (std::uint32_t i = 0; i < system.numCores(); ++i)
+        o.throughput += system.coreAt(i).ipc();
+    auto *sh = system.requestShaper(1);
+    // The observation window must span >= one replenishment period,
+    // or the shaper's own intra-period rhythm reads as signal.
+    const Cycle window = std::max<Cycle>(2 * period, 20000);
+    o.busMi = security::computeWindowedCrossMiCounts(
+                  system.intrinsicMonitor(1).events(),
+                  system.busMonitor(1).events(), window, 4)
+                  .miBits;
+    const Histogram quantizer(cfg.reqBins.edges);
+    o.gapMi = security::computeShapingMi(
+                  reference(), sh->postMonitor().events(), quantizer)
+                  .miBits;
+    o.fakes = sh->bins().fakeIssued();
+    o.reals = sh->bins().realIssued();
+
+    // Energy overhead of fake traffic: DRAM dynamic energy divided by
+    // the reads the programs actually consumed.
+    std::uint64_t served = 0;
+    for (std::uint32_t i = 0; i < system.numCores(); ++i)
+        served += system.servedReads(i);
+    if (served > 0) {
+        o.nJPerServedRead =
+            system.memory().channel(0).device().energy().dynamicPj() /
+            (1000.0 * static_cast<double>(served));
+    }
+    return o;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("%s", sim::tableIiBanner().c_str());
+    std::printf("# Ablation: fake traffic & replenishment window. "
+                "mix: w(bzip, apache); ReqC on victims\n\n");
+
+    std::printf("-- fake traffic (period=10000, budget 2x demand) --\n");
+    std::printf("%-6s %12s %12s %10s %10s %10s %10s\n", "fakes",
+                "throughput", "busMI(win)", "gapMI", "real", "fake",
+                "nJ/read");
+    for (const bool fakes : {false, true}) {
+        const Outcome o = runCase(fakes, 10000, 2.0);
+        std::printf("%-6s %12.3f %12.4f %10.4f %10llu %10llu %10.2f\n",
+                    fakes ? "on" : "off", o.throughput, o.busMi,
+                    o.gapMi, static_cast<unsigned long long>(o.reals),
+                    static_cast<unsigned long long>(o.fakes),
+                    o.nJPerServedRead);
+    }
+
+    std::printf("\n-- replenishment window sweep (fakes on, "
+                "budget 2x) --\n");
+    std::printf("%-8s %12s %12s %10s %12s\n", "period", "throughput",
+                "busMI(win)", "gapMI", "fake/real");
+    for (const Cycle period : {2500u, 5000u, 10000u, 20000u, 40000u}) {
+        const Outcome o = runCase(true, period, 2.0);
+        std::printf("%-8llu %12.3f %12.4f %10.4f %12.3f\n",
+                    static_cast<unsigned long long>(period),
+                    o.throughput, o.busMi, o.gapMi,
+                    o.reals ? static_cast<double>(o.fakes) / o.reals
+                            : 0.0);
+    }
+    std::printf("\n# expectation: fakes halve the windowed "
+                "bus-observer signal at a small throughput and\n"
+                "# DRAM-energy cost (nJ/read). The window length's "
+                "effect is second-order at this\n"
+                "# operating point (the SIV-B4 lag matters most for "
+                "pulse-like traffic; see the covert bench,\n"
+                "# where the one-window takeover lag is directly "
+                "visible at pulse transitions).\n");
+    return 0;
+}

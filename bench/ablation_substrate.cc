@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Substrate design-choice ablations (DESIGN.md §3): the memory-system
+ * knobs the paper holds fixed, characterized so their influence on
+ * the headline experiments is known.
+ *
+ *  - address mapping scheme: row-locality vs bank-parallelism
+ *  - page policy: open vs closed rows (closed also removes the
+ *    row-buffer residency side channel)
+ *  - channel count: 1 (Table II) vs 2
+ *  - scheduler: FR-FCFS vs plain FCFS
+ */
+
+#include <cstdio>
+
+#include "src/sim/presets.h"
+#include "src/sim/runner.h"
+
+using namespace camo;
+
+namespace {
+
+constexpr Cycle kRunCycles = 400000;
+constexpr Cycle kWarmup = 40000;
+
+double
+throughputOf(const sim::SystemConfig &cfg, const char *adv,
+             const char *victim)
+{
+    return sim::runConfig(cfg, sim::adversaryMix(adv, victim),
+                          kRunCycles, kWarmup)
+        .throughput();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("%s", sim::tableIiBanner().c_str());
+    std::printf("# Substrate ablations (throughput = sum of IPC; mix "
+                "in row labels)\n\n");
+
+    {
+        std::printf("-- address mapping, w(libqt, mcf) --\n");
+        sim::SystemConfig a = sim::paperConfig();
+        a.mc.mapping = dram::MappingScheme::RowRankBankCol;
+        sim::SystemConfig b = sim::paperConfig();
+        b.mc.mapping = dram::MappingScheme::RowColRankBank;
+        std::printf("row:rank:bank:col (row locality) %8.3f\n",
+                    throughputOf(a, "libqt", "mcf"));
+        std::printf("row:col:rank:bank (bank parallel) %7.3f\n\n",
+                    throughputOf(b, "libqt", "mcf"));
+    }
+
+    {
+        std::printf("-- page policy, streaming w(libqt, libqt) vs "
+                    "random w(mcf, mcf) --\n");
+        for (const auto policy : {mem::PagePolicy::Open,
+                                  mem::PagePolicy::Closed}) {
+            sim::SystemConfig cfg = sim::paperConfig();
+            cfg.mc.pagePolicy = policy;
+            std::printf("%-8s streaming %7.3f  random %7.3f\n",
+                        policy == mem::PagePolicy::Open ? "open"
+                                                        : "closed",
+                        throughputOf(cfg, "libqt", "libqt"),
+                        throughputOf(cfg, "mcf", "mcf"));
+        }
+        std::printf("\n");
+    }
+
+    {
+        std::printf("-- channel count, bandwidth-bound w(mcf, mcf) "
+                    "--\n");
+        for (const std::uint32_t channels : {1u, 2u}) {
+            sim::SystemConfig cfg = sim::paperConfig();
+            cfg.mc.org.channels = channels;
+            std::printf("%u channel(s) %8.3f\n", channels,
+                        throughputOf(cfg, "mcf", "mcf"));
+        }
+        std::printf("\n");
+    }
+
+    {
+        std::printf("-- scheduler, row-friendly w(libqt, hmmer) --\n");
+        for (const auto kind : {mem::SchedulerKind::FrFcfs,
+                                mem::SchedulerKind::Fcfs}) {
+            sim::SystemConfig cfg = sim::paperConfig();
+            cfg.mc.scheduler = kind;
+            std::printf("%-8s %8.3f\n",
+                        mem::schedulerKindName(kind),
+                        throughputOf(cfg, "libqt", "hmmer"));
+        }
+    }
+    std::printf("\n# expectations: bank-parallel mapping and FR-FCFS "
+                "win; closed page costs streaming throughput;\n"
+                "# a second channel relieves mcf's bandwidth bound\n");
+    return 0;
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * §IV-B2/3 mutual-information measurements.
+ *
+ * Paper numbers for w(ADVERSARY, bzip): no shaping I(X;X) = H(X) = 4.4;
+ * constant shaper 0.002 (0 with fake traffic); ReqC 0.006 (0.002 with
+ * fake traffic). BDC is never worse than min(ReqC, RespC) by the data
+ * processing inequality. We reproduce the ordering and the orders of
+ * magnitude; absolute entropy depends on the trace.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/security/mutual_information.h"
+#include "src/sim/presets.h"
+#include "src/sim/runner.h"
+
+using namespace camo;
+
+namespace {
+
+constexpr Cycle kRunCycles = 2000000;
+constexpr std::uint32_t kProtected = 1; // bzip instance under ReqC
+
+struct Row
+{
+    std::string scheme;
+    security::ShapingMiResult fine;   ///< 32-bin quantization
+    security::ShapingMiResult coarse; ///< the paper's 10 intervals
+    double windowedBits = 0.0;        ///< per-window bus observer MI
+};
+
+/**
+ * X is the program's *intrinsic* request timing — what it does when
+ * not shaped — so it comes from an unshaped reference run with the
+ * same seed and workloads (under shaping, the in-run "pre-shaper"
+ * stream is already perturbed by back-pressure from the shaper
+ * itself). Y is what the observer sees on the bus in the shaped run;
+ * the k-th real request is the same logical access in both runs.
+ */
+const std::vector<shaper::TrafficEvent> &
+referenceIntrinsic()
+{
+    static std::vector<shaper::TrafficEvent> events = [] {
+        sim::SystemConfig cfg = sim::paperConfig();
+        cfg.recordTraffic = true;
+        sim::System system(cfg, sim::adversaryMix("mcf", "bzip"));
+        system.run(kRunCycles);
+        return system.intrinsicMonitor(kProtected).events();
+    }();
+    return events;
+}
+
+security::ShapingMiResult
+measure(sim::Mitigation mit, bool fakes, const Histogram &quantizer,
+        double *windowed_bits = nullptr)
+{
+    if (mit == sim::Mitigation::None) {
+        sim::SystemConfig cfg = sim::paperConfig();
+        cfg.recordTraffic = true;
+        sim::System system(cfg, sim::adversaryMix("mcf", "bzip"));
+        system.run(kRunCycles);
+        if (windowed_bits) {
+            *windowed_bits =
+                security::computeWindowedCrossMiCounts(
+                    system.intrinsicMonitor(kProtected).events(),
+                    system.busMonitor(kProtected).events(), 20000, 4)
+                    .miBits;
+        }
+        return security::computeUnshapedLeakage(referenceIntrinsic(),
+                                                quantizer);
+    }
+    sim::SystemConfig cfg = sim::paperConfig();
+    cfg.mitigation = mit;
+    cfg.fakeTraffic = fakes;
+    cfg.recordTraffic = true;
+    // Shape the protected application only, as in the paper's setup.
+    cfg.shapeCore = {false, true, true, true};
+    sim::System system(cfg, sim::adversaryMix("mcf", "bzip"));
+    system.run(kRunCycles);
+
+    if (windowed_bits) {
+        *windowed_bits = security::computeWindowedCrossMiCounts(
+                             system.intrinsicMonitor(kProtected).events(),
+                             system.busMonitor(kProtected).events(),
+                             20000, 4)
+                             .miBits;
+    }
+    auto *shaper = system.requestShaper(kProtected);
+    return security::computeShapingMi(referenceIntrinsic(),
+                                      shaper->postMonitor().events(),
+                                      quantizer);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("%s", sim::tableIiBanner().c_str());
+    std::printf("# SecIV-B2: mutual information between intrinsic and "
+                "shaped request inter-arrivals\n");
+    std::printf("# workload: w(ADVERSARY, bzip); shaper on the bzip "
+                "instances; %llu cycles\n\n",
+                static_cast<unsigned long long>(kRunCycles));
+
+    // Fine geometric quantization so H(X) is well resolved (the paper
+    // reports 4.4 bits of self-information for bzip), plus the
+    // paper's own ten-interval quantization.
+    const Histogram fine = security::makeMiQuantizer(32, 8, 1.45);
+    const Histogram coarse(shaper::BinConfig::desired().edges);
+
+    std::vector<Row> rows;
+    auto add = [&](const std::string &name, sim::Mitigation mit,
+                   bool fakes) {
+        Row row;
+        row.scheme = name;
+        row.fine = measure(mit, fakes, fine, &row.windowedBits);
+        row.coarse = measure(mit, fakes, coarse);
+        rows.push_back(std::move(row));
+    };
+    add("no-shaping (I(X;X)=H(X))", sim::Mitigation::None, false);
+    add("CS, no fake traffic", sim::Mitigation::CS, false);
+    add("CS, with fake traffic", sim::Mitigation::CS, true);
+    add("ReqC, no fake traffic", sim::Mitigation::ReqC, false);
+    add("ReqC, with fake traffic", sim::Mitigation::ReqC, true);
+
+    std::printf("%-28s %11s %11s %9s %8s %8s\n", "scheme",
+                "MI@10bins", "MI@32bins", "winMI", "H(X)", "fakes");
+    for (const Row &r : rows) {
+        std::printf("%-28s %11.4f %11.4f %9.4f %8.3f %8llu\n",
+                    r.scheme.c_str(), r.coarse.miBits, r.fine.miBits,
+                    r.windowedBits, r.fine.intrinsicEntropy,
+                    static_cast<unsigned long long>(r.fine.fakeEvents));
+    }
+
+    const double h = rows[0].fine.intrinsicEntropy;
+    std::printf("\npaper: no-shaping 4.4, CS 0.002 -> 0 (fake), "
+                "ReqC 0.006 -> 0.002 (fake)\n");
+    std::printf("gap-MI leak fraction vs no-shaping: CS %.4f%%, "
+                "ReqC %.4f%% (paper: <= 0.1%%)\n",
+                100.0 * rows[2].fine.miBits / h,
+                100.0 * rows[4].fine.miBits / h);
+    std::printf("winMI is the per-window (20k-cycle) bus-observer "
+                "signal; the residual gap-MI above it\n"
+                "comes from phase transitions within one "
+                "replenishment window (see EXPERIMENTS.md).\n");
+    return 0;
+}

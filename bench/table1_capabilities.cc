@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Table I: which threats each technique prevents, verified
+ * empirically rather than just asserted.
+ *
+ * - "Pin/Bus monitoring" protection: the request stream on the shared
+ *   channel carries (almost) no information about the protected
+ *   application's intrinsic timing. Metric: MI between intrinsic and
+ *   bus-observed inter-arrival gaps of the protected core (the same
+ *   pairing as SIV-B2).
+ * - "Memory side-channel" protection: an adversary inspecting its own
+ *   response latencies learns (almost) nothing about the victim.
+ *   Metric: windowed MI between victim request activity and the
+ *   adversary's mean probe latency.
+ *
+ * Expected (Table I): ReqC = bus Yes / side No; RespC = bus No / side
+ * Yes; BDC = Yes / Yes; TP = No / Yes; CS = Yes / No; FS = No / Yes.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/security/mutual_information.h"
+#include "src/sim/presets.h"
+#include "src/sim/runner.h"
+
+using namespace camo;
+
+namespace {
+
+constexpr Cycle kRunCycles = 4000000;
+constexpr Cycle kWindow = 20000;
+constexpr std::size_t kLevels = 4;
+constexpr std::uint32_t kVictim = 1;
+
+struct Row
+{
+    std::string scheme;
+    double busLeak = 0.0;  ///< pin/bus channel (bits)
+    double sideLeak = 0.0; ///< response side channel (bits)
+    const char *paperBus;
+    const char *paperSide;
+};
+
+Row
+evaluate(const std::string &name, sim::Mitigation mit,
+         const char *paper_bus, const char *paper_side)
+{
+    sim::SystemConfig cfg = sim::paperConfig();
+    cfg.mitigation = mit;
+    cfg.recordTraffic = true;
+    cfg.recordLatencies = true;
+    // Protect the victims (cores 1-3); core 0 is the adversary. For
+    // RespC the paper shapes the adversary's responses instead.
+    if (mit == sim::Mitigation::RespC)
+        cfg.shapeCore = {true, false, false, false};
+    else
+        cfg.shapeCore = {false, true, true, true};
+
+    // Probe = the measuring adversary; apache's on/off phases are the
+    // secret the side channel would carry.
+    sim::System system(cfg, sim::adversaryMix("probe", "apache"));
+    system.run(kRunCycles);
+
+    Row row;
+    row.scheme = name;
+    row.paperBus = paper_bus;
+    row.paperSide = paper_side;
+
+    // Pin/bus channel: windowed MI between the victim's intrinsic
+    // activity and what an observer timestamps on the shared channel.
+    // The window spans >= one replenishment period so the shaper's
+    // intra-period rhythm does not masquerade as signal.
+    const auto &intrinsic = system.intrinsicMonitor(kVictim).events();
+    const auto &bus = system.busMonitor(kVictim).events();
+    row.busLeak = security::computeWindowedCrossMiCounts(
+                      intrinsic, bus, kWindow, kLevels)
+                      .miBits;
+
+    // Side channel: what the adversary's own latencies say about the
+    // victim's activity.
+    const auto side = security::computeWindowedCrossMi(
+        intrinsic, system.latencyLog(0), kWindow, kLevels);
+    row.sideLeak = side.miBits;
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("%s", sim::tableIiBanner().c_str());
+    std::printf("# Table I: capability matrix, measured (bits of "
+                "leakage; lower = protected)\n");
+    std::printf("# mix: w(probe=ADVERSARY, apache=victims); "
+                "side-channel window=%llu cycles\n\n",
+                static_cast<unsigned long long>(kWindow));
+
+    std::vector<Row> rows;
+    rows.push_back(evaluate("no-shaping", sim::Mitigation::None,
+                            "No", "No"));
+    rows.push_back(evaluate("ReqC", sim::Mitigation::ReqC, "Yes", "No"));
+    rows.push_back(evaluate("RespC", sim::Mitigation::RespC,
+                            "No", "Yes"));
+    rows.push_back(evaluate("BDC", sim::Mitigation::BDC, "Yes", "Yes"));
+    rows.push_back(evaluate("TP", sim::Mitigation::TP, "No", "Yes"));
+    rows.push_back(evaluate("CS", sim::Mitigation::CS, "Yes", "No"));
+    rows.push_back(evaluate("FS", sim::Mitigation::FS, "No", "Yes"));
+
+    std::printf("%-12s %14s %6s %14s %6s\n", "scheme",
+                "bus leak(bits)", "paper", "side leak(bits)", "paper");
+    for (const Row &r : rows) {
+        std::printf("%-12s %14.4f %6s %14.4f %6s\n", r.scheme.c_str(),
+                    r.busLeak, r.paperBus, r.sideLeak, r.paperSide);
+    }
+    std::printf("\n# 'Yes' cells should sit well below the no-shaping "
+                "row of their column.\n"
+                "# Note: ReqC/CS with fake traffic also flatten the "
+                "victims' DRAM footprint, so their\n"
+                "# measured side leak can drop below the paper's "
+                "qualitative 'No' as well.\n");
+    return 0;
+}

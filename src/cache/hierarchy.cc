@@ -1,0 +1,122 @@
+#include "src/cache/hierarchy.h"
+
+#include "src/common/logging.h"
+
+namespace camo::cache {
+
+CacheHierarchy::CacheHierarchy(CoreId core, const HierarchyConfig &cfg)
+    : core_(core), cfg_(cfg), l1_(cfg.l1), l2_(cfg.l2)
+{
+    camo_assert(cfg.l1.lineBytes == cfg.l2.lineBytes,
+                "L1/L2 line sizes must match");
+    camo_assert(cfg.mshrs >= 1, "need at least one MSHR");
+}
+
+MemRequest
+CacheHierarchy::makeRequest(Addr addr, bool is_write, Cycle now)
+{
+    MemRequest req;
+    req.id = (static_cast<ReqId>(core_) << 48) | nextId_++;
+    req.core = core_;
+    req.addr = addr;
+    req.isWrite = is_write;
+    req.created = now;
+    return req;
+}
+
+void
+CacheHierarchy::emitWriteback(Addr lineAddr, Cycle now)
+{
+    outgoing_.push_back(makeRequest(lineAddr, true, now));
+    stats_.inc("writebacks");
+}
+
+AccessResult
+CacheHierarchy::access(Addr addr, bool is_write, Cycle now)
+{
+    const Addr line = l1_.lineAddrOf(addr);
+    stats_.inc(is_write ? "accesses.write" : "accesses.read");
+
+    if (l1_.access(addr, is_write))
+        return {AccessKind::L1Hit, now + cfg_.l1.hitLatency, line};
+
+    if (l2_.access(addr, /*is_write=*/false)) {
+        // Fill L1 from L2; a displaced dirty L1 line merges into L2.
+        if (auto ev = l1_.insert(line, is_write)) {
+            if (ev->dirty) {
+                if (auto l2ev = l2_.insert(ev->lineAddr, true);
+                    l2ev && l2ev->dirty) {
+                    emitWriteback(l2ev->lineAddr, now);
+                }
+            }
+        }
+        return {AccessKind::L2Hit, now + cfg_.l2.hitLatency, line};
+    }
+
+    // LLC miss. Coalesce into an outstanding fill when possible.
+    if (auto it = mshr_.find(line); it != mshr_.end()) {
+        ++it->second;
+        stats_.inc("mshr.coalesced");
+        return {AccessKind::Coalesced, kNoCycle, line};
+    }
+    if (!mshrAvailable()) {
+        stats_.inc("mshr.blocked");
+        return {AccessKind::Blocked, kNoCycle, line};
+    }
+
+    mshr_.emplace(line, 1);
+    MemRequest req = makeRequest(line, false, now);
+    // A store miss fetches the line (write-allocate); the dirty bit is
+    // set at fill time via the pendingStoreMiss marker below.
+    if (is_write)
+        pendingStoreLines_.insert(line);
+    outgoing_.push_back(req);
+    stats_.inc("llc.misses");
+
+    // Optional next-line prefetch riding on the demand miss.
+    if (cfg_.nextLinePrefetch) {
+        const Addr next = line + cfg_.l2.lineBytes;
+        if (mshrAvailable() && !mshr_.count(next) &&
+            !l2_.contains(next)) {
+            mshr_.emplace(next, 0); // no demand access waits on it
+            outgoing_.push_back(makeRequest(next, false, now));
+            stats_.inc("prefetches.issued");
+        }
+    }
+    return {AccessKind::Miss, kNoCycle, line};
+}
+
+Cycle
+CacheHierarchy::onFill(Addr lineAddr, Cycle now)
+{
+    auto it = mshr_.find(lineAddr);
+    camo_assert(it != mshr_.end(),
+                "fill for a line with no outstanding MSHR: ", lineAddr);
+    mshr_.erase(it);
+
+    const bool dirty = pendingStoreLines_.erase(lineAddr) > 0;
+
+    // Fill L2 (dirty evictions go to memory), then L1.
+    if (auto l2ev = l2_.insert(lineAddr, dirty); l2ev && l2ev->dirty)
+        emitWriteback(l2ev->lineAddr, now);
+    if (auto l1ev = l1_.insert(lineAddr, dirty)) {
+        if (l1ev->dirty) {
+            if (auto l2ev = l2_.insert(l1ev->lineAddr, true);
+                l2ev && l2ev->dirty) {
+                emitWriteback(l2ev->lineAddr, now);
+            }
+        }
+    }
+    stats_.inc("fills");
+    return now + cfg_.l1.hitLatency; // fill-to-use forwarding latency
+}
+
+std::vector<MemRequest>
+CacheHierarchy::popOutgoing()
+{
+    std::vector<MemRequest> out;
+    out.swap(outgoing_);
+    return out;
+}
+
+} // namespace camo::cache

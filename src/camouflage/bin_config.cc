@@ -1,0 +1,139 @@
+#include "src/camouflage/bin_config.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace camo::shaper {
+
+std::size_t
+BinConfig::binOf(Cycle gap) const
+{
+    auto it = std::upper_bound(edges.begin(), edges.end(), gap);
+    camo_assert(it != edges.begin(), "edges[0] must be 0");
+    return static_cast<std::size_t>(it - edges.begin()) - 1;
+}
+
+std::uint64_t
+BinConfig::totalCredits() const
+{
+    std::uint64_t total = 0;
+    for (const std::uint32_t c : credits)
+        total += c;
+    return total;
+}
+
+double
+BinConfig::maxRate() const
+{
+    return replenishPeriod == 0
+               ? 0.0
+               : static_cast<double>(totalCredits()) /
+                     static_cast<double>(replenishPeriod);
+}
+
+Cycle
+BinConfig::minDrainCycles() const
+{
+    Cycle total = 0;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        const Cycle per = std::max<Cycle>(1, edges[i]);
+        total += per * credits[i];
+    }
+    return total;
+}
+
+void
+BinConfig::validate() const
+{
+    if (edges.empty() || edges.size() != credits.size())
+        camo_fatal("bin config needs matching edges/credits arrays");
+    if (edges[0] != 0)
+        camo_fatal("edges[0] must be 0, got ", edges[0]);
+    for (std::size_t i = 1; i < edges.size(); ++i) {
+        if (edges[i] <= edges[i - 1])
+            camo_fatal("bin edges must be strictly increasing");
+    }
+    for (const std::uint32_t c : credits) {
+        if (c > kMaxCreditsPerBin)
+            camo_fatal("credit count ", c, " exceeds the 10-bit "
+                       "hardware register (", kMaxCreditsPerBin, ")");
+    }
+    if (replenishPeriod == 0)
+        camo_fatal("replenish period must be positive");
+    if (totalCredits() == 0)
+        camo_fatal("bin config grants no credits: nothing could issue");
+}
+
+std::string
+BinConfig::toString() const
+{
+    std::ostringstream os;
+    os << "period=" << replenishPeriod << " bins=[";
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << edges[i] << ":" << credits[i];
+    }
+    os << "]";
+    return os.str();
+}
+
+BinConfig
+BinConfig::geometric(std::vector<std::uint32_t> credits, Cycle base,
+                     double ratio, Cycle replenish_period)
+{
+    BinConfig cfg;
+    cfg.replenishPeriod = replenish_period;
+    cfg.credits = std::move(credits);
+    cfg.edges.push_back(0);
+    double edge = static_cast<double>(base);
+    for (std::size_t i = 1; i < cfg.credits.size(); ++i) {
+        auto e = static_cast<Cycle>(edge);
+        if (e <= cfg.edges.back())
+            e = cfg.edges.back() + 1;
+        cfg.edges.push_back(e);
+        edge *= ratio;
+    }
+    cfg.validate();
+    return cfg;
+}
+
+BinConfig
+BinConfig::constantRate(Cycle interval, Cycle replenish_period)
+{
+    camo_assert(interval >= 1, "constant-rate interval must be >= 1");
+    camo_assert(replenish_period >= interval,
+                "period shorter than the constant interval");
+    BinConfig cfg;
+    cfg.replenishPeriod = replenish_period;
+    // Bin 0 covers [0, interval) and gets no credits; bin 1 covers
+    // [interval, inf) and carries the full budget, so every issue is
+    // at least `interval` apart and fake traffic fills the rest: a
+    // single, strictly periodic rate.
+    cfg.edges = {0, interval};
+    const auto budget =
+        static_cast<std::uint32_t>(replenish_period / interval);
+    cfg.credits = {0, std::min(budget, kMaxCreditsPerBin)};
+    cfg.validate();
+    return cfg;
+}
+
+BinConfig
+BinConfig::desired(Cycle base, double ratio, Cycle replenish_period)
+{
+    std::vector<std::uint32_t> credits(kDefaultBins);
+    for (std::size_t i = 0; i < kDefaultBins; ++i)
+        credits[i] = static_cast<std::uint32_t>(kDefaultBins - i);
+    BinConfig cfg =
+        geometric(std::move(credits), base, ratio, replenish_period);
+    camo_assert(cfg.minDrainCycles() <= cfg.replenishPeriod,
+                "DESIRED config cannot drain within its period "
+                "(minDrain=", cfg.minDrainCycles(), " period=",
+                cfg.replenishPeriod, "); widen the period or shrink "
+                "the edges");
+    return cfg;
+}
+
+} // namespace camo::shaper

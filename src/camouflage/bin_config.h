@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Bin configuration for the Camouflage traffic shaper (paper §III-A1).
+ *
+ * Bin i represents inter-arrival times in [edges[i], edges[i+1])
+ * CPU cycles (the last bin is unbounded above). `credits[i]` memory
+ * transactions per replenishment period may issue at bin i's
+ * inter-arrival time. The hypervisor writes this structure into the
+ * shaper's special-purpose control registers.
+ */
+
+#ifndef CAMO_CAMOUFLAGE_BIN_CONFIG_H
+#define CAMO_CAMOUFLAGE_BIN_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace camo::shaper {
+
+/** Number of hardware bins in the paper's design. */
+inline constexpr std::size_t kDefaultBins = 10;
+
+/** Register width per bin (paper §III-A3: 10-bit credit registers). */
+inline constexpr std::uint32_t kMaxCreditsPerBin = (1u << 10) - 1;
+
+/** The shape the hypervisor programs into a Camouflage unit. */
+struct BinConfig
+{
+    /** Lower inter-arrival edge per bin, strictly increasing,
+     *  edges[0] == 0. */
+    std::vector<Cycle> edges;
+    /** Credits granted to each bin at every replenishment. */
+    std::vector<std::uint32_t> credits;
+    /** Credit replenishment period, CPU cycles (paper §III-A2). */
+    Cycle replenishPeriod = 10000;
+
+    std::size_t numBins() const { return edges.size(); }
+
+    /** Bin whose interval contains inter-arrival `gap`. */
+    std::size_t binOf(Cycle gap) const;
+
+    /** Total credits granted per period. */
+    std::uint64_t totalCredits() const;
+
+    /**
+     * Upper bound of shaped bandwidth in transactions per cycle
+     * (totalCredits / replenishPeriod).
+     */
+    double maxRate() const;
+
+    /**
+     * Minimum cycles the credit set can take to emit all credits
+     * (sum over bins of credits[i] * edges[i], clamped to >= 1 per
+     * transaction). If this exceeds the period the configuration can
+     * never consume all credits; used by the GA feasibility repair.
+     */
+    Cycle minDrainCycles() const;
+
+    /** Validate invariants; camo_fatal on user error. */
+    void validate() const;
+
+    std::string toString() const;
+
+    /**
+     * Ten geometric bins (base..base*ratio^8) with the given credits.
+     */
+    static BinConfig geometric(std::vector<std::uint32_t> credits,
+                               Cycle base = 50, double ratio = 2.0,
+                               Cycle replenish_period = 10000);
+
+    /**
+     * Degenerate constant-rate shaper (the CS baseline / Ascend):
+     * exactly one usable bin at `interval`, so traffic issues at a
+     * single, strictly periodic rate.
+     */
+    static BinConfig constantRate(Cycle interval,
+                                  Cycle replenish_period = 10000);
+
+    /**
+     * The paper's Figure 11 "DESIRED" distribution: monotonically
+     * decreasing bin sizes 10, 9, 8, ..., 1. The default edges are
+     * chosen so that the full credit set is drainable within one
+     * replenishment period (minDrainCycles() <= replenishPeriod),
+     * otherwise the long-gap bins could never be exercised.
+     */
+    static BinConfig desired(Cycle base = 20, double ratio = 1.7,
+                             Cycle replenish_period = 10000);
+};
+
+} // namespace camo::shaper
+
+#endif // CAMO_CAMOUFLAGE_BIN_CONFIG_H

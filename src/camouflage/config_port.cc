@@ -1,0 +1,130 @@
+#include "src/camouflage/config_port.h"
+
+#include "src/common/logging.h"
+
+namespace camo::shaper {
+
+namespace {
+
+/** Append `bits` low-order bits of `value` to the packed stream. */
+class BitWriter
+{
+  public:
+    explicit BitWriter(std::vector<std::uint32_t> &words)
+        : words_(words)
+    {
+    }
+
+    void
+    put(std::uint64_t value, std::uint32_t bits)
+    {
+        camo_assert(bits > 0 && bits <= 32, "field width 1..32");
+        for (std::uint32_t i = 0; i < bits; ++i) {
+            const std::uint32_t bit =
+                static_cast<std::uint32_t>((value >> i) & 1);
+            const std::size_t word = pos_ / 32;
+            if (word >= words_.size())
+                words_.push_back(0);
+            words_[word] |= bit << (pos_ % 32);
+            ++pos_;
+        }
+    }
+
+  private:
+    std::vector<std::uint32_t> &words_;
+    std::size_t pos_ = 0;
+};
+
+class BitReader
+{
+  public:
+    explicit BitReader(const std::vector<std::uint32_t> &words)
+        : words_(words)
+    {
+    }
+
+    std::uint64_t
+    get(std::uint32_t bits)
+    {
+        std::uint64_t value = 0;
+        for (std::uint32_t i = 0; i < bits; ++i) {
+            const std::size_t word = pos_ / 32;
+            camo_assert(word < words_.size(),
+                        "register image truncated");
+            const std::uint64_t bit =
+                (words_[word] >> (pos_ % 32)) & 1;
+            value |= bit << i;
+            ++pos_;
+        }
+        return value;
+    }
+
+  private:
+    const std::vector<std::uint32_t> &words_;
+    std::size_t pos_ = 0;
+};
+
+void
+checkFits(std::uint64_t value, std::uint32_t bits, const char *what)
+{
+    if (bits < 64 && value >= (1ULL << bits)) {
+        camo_fatal(what, " value ", value, " does not fit in the ",
+                   bits, "-bit hardware register");
+    }
+}
+
+} // namespace
+
+RegisterFile
+encodeConfig(const BinConfig &cfg, const RegisterWidths &widths)
+{
+    cfg.validate();
+    RegisterFile regs;
+    regs.widths = widths;
+    regs.numBins = static_cast<std::uint32_t>(cfg.numBins());
+
+    checkFits(cfg.replenishPeriod, widths.periodBits, "period");
+    BitWriter writer(regs.words);
+    writer.put(cfg.replenishPeriod, widths.periodBits);
+    for (std::size_t i = 0; i < cfg.numBins(); ++i) {
+        checkFits(cfg.edges[i], widths.edgeBits, "edge");
+        checkFits(cfg.credits[i], widths.creditBits, "credit");
+        writer.put(cfg.edges[i], widths.edgeBits);
+        writer.put(cfg.credits[i], widths.creditBits);
+    }
+    return regs;
+}
+
+BinConfig
+decodeConfig(const RegisterFile &regs)
+{
+    BinConfig cfg;
+    BitReader reader(regs.words);
+    cfg.replenishPeriod =
+        static_cast<Cycle>(reader.get(regs.widths.periodBits));
+    for (std::uint32_t i = 0; i < regs.numBins; ++i) {
+        cfg.edges.push_back(
+            static_cast<Cycle>(reader.get(regs.widths.edgeBits)));
+        cfg.credits.push_back(static_cast<std::uint32_t>(
+            reader.get(regs.widths.creditBits)));
+    }
+    cfg.validate();
+    return cfg;
+}
+
+std::uint64_t
+hardwareStorageBits(std::uint32_t num_bins, const RegisterWidths &widths)
+{
+    // Programmed image: period + per-bin edge and replenish amount.
+    const std::uint64_t programmed =
+        widths.periodBits +
+        static_cast<std::uint64_t>(num_bins) *
+            (widths.edgeBits + widths.creditBits);
+    // Run-time state: live credits + unused credits per bin
+    // (the paper's three-registers-per-bin accounting).
+    const std::uint64_t runtime =
+        static_cast<std::uint64_t>(num_bins) * 2 * widths.creditBits;
+    return programmed + runtime;
+}
+
+} // namespace camo::shaper

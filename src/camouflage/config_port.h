@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The hypervisor-facing hardware configuration port (paper §III-A1/3).
+ *
+ * "In order to control the Camouflage hardware, the hypervisor writes
+ * special purpose control registers to configure the shape of the
+ * request/response distributions." Each unit carries, per bin, a
+ * 10-bit credit register, a 10-bit replenishment register and a
+ * 10-bit unused-credit register, plus an inter-arrival edge register
+ * and one replenishment-period register. This module models that
+ * register file exactly: a BinConfig is encoded into packed register
+ * words (rejecting values the hardware could not hold) and decoded
+ * back, and the total storage cost is computable — backing the
+ * paper's "minimal hardware overhead" claim with a number.
+ */
+
+#ifndef CAMO_CAMOUFLAGE_CONFIG_PORT_H
+#define CAMO_CAMOUFLAGE_CONFIG_PORT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/camouflage/bin_config.h"
+
+namespace camo::shaper {
+
+/** Field widths of the hardware registers. */
+struct RegisterWidths
+{
+    std::uint32_t creditBits = 10; ///< paper §III-A3
+    std::uint32_t edgeBits = 20;   ///< inter-arrival edge, CPU cycles
+    std::uint32_t periodBits = 24; ///< replenishment period
+};
+
+/** A packed register-file image of one Camouflage unit's config. */
+struct RegisterFile
+{
+    RegisterWidths widths;
+    std::uint32_t numBins = 0;
+    /** Packed little-endian bit stream, 32-bit words. Layout:
+     *  period, then per bin: edge, replenish-credits. (The live
+     *  credit and unused registers are run-time state, not part of
+     *  the programmed image, but they count toward storage.) */
+    std::vector<std::uint32_t> words;
+
+    bool operator==(const RegisterFile &o) const
+    {
+        return numBins == o.numBins && words == o.words;
+    }
+};
+
+/**
+ * Encode a configuration into the register image.
+ * camo_fatal (user error) if any field exceeds its register width.
+ */
+RegisterFile encodeConfig(const BinConfig &cfg,
+                          const RegisterWidths &widths = {});
+
+/** Decode a register image back into a configuration. */
+BinConfig decodeConfig(const RegisterFile &regs);
+
+/**
+ * Total storage of one Camouflage unit in bits: the programmed image
+ * plus the per-bin live credit and unused registers. For the paper's
+ * 10-bin unit this is a few hundred bits — negligible next to e.g.
+ * an ORAM controller.
+ */
+std::uint64_t hardwareStorageBits(std::uint32_t num_bins,
+                                  const RegisterWidths &widths = {});
+
+} // namespace camo::shaper
+
+#endif // CAMO_CAMOUFLAGE_CONFIG_PORT_H

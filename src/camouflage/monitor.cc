@@ -1,0 +1,30 @@
+#include "src/camouflage/monitor.h"
+
+namespace camo::shaper {
+
+DistributionMonitor::DistributionMonitor(std::vector<Cycle> edges)
+    : hist_(std::move(edges))
+{
+}
+
+void
+DistributionMonitor::record(Cycle now, bool fake)
+{
+    if (!first_)
+        hist_.add(now - last_);
+    first_ = false;
+    last_ = now;
+    if (logging_)
+        events_.push_back({now, fake});
+}
+
+void
+DistributionMonitor::clear()
+{
+    hist_.clear();
+    first_ = true;
+    last_ = 0;
+    events_.clear();
+}
+
+} // namespace camo::shaper

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Inter-arrival distribution monitor ("we use another hardware bin to
+ * measure the post-Camouflage memory request distribution", §IV-E1)
+ * and optional full event logging for security analysis.
+ */
+
+#ifndef CAMO_CAMOUFLAGE_MONITOR_H
+#define CAMO_CAMOUFLAGE_MONITOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/types.h"
+
+namespace camo::shaper {
+
+/** A timestamped event in a shaped or intrinsic traffic stream. */
+struct TrafficEvent
+{
+    Cycle at = 0;
+    bool fake = false;
+};
+
+/** Measures the inter-arrival histogram of one traffic stream. */
+class DistributionMonitor
+{
+  public:
+    /** @param edges lower bin edges (usually the shaper's). */
+    explicit DistributionMonitor(std::vector<Cycle> edges);
+
+    /** Record an event at cycle `now`. */
+    void record(Cycle now, bool fake = false);
+
+    /** Enable/disable full event logging (costs memory). */
+    void setLogging(bool on) { logging_ = on; }
+
+    const Histogram &histogram() const { return hist_; }
+    const std::vector<TrafficEvent> &events() const { return events_; }
+    std::uint64_t count() const { return hist_.totalCount(); }
+
+    void clear();
+
+  private:
+    Histogram hist_;
+    bool first_ = true;
+    Cycle last_ = 0;
+    bool logging_ = false;
+    std::vector<TrafficEvent> events_;
+};
+
+} // namespace camo::shaper
+
+#endif // CAMO_CAMOUFLAGE_MONITOR_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Program-phase change detection (paper §IV-C: "the online genetic
+ * algorithm reconfigures the request/response hardware bins after a
+ * fixed amount of time or after a program phase change").
+ *
+ * An EWMA of the observed per-epoch memory request rate; a sample
+ * deviating from the average by more than a relative threshold
+ * signals a phase change.
+ */
+
+#ifndef CAMO_CAMOUFLAGE_PHASE_DETECTOR_H
+#define CAMO_CAMOUFLAGE_PHASE_DETECTOR_H
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/common/logging.h"
+
+namespace camo::shaper {
+
+/** EWMA-based phase-change detector over per-epoch rate samples. */
+class PhaseDetector
+{
+  public:
+    /**
+     * @param alpha EWMA smoothing factor in (0, 1]
+     * @param relative_threshold deviation (|x - ewma| / max(ewma, eps))
+     *        that signals a phase change
+     * @param warmup_samples samples absorbed before detection arms
+     */
+    explicit PhaseDetector(double alpha = 0.25,
+                           double relative_threshold = 0.5,
+                           std::uint32_t warmup_samples = 4)
+        : alpha_(alpha),
+          threshold_(relative_threshold),
+          warmup_(warmup_samples)
+    {
+        camo_assert(alpha_ > 0.0 && alpha_ <= 1.0, "alpha in (0,1]");
+        camo_assert(threshold_ > 0.0, "threshold must be positive");
+    }
+
+    /**
+     * Feed one epoch's observed rate.
+     * @return true if this sample signals a phase change (the EWMA
+     *         then resets to the new level).
+     */
+    bool
+    sample(double rate)
+    {
+        camo_assert(rate >= 0.0, "rate must be non-negative");
+        ++samples_;
+        if (samples_ == 1) {
+            ewma_ = rate;
+            return false;
+        }
+        const double base = ewma_ > 1e-9 ? ewma_ : 1e-9;
+        const bool changed =
+            samples_ > warmup_ &&
+            std::abs(rate - ewma_) / base > threshold_;
+        if (changed) {
+            ewma_ = rate; // re-anchor on the new phase
+            ++changes_;
+        } else {
+            ewma_ = alpha_ * rate + (1.0 - alpha_) * ewma_;
+        }
+        return changed;
+    }
+
+    double ewma() const { return ewma_; }
+    std::uint64_t samples() const { return samples_; }
+    std::uint64_t changesDetected() const { return changes_; }
+
+  private:
+    double alpha_;
+    double threshold_;
+    std::uint32_t warmup_;
+    double ewma_ = 0.0;
+    std::uint64_t samples_ = 0;
+    std::uint64_t changes_ = 0;
+};
+
+} // namespace camo::shaper
+
+#endif // CAMO_CAMOUFLAGE_PHASE_DETECTOR_H

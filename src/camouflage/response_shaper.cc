@@ -1,0 +1,95 @@
+#include "src/camouflage/response_shaper.h"
+
+#include "src/common/logging.h"
+
+namespace camo::shaper {
+
+ResponseShaper::ResponseShaper(CoreId core, const ResponseShaperConfig &cfg)
+    : core_(core),
+      cfg_(cfg),
+      bins_(cfg.bins),
+      pre_(cfg.bins.edges),
+      post_(cfg.bins.edges)
+{
+    camo_assert(cfg_.queueCap >= 1, "response queue needs capacity");
+}
+
+void
+ResponseShaper::push(MemRequest resp, Cycle now)
+{
+    camo_assert(canAccept(), "push into a full response queue");
+    pre_.record(now, resp.isFake);
+    queue_.push_back(std::move(resp));
+    stats_.inc("pushed");
+}
+
+MemRequest
+ResponseShaper::makeFakeResponse(Cycle now)
+{
+    MemRequest resp;
+    resp.id = (static_cast<ReqId>(core_) << 48) | (1ULL << 46) |
+              nextFakeId_++;
+    resp.core = core_;
+    resp.addr = kNoAddr;
+    resp.isFake = true;
+    resp.created = now;
+    resp.mcDone = now;
+    resp.respShaperOut = now;
+    return resp;
+}
+
+std::optional<MemRequest>
+ResponseShaper::tick(Cycle now, bool downstream_ready)
+{
+    bins_.tick(now);
+
+    // At each replenishment, sum the unused credits and warn the
+    // memory scheduler (paper: priority proportional to unused
+    // credits). takePriorityWarning() hands the tokens to the MC.
+    if (cfg_.sendPriorityWarnings &&
+        bins_.replenishments() > lastReplenishSeen_) {
+        lastReplenishSeen_ = bins_.replenishments();
+        const std::uint32_t unused = bins_.unusedTotal();
+        if (unused > 0) {
+            pendingBoost_ += unused * cfg_.boostScale;
+            stats_.inc("warnings.sent");
+            stats_.inc("warnings.tokens", unused * cfg_.boostScale);
+        }
+    }
+
+    if (!downstream_ready)
+        return std::nullopt;
+
+    // Case 1 (Figure 6): pending responses are served first.
+    if (!queue_.empty()) {
+        if (bins_.consumeReal(now) >= 0) {
+            MemRequest resp = std::move(queue_.front());
+            queue_.pop_front();
+            resp.respShaperOut = now;
+            post_.record(now, resp.isFake);
+            stats_.inc("released.real");
+            return resp;
+        }
+        stats_.inc("stalled.cycles");
+        return std::nullopt;
+    }
+
+    // Case 3: no pending or new responses, unused credits remain ->
+    // fake response keeps the observed distribution fixed.
+    if (cfg_.generateFakes && bins_.consumeFake(now) >= 0) {
+        post_.record(now, /*fake=*/true);
+        stats_.inc("released.fake");
+        return makeFakeResponse(now);
+    }
+    return std::nullopt;
+}
+
+std::uint32_t
+ResponseShaper::takePriorityWarning()
+{
+    const std::uint32_t boost = pendingBoost_;
+    pendingBoost_ = 0;
+    return boost;
+}
+
+} // namespace camo::shaper

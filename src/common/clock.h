@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Rational clock divider used to run the DRAM clock domain off the CPU
+ * clock without accumulating drift.
+ *
+ * DDR3-1333 has a 666.67 MHz command clock; with a 2.4 GHz core that
+ * is 3.6 CPU cycles per DRAM cycle. A phase accumulator with exact
+ * integer arithmetic (num/den) guarantees the long-run ratio is exact.
+ */
+
+#ifndef CAMO_COMMON_CLOCK_H
+#define CAMO_COMMON_CLOCK_H
+
+#include <cstdint>
+
+#include "src/common/logging.h"
+
+namespace camo {
+
+/** Emits one derived-domain tick every num/den source ticks. */
+class ClockDivider
+{
+  public:
+    /**
+     * @param num numerator of source-ticks-per-derived-tick
+     * @param den denominator (num/den = e.g. 18/5 for 3.6)
+     */
+    ClockDivider(std::uint64_t num, std::uint64_t den)
+        : num_(num), den_(den)
+    {
+        camo_assert(num_ >= den_ && den_ > 0,
+                    "divider must be >= 1 source tick per derived tick");
+    }
+
+    /**
+     * Advance one source-domain tick.
+     * @return true if the derived domain ticks this source tick.
+     */
+    bool
+    tick()
+    {
+        phase_ += den_;
+        if (phase_ >= num_) {
+            phase_ -= num_;
+            ++derivedTicks_;
+            return true;
+        }
+        return false;
+    }
+
+    std::uint64_t derivedTicks() const { return derivedTicks_; }
+
+  private:
+    std::uint64_t num_;
+    std::uint64_t den_;
+    std::uint64_t phase_ = 0;
+    std::uint64_t derivedTicks_ = 0;
+};
+
+} // namespace camo
+
+#endif // CAMO_COMMON_CLOCK_H

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component in the simulator owns its own Rng seeded
+ * from the top-level configuration, so simulations are reproducible
+ * bit-for-bit regardless of component tick ordering changes elsewhere.
+ *
+ * The generator is xoshiro256**, which is small, fast, and has no
+ * libstdc++ implementation-defined behaviour (std::mt19937's
+ * distributions differ across standard libraries).
+ */
+
+#ifndef CAMO_COMMON_RNG_H
+#define CAMO_COMMON_RNG_H
+
+#include <cstdint>
+
+#include "src/common/logging.h"
+
+namespace camo {
+
+/** xoshiro256** deterministic PRNG. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 seeding as recommended by the xoshiro authors.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        camo_assert(bound > 0, "Rng::below requires bound > 0");
+        // Lemire's nearly-divisionless rejection method (debiased).
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        auto l = static_cast<std::uint64_t>(m);
+        if (l < bound) {
+            const std::uint64_t t = (0 - bound) % bound;
+            while (l < t) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                l = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        camo_assert(lo <= hi, "Rng::range requires lo <= hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Geometric-ish burst length: 1 + number of successes before the
+     * first failure with success probability p. Bounded by cap.
+     */
+    std::uint64_t
+    burstLength(double p, std::uint64_t cap)
+    {
+        std::uint64_t n = 1;
+        while (n < cap && chance(p))
+            ++n;
+        return n;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace camo
+
+#endif // CAMO_COMMON_RNG_H

@@ -1,0 +1,83 @@
+#include "src/common/stats.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace camo {
+
+void
+StatGroup::inc(const std::string &name, std::uint64_t by)
+{
+    counters_[name] += by;
+}
+
+void
+StatGroup::sample(const std::string &name, double v)
+{
+    scalars_[name].sample(v);
+}
+
+std::uint64_t
+StatGroup::counter(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+const Scalar &
+StatGroup::scalar(const std::string &name) const
+{
+    static const Scalar empty;
+    auto it = scalars_.find(name);
+    return it == scalars_.end() ? empty : it->second;
+}
+
+bool
+StatGroup::hasCounter(const std::string &name) const
+{
+    return counters_.count(name) > 0;
+}
+
+bool
+StatGroup::hasScalar(const std::string &name) const
+{
+    return scalars_.count(name) > 0;
+}
+
+void
+StatGroup::clear()
+{
+    counters_.clear();
+    scalars_.clear();
+}
+
+std::string
+StatGroup::dump(const std::string &prefix) const
+{
+    std::ostringstream os;
+    for (const auto &[name, v] : counters_)
+        os << prefix << name << " = " << v << "\n";
+    for (const auto &[name, s] : scalars_) {
+        os << prefix << name << " : count=" << s.count()
+           << " mean=" << s.mean() << " min=" << s.min()
+           << " max=" << s.max() << "\n";
+    }
+    return os.str();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        camo_assert(v > 0.0, "geomean requires positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace camo

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal statistics package: named scalar counters and averages with
+ * a registry per component, plus a formatter for end-of-run dumps.
+ */
+
+#ifndef CAMO_COMMON_STATS_H
+#define CAMO_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace camo {
+
+/** Running scalar statistic (count / sum / min / max / mean). */
+class Scalar
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        sum_ += v;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    void clear() { *this = Scalar(); }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A registry of named counters and scalars owned by one component.
+ * Components expose `stats()` so tests and benches can inspect them.
+ */
+class StatGroup
+{
+  public:
+    /** Increment a named counter. */
+    void inc(const std::string &name, std::uint64_t by = 1);
+
+    /** Sample a named scalar. */
+    void sample(const std::string &name, double v);
+
+    std::uint64_t counter(const std::string &name) const;
+    const Scalar &scalar(const std::string &name) const;
+    bool hasCounter(const std::string &name) const;
+    bool hasScalar(const std::string &name) const;
+
+    void clear();
+
+    /** Human-readable dump, one line per stat. */
+    std::string dump(const std::string &prefix = "") const;
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, Scalar> scalars_;
+};
+
+/** Geometric mean of a vector of positive values (0 if empty). */
+double geomean(const std::vector<double> &values);
+
+} // namespace camo
+
+#endif // CAMO_COMMON_STATS_H

@@ -1,0 +1,147 @@
+#include "src/core/core.h"
+
+#include "src/common/logging.h"
+
+namespace camo::core {
+
+Core::Core(CoreId id, const CoreConfig &cfg, trace::TraceSource &trace,
+           cache::CacheHierarchy &cache)
+    : id_(id), cfg_(cfg), trace_(trace), cache_(cache)
+{
+    camo_assert(cfg_.width >= 1 && cfg_.windowSize >= cfg_.width,
+                "bad core config");
+}
+
+void
+Core::clearEpochCounters()
+{
+    retired_ = 0;
+    cycles_ = 0;
+    memStallCycles_ = 0;
+}
+
+void
+Core::retire(Cycle now)
+{
+    std::uint32_t n = 0;
+    while (n < cfg_.width && !window_.empty()) {
+        const Entry &head = window_.front();
+        if (head.readyAt == kNoCycle || head.readyAt > now)
+            break;
+        window_.pop_front();
+        ++retired_;
+        ++n;
+    }
+    if (n == 0 && !window_.empty() && window_.front().isLoad) {
+        ++memStallCycles_;
+        stats_.inc("stall.memory");
+    }
+}
+
+bool
+Core::dispatchMemOp(Cycle now)
+{
+    const trace::TraceItem &op = *pendingMemOp_;
+    const auto result = cache_.access(op.addr, op.isWrite, now);
+
+    if (result.kind == cache::AccessKind::Blocked) {
+        stats_.inc("dispatch.blocked");
+        return false; // retry next cycle; dispatch stalls
+    }
+
+    Entry e;
+    e.seq = nextSeq_++;
+    if (op.isWrite) {
+        // Stores drain through the store buffer: retire next cycle.
+        e.isLoad = false;
+        e.readyAt = now + 1;
+    } else {
+        e.isLoad = true;
+        switch (result.kind) {
+          case cache::AccessKind::L1Hit:
+          case cache::AccessKind::L2Hit:
+            e.readyAt = result.completesAt;
+            break;
+          case cache::AccessKind::Miss:
+          case cache::AccessKind::Coalesced:
+            e.readyAt = kNoCycle;
+            waiting_[result.lineAddr].push_back(e.seq);
+            break;
+          case cache::AccessKind::Blocked:
+            camo_panic("unreachable");
+        }
+    }
+    window_.push_back(e);
+    pendingMemOp_.reset();
+    return true;
+}
+
+void
+Core::dispatch(Cycle now)
+{
+    if (now < waitUntil_)
+        return; // busy-waiting on wall-clock time (TraceItem::waitCycles)
+    std::uint32_t n = 0;
+    while (n < cfg_.width && window_.size() < cfg_.windowSize) {
+        if (pendingGap_ > 0) {
+            // A run of non-memory instructions: 1-cycle latency each.
+            Entry e;
+            e.seq = nextSeq_++;
+            e.readyAt = now + 1;
+            window_.push_back(e);
+            --pendingGap_;
+            ++n;
+            continue;
+        }
+        if (pendingMemOp_) {
+            if (!dispatchMemOp(now))
+                return; // MSHR pressure: stall dispatch entirely
+            ++n;
+            continue;
+        }
+        const trace::TraceItem item = trace_.next(now);
+        pendingGap_ = item.gapInstrs;
+        if (item.hasMemOp())
+            pendingMemOp_ = item;
+        if (item.waitCycles > 0) {
+            waitUntil_ = now + item.waitCycles;
+            return; // the rest of the item dispatches after the wait
+        }
+        if (pendingGap_ == 0 && !pendingMemOp_) {
+            // Instruction-only item with zero gap: nothing to do, but
+            // avoid spinning forever on degenerate traces.
+            pendingGap_ = 1;
+        }
+    }
+}
+
+void
+Core::tick(Cycle now)
+{
+    ++cycles_;
+    retire(now);
+    dispatch(now);
+}
+
+void
+Core::onFill(Addr line, Cycle completes_at)
+{
+    auto it = waiting_.find(line);
+    if (it == waiting_.end())
+        return; // store-miss fill: nothing blocked on it
+    // Seq numbers map to window positions via the head's seq.
+    for (const std::uint64_t seq : it->second) {
+        if (window_.empty())
+            break;
+        const std::uint64_t head_seq = window_.front().seq;
+        if (seq < head_seq)
+            continue; // already retired (cannot happen for loads)
+        const std::size_t idx = static_cast<std::size_t>(seq - head_seq);
+        if (idx < window_.size() && window_[idx].seq == seq)
+            window_[idx].readyAt = completes_at;
+    }
+    waiting_.erase(it);
+    stats_.inc("fills.received");
+}
+
+} // namespace camo::core

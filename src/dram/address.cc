@@ -1,0 +1,117 @@
+#include "src/dram/address.h"
+
+#include <bit>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace camo::dram {
+
+namespace {
+
+std::uint32_t
+log2Exact(std::uint32_t v, const char *what)
+{
+    camo_assert(v > 0 && std::has_single_bit(v),
+                what, " must be a power of two, got ", v);
+    return static_cast<std::uint32_t>(std::countr_zero(v));
+}
+
+} // namespace
+
+std::uint32_t
+AddressMapper::channelOf(Addr addr) const
+{
+    return static_cast<std::uint32_t>((addr >> lineBits_) &
+                                      ((1ULL << chanBits_) - 1));
+}
+
+Addr
+AddressMapper::stripChannel(Addr addr) const
+{
+    const Addr offset = addr & ((1ULL << lineBits_) - 1);
+    const Addr upper = addr >> (lineBits_ + chanBits_);
+    return (upper << lineBits_) | offset;
+}
+
+std::string
+DramAddress::toString() const
+{
+    std::ostringstream os;
+    os << "ch" << channel << ".ra" << rank << ".ba" << bank << ".ro" << row
+       << ".co" << column;
+    return os.str();
+}
+
+AddressMapper::AddressMapper(const DramOrganization &org,
+                             MappingScheme scheme)
+    : org_(org), scheme_(scheme)
+{
+    lineBits_ = log2Exact(org.lineBytes, "line size");
+    colBits_ = log2Exact(org.columnsPerRow(), "columns per row");
+    bankBits_ = log2Exact(org.banksPerRank, "banks per rank");
+    rankBits_ = log2Exact(org.ranksPerChannel, "ranks per channel");
+    rowBits_ = log2Exact(org.rowsPerBank, "rows per bank");
+    chanBits_ = log2Exact(org.channels, "channels");
+}
+
+DramAddress
+AddressMapper::decode(Addr addr) const
+{
+    DramAddress da;
+    std::uint64_t a = addr >> lineBits_;
+    auto take = [&a](std::uint32_t bits) {
+        const std::uint64_t v = a & ((1ULL << bits) - 1);
+        a >>= bits;
+        return static_cast<std::uint32_t>(v);
+    };
+
+    // Channels interleave at line granularity in both schemes.
+    da.channel = take(chanBits_);
+    switch (scheme_) {
+      case MappingScheme::RowRankBankCol:
+        da.column = take(colBits_);
+        da.bank = take(bankBits_);
+        da.rank = take(rankBits_);
+        da.row = take(rowBits_);
+        break;
+      case MappingScheme::RowColRankBank:
+        da.bank = take(bankBits_);
+        da.rank = take(rankBits_);
+        da.column = take(colBits_);
+        da.row = take(rowBits_);
+        break;
+    }
+    da.row %= org_.rowsPerBank; // wrap addresses beyond capacity
+    return da;
+}
+
+Addr
+AddressMapper::encode(const DramAddress &da) const
+{
+    std::uint64_t a = 0;
+    std::uint32_t shift = lineBits_;
+    auto put = [&a, &shift](std::uint32_t v, std::uint32_t bits) {
+        a |= static_cast<std::uint64_t>(v) << shift;
+        shift += bits;
+    };
+
+    put(da.channel, chanBits_);
+    switch (scheme_) {
+      case MappingScheme::RowRankBankCol:
+        put(da.column, colBits_);
+        put(da.bank, bankBits_);
+        put(da.rank, rankBits_);
+        put(da.row, rowBits_);
+        break;
+      case MappingScheme::RowColRankBank:
+        put(da.bank, bankBits_);
+        put(da.rank, rankBits_);
+        put(da.column, colBits_);
+        put(da.row, rowBits_);
+        break;
+    }
+    return a;
+}
+
+} // namespace camo::dram

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Physical address to DRAM coordinate decoding.
+ */
+
+#ifndef CAMO_DRAM_ADDRESS_H
+#define CAMO_DRAM_ADDRESS_H
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/types.h"
+#include "src/dram/timing.h"
+
+namespace camo::dram {
+
+/** Decoded DRAM coordinates of a physical address. */
+struct DramAddress
+{
+    std::uint32_t channel = 0;
+    std::uint32_t rank = 0;
+    std::uint32_t bank = 0;
+    std::uint32_t row = 0;
+    std::uint32_t column = 0;
+
+    bool
+    operator==(const DramAddress &o) const
+    {
+        return channel == o.channel && rank == o.rank && bank == o.bank &&
+               row == o.row && column == o.column;
+    }
+
+    std::string toString() const;
+};
+
+/** Bit-field order used to decode addresses. */
+enum class MappingScheme
+{
+    /**
+     * row : rank : bank : column : line-offset.
+     * Consecutive lines stay in one row (maximizes row hits for
+     * streaming); banks interleave at row granularity.
+     */
+    RowRankBankCol,
+    /**
+     * row : column : rank : bank : line-offset.
+     * Consecutive lines hit different banks (maximizes bank-level
+     * parallelism; DRAMSim2 "scheme 2" flavour).
+     */
+    RowColRankBank,
+};
+
+/** Stateless address decoder for a given organization and scheme. */
+class AddressMapper
+{
+  public:
+    AddressMapper(const DramOrganization &org, MappingScheme scheme);
+
+    /** Decode a physical byte address into DRAM coordinates. */
+    DramAddress decode(Addr addr) const;
+
+    /**
+     * Re-encode coordinates into a physical address (inverse of
+     * decode; used by tests and by bank partitioning).
+     */
+    Addr encode(const DramAddress &da) const;
+
+    /** Channel a physical address maps to. */
+    std::uint32_t channelOf(Addr addr) const;
+
+    /**
+     * Remove the channel bits from an address, producing the
+     * channel-local address a per-channel controller decodes (its
+     * organization has channels == 1).
+     */
+    Addr stripChannel(Addr addr) const;
+
+    MappingScheme scheme() const { return scheme_; }
+    const DramOrganization &organization() const { return org_; }
+
+  private:
+    DramOrganization org_;
+    MappingScheme scheme_;
+    std::uint32_t lineBits_;
+    std::uint32_t colBits_;
+    std::uint32_t bankBits_;
+    std::uint32_t rankBits_;
+    std::uint32_t rowBits_;
+    std::uint32_t chanBits_;
+};
+
+} // namespace camo::dram
+
+#endif // CAMO_DRAM_ADDRESS_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Per-command DRAM energy accounting (DRAMSim2 ships the Micron
+ * power model; this is the equivalent for our device).
+ *
+ * Constants default to a DDR3-1333 2Gb x8 part computed from the
+ * Micron IDD method (order-of-magnitude values; the interesting
+ * outputs are *relative* — e.g. the energy overhead of Camouflage's
+ * fake traffic).
+ */
+
+#ifndef CAMO_DRAM_ENERGY_H
+#define CAMO_DRAM_ENERGY_H
+
+#include <cstdint>
+
+namespace camo::dram {
+
+/** Energy cost per DRAM event, picojoules. */
+struct EnergyModel
+{
+    double actPrePj = 3200.0;     ///< one ACT/PRE pair
+    double readBurstPj = 2100.0;  ///< one RD burst (BL8)
+    double writeBurstPj = 2300.0; ///< one WR burst (BL8)
+    double refreshPj = 27000.0;   ///< one all-bank REF
+    /** Background (standby) power per rank per DRAM cycle. */
+    double backgroundPjPerCycle = 75.0;
+};
+
+/** Accumulated energy, queryable mid-run. */
+class EnergyCounter
+{
+  public:
+    explicit EnergyCounter(const EnergyModel &model = EnergyModel{})
+        : model_(model)
+    {
+    }
+
+    void onActivate() { actPairs_ += 1; }
+    void onRead() { reads_ += 1; }
+    void onWrite() { writes_ += 1; }
+    void onRefresh() { refreshes_ += 1; }
+
+    std::uint64_t actPairs() const { return actPairs_; }
+    std::uint64_t reads() const { return reads_; }
+    std::uint64_t writes() const { return writes_; }
+    std::uint64_t refreshes() const { return refreshes_; }
+
+    /** Dynamic (command) energy so far, picojoules. */
+    double
+    dynamicPj() const
+    {
+        return static_cast<double>(actPairs_) * model_.actPrePj +
+               static_cast<double>(reads_) * model_.readBurstPj +
+               static_cast<double>(writes_) * model_.writeBurstPj +
+               static_cast<double>(refreshes_) * model_.refreshPj;
+    }
+
+    /** Background energy for `dram_cycles` of `ranks` ranks. */
+    double
+    backgroundPj(std::uint64_t dram_cycles, std::uint32_t ranks) const
+    {
+        return model_.backgroundPjPerCycle *
+               static_cast<double>(dram_cycles) *
+               static_cast<double>(ranks);
+    }
+
+    double
+    totalPj(std::uint64_t dram_cycles, std::uint32_t ranks) const
+    {
+        return dynamicPj() + backgroundPj(dram_cycles, ranks);
+    }
+
+    const EnergyModel &model() const { return model_; }
+
+  private:
+    EnergyModel model_;
+    std::uint64_t actPairs_ = 0;
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+    std::uint64_t refreshes_ = 0;
+};
+
+} // namespace camo::dram
+
+#endif // CAMO_DRAM_ENERGY_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * DDR3 device timing and organization parameters.
+ *
+ * All timing values are in DRAM command-clock cycles (tCK). Defaults
+ * model DDR3-1333 (tCK = 1.5 ns), the part in the paper's Table II,
+ * with JEDEC-typical values for a 2Gb x8 device.
+ */
+
+#ifndef CAMO_DRAM_TIMING_H
+#define CAMO_DRAM_TIMING_H
+
+#include <cstdint>
+
+namespace camo::dram {
+
+/** DRAM timing constraints, in DRAM clock cycles. */
+struct DramTiming
+{
+    std::uint32_t burstLength = 8;  ///< BL: beats per column access
+    std::uint32_t tCL = 9;          ///< CAS (read) latency
+    std::uint32_t tCWL = 7;         ///< CAS write latency
+    std::uint32_t tRCD = 9;         ///< ACT to RD/WR
+    std::uint32_t tRP = 9;          ///< PRE to ACT
+    std::uint32_t tRAS = 24;        ///< ACT to PRE (same bank)
+    std::uint32_t tRC = 33;         ///< ACT to ACT (same bank)
+    std::uint32_t tCCD = 4;         ///< CAS to CAS (same rank)
+    std::uint32_t tRRD = 4;         ///< ACT to ACT (different banks)
+    std::uint32_t tFAW = 20;        ///< window for any four ACTs per rank
+    std::uint32_t tWTR = 5;         ///< write data end to read command
+    std::uint32_t tWR = 10;         ///< write recovery (data end to PRE)
+    std::uint32_t tRTP = 5;         ///< read to precharge
+    std::uint32_t tRTW = 7;         ///< read cmd to write cmd (same rank)
+    std::uint32_t tRFC = 107;       ///< refresh cycle time
+    std::uint32_t tREFI = 5200;     ///< average refresh interval
+    std::uint32_t tRTRS = 2;        ///< rank-to-rank data-bus switch
+
+    /** Data-bus occupancy of one burst, in DRAM cycles (BL/2, DDR). */
+    std::uint32_t dataCycles() const { return burstLength / 2; }
+};
+
+/** Memory system organization (Table II defaults). */
+struct DramOrganization
+{
+    std::uint32_t channels = 1;
+    std::uint32_t ranksPerChannel = 1;
+    std::uint32_t banksPerRank = 8;
+    std::uint32_t rowsPerBank = 32768;
+    std::uint32_t rowBufferBytes = 8192; ///< 8 KB row buffer
+    std::uint32_t lineBytes = 64;        ///< cache-line / column granularity
+
+    std::uint32_t
+    columnsPerRow() const
+    {
+        return rowBufferBytes / lineBytes;
+    }
+
+    std::uint64_t
+    totalBytes() const
+    {
+        return static_cast<std::uint64_t>(channels) * ranksPerChannel *
+               banksPerRank * rowsPerBank * rowBufferBytes;
+    }
+};
+
+} // namespace camo::dram
+
+#endif // CAMO_DRAM_TIMING_H

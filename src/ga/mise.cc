@@ -1,0 +1,31 @@
+#include "src/ga/mise.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace camo::ga {
+
+double
+miseSlowdown(const MiseSample &sample)
+{
+    camo_assert(sample.alpha >= 0.0 && sample.alpha <= 1.0,
+                "alpha out of range: ", sample.alpha);
+    if (sample.sharedRate <= 0.0 || sample.aloneRate <= 0.0)
+        return 1.0; // no memory activity: no memory slowdown
+    const double ratio =
+        std::max(1.0, sample.aloneRate / sample.sharedRate);
+    return (1.0 - sample.alpha) + sample.alpha * ratio;
+}
+
+double
+averageSlowdown(const MiseSample *samples, std::size_t count)
+{
+    camo_assert(count > 0, "no samples");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < count; ++i)
+        sum += miseSlowdown(samples[i]);
+    return sum / static_cast<double>(count);
+}
+
+} // namespace camo::ga

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * MISE-style slowdown estimation (Subramanian et al., HPCA'13), used
+ * by the paper's online GA as its fitness signal (§IV-C).
+ *
+ * slowdown = (1 - alpha) + alpha * (alone-rate / shared-rate)
+ *
+ * where alpha is the fraction of cycles the core stalls on memory and
+ * the rates are memory request service rates measured with the core
+ * in highest-priority mode (alone) vs normally scheduled (shared).
+ */
+
+#ifndef CAMO_GA_MISE_H
+#define CAMO_GA_MISE_H
+
+#include <cstdint>
+
+namespace camo::ga {
+
+/** One epoch's measurements for one core. */
+struct MiseSample
+{
+    double alpha = 0.0;       ///< memory-stall cycle fraction [0,1]
+    double aloneRate = 0.0;   ///< requests/cycle at highest priority
+    double sharedRate = 0.0;  ///< requests/cycle under sharing
+};
+
+/** Estimated slowdown (>= 1 when sharing hurts; 1 == no slowdown). */
+double miseSlowdown(const MiseSample &sample);
+
+/** Average slowdown across cores: the GA's objective (minimized). */
+double averageSlowdown(const MiseSample *samples, std::size_t count);
+
+} // namespace camo::ga
+
+#endif // CAMO_GA_MISE_H

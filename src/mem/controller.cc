@@ -1,0 +1,363 @@
+#include "src/mem/controller.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace camo::mem {
+
+const char *
+schedulerKindName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::FrFcfs: return "FR-FCFS";
+      case SchedulerKind::Fcfs: return "FCFS";
+      case SchedulerKind::TemporalPartition: return "TP";
+      case SchedulerKind::FixedService: return "FS";
+    }
+    return "?";
+}
+
+namespace {
+
+std::unique_ptr<Scheduler>
+makeScheduler(const ControllerConfig &cfg)
+{
+    switch (cfg.scheduler) {
+      case SchedulerKind::FrFcfs:
+        return std::make_unique<FrFcfsScheduler>();
+      case SchedulerKind::Fcfs:
+        return std::make_unique<FcfsScheduler>();
+      case SchedulerKind::TemporalPartition:
+        return std::make_unique<TemporalPartitionScheduler>(cfg.tp);
+      case SchedulerKind::FixedService:
+        return std::make_unique<FixedServiceScheduler>(cfg.fs);
+    }
+    camo_panic("unknown scheduler kind");
+}
+
+} // namespace
+
+MemoryController::MemoryController(const ControllerConfig &cfg)
+    : cfg_(cfg),
+      mapper_(cfg.org, cfg.mapping),
+      device_(cfg.org, cfg.timing),
+      divider_(cfg.cpuPerDramNum, cfg.cpuPerDramDen),
+      sched_(makeScheduler(cfg))
+{
+    camo_assert(cfg_.writeDrainLow < cfg_.writeDrainHigh &&
+                    cfg_.writeDrainHigh <= cfg_.writeQueueDepth,
+                "bad write drain watermarks");
+}
+
+MemoryController::~MemoryController() = default;
+
+dram::DramAddress
+MemoryController::decode(Addr addr, CoreId core) const
+{
+    dram::DramAddress da = mapper_.decode(addr);
+    if (cfg_.rankPartitioning && core != kNoCore &&
+        cfg_.org.ranksPerChannel > 1) {
+        da.rank = core % cfg_.org.ranksPerChannel;
+    }
+    if (cfg_.bankPartitioning && core != kNoCore) {
+        // Core c owns banks [c*K, (c+1)*K) where K = banks / cores.
+        const std::uint32_t banks = cfg_.org.banksPerRank;
+        const std::uint32_t cores = std::max(1u, cfg_.numCores);
+        const std::uint32_t per_core = std::max(1u, banks / cores);
+        da.bank = (core % cores) * per_core + (da.bank % per_core);
+        da.bank %= banks;
+    }
+    return da;
+}
+
+bool
+MemoryController::canAccept(bool is_write) const
+{
+    return is_write ? writeQ_.size() < cfg_.writeQueueDepth
+                    : readQ_.size() < cfg_.readQueueDepth;
+}
+
+void
+MemoryController::enqueue(MemRequest req, Cycle now, Addr decode_addr)
+{
+    camo_assert(canAccept(req.isWrite), "enqueue into a full queue");
+    // Optional (insecure) extension: drop fake traffic under queue
+    // pressure instead of letting it crowd out real requests.
+    if (cfg_.demoteFakeTraffic && req.isFake) {
+        const std::size_t depth =
+            req.isWrite ? writeQ_.size() : readQ_.size();
+        const std::size_t cap = req.isWrite ? cfg_.writeQueueDepth
+                                            : cfg_.readQueueDepth;
+        if (depth >= cap / 2) {
+            stats_.inc("fake.dropped");
+            return;
+        }
+    }
+    req.mcArrive = now;
+    Transaction txn;
+    txn.da = decode(decode_addr == kNoAddr ? req.addr : decode_addr,
+                    req.core);
+    txn.req = req;
+    txn.enqueuedDram = divider_.derivedTicks();
+    stats_.inc(req.isWrite ? "writes.enqueued" : "reads.enqueued");
+    if (req.isFake)
+        stats_.inc("fake.enqueued");
+    (req.isWrite ? writeQ_ : readQ_).push_back(std::move(txn));
+}
+
+void
+MemoryController::tick(Cycle now)
+{
+    if (divider_.tick())
+        dramTick(now);
+}
+
+Cycle
+MemoryController::dramDelayToCpu(std::uint64_t dram_cycles) const
+{
+    // ceil(dram_cycles * num / den)
+    return (dram_cycles * cfg_.cpuPerDramNum + cfg_.cpuPerDramDen - 1) /
+           cfg_.cpuPerDramDen;
+}
+
+bool
+MemoryController::manageRefresh(std::uint64_t dram_now)
+{
+    // Refresh management preempts normal scheduling once a refresh is
+    // owed: precharge any open bank, then issue REF.
+    for (std::uint32_t rank = 0; rank < cfg_.org.ranksPerChannel; ++rank) {
+        if (!device_.refreshDue(rank, dram_now))
+            continue;
+        if (device_.canIssue(dram::Cmd::REF, {0, rank, 0, 0, 0},
+                             dram_now)) {
+            device_.issue(dram::Cmd::REF, {0, rank, 0, 0, 0}, dram_now);
+            stats_.inc("refresh.issued");
+            return true;
+        }
+        for (std::uint32_t b = 0; b < cfg_.org.banksPerRank; ++b) {
+            dram::DramAddress da{0, rank, b, 0, 0};
+            if (device_.isRowOpen(da) &&
+                device_.canIssue(dram::Cmd::PRE, da, dram_now)) {
+                device_.issue(dram::Cmd::PRE, da, dram_now);
+                stats_.inc("refresh.precharges");
+                return true;
+            }
+        }
+        // Banks are draining their tRAS/tWR; hold the command bus.
+        return true;
+    }
+    return false;
+}
+
+void
+MemoryController::buildPool(std::deque<Transaction> &queue, SchedView &view,
+                            std::vector<std::size_t> &index_map)
+{
+    // Order: highest-priority-mode core first, then token-boosted
+    // cores, then normal traffic, then Camouflage fakes (strictly
+    // lowest priority); stable (age order) within each class.
+    std::vector<std::size_t> boosted, normal, fake;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const Transaction &txn = queue[i];
+        const CoreId core = txn.req.core;
+        const bool hpm =
+            highestPriorityCore_ && core == *highestPriorityCore_;
+        const bool tokens = priorityTokens(core) > 0;
+        if (cfg_.demoteFakeTraffic && txn.req.isFake)
+            fake.push_back(i);
+        else if (hpm || tokens)
+            boosted.push_back(i);
+        else
+            normal.push_back(i);
+    }
+    for (std::size_t i : boosted) {
+        view.pool.push_back(&queue[i]);
+        index_map.push_back(i);
+    }
+    view.boostedCount = view.pool.size();
+    for (std::size_t i : normal) {
+        view.pool.push_back(&queue[i]);
+        index_map.push_back(i);
+    }
+    view.fakeStart = view.pool.size();
+    for (std::size_t i : fake) {
+        view.pool.push_back(&queue[i]);
+        index_map.push_back(i);
+    }
+}
+
+void
+MemoryController::execute(const Decision &d, std::deque<Transaction> &queue,
+                          const std::vector<std::size_t> &index_map,
+                          Cycle cpu_now, std::uint64_t dram_now)
+{
+    const std::size_t qi = index_map.at(d.txnIndex);
+    Transaction &txn = queue.at(qi);
+
+    switch (d.kind) {
+      case Decision::Kind::Act:
+        device_.issue(dram::Cmd::ACT, txn.da, dram_now);
+        return;
+      case Decision::Kind::Pre:
+        device_.issue(dram::Cmd::PRE, txn.da, dram_now);
+        return;
+      case Decision::Kind::Cas:
+        break;
+    }
+
+    const auto cmd = txn.req.isWrite ? dram::Cmd::WR : dram::Cmd::RD;
+    const auto result = device_.issue(cmd, txn.da, dram_now);
+    sched_->onCasIssued(txn.req.core, dram_now);
+
+    // Consume one priority token per served CAS (proportional boost).
+    auto it = priorityTokens_.find(txn.req.core);
+    if (it != priorityTokens_.end() && it->second > 0)
+        --it->second;
+
+    stats_.inc(txn.req.isWrite ? "writes.served" : "reads.served");
+    stats_.sample("queue.latency.dram",
+                  static_cast<double>(dram_now - txn.enqueuedDram));
+
+    if (!txn.req.isWrite) {
+        PendingResponse resp;
+        resp.req = txn.req;
+        const std::uint64_t delay = result.dataDoneCycle - dram_now;
+        resp.readyCpu = cpu_now + dramDelayToCpu(delay);
+        resp.req.mcDone = resp.readyCpu;
+        responses_.push_back(std::move(resp));
+    }
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(qi));
+}
+
+void
+MemoryController::dramTick(Cycle cpu_now)
+{
+    const std::uint64_t dram_now = divider_.derivedTicks();
+
+    if (manageRefresh(dram_now))
+        return;
+
+    // Write-drain hysteresis: serve reads normally; switch to writes
+    // when the write queue passes the high watermark (or reads are
+    // absent), back to reads at the low watermark.
+    if (drainingWrites_) {
+        if (writeQ_.size() <= cfg_.writeDrainLow)
+            drainingWrites_ = false;
+    } else {
+        if (writeQ_.size() >= cfg_.writeDrainHigh ||
+            (readQ_.empty() && !writeQ_.empty())) {
+            drainingWrites_ = true;
+        }
+    }
+
+    auto try_schedule = [&](std::deque<Transaction> &queue,
+                            bool is_write) -> bool {
+        if (queue.empty())
+            return false;
+        SchedView view;
+        view.now = dram_now;
+        view.device = &device_;
+        view.isWritePool = is_write;
+        std::vector<std::size_t> index_map;
+        buildPool(queue, view, index_map);
+        Decision d;
+        if (!sched_->pick(view, d))
+            return false;
+        execute(d, queue, index_map, cpu_now, dram_now);
+        return true;
+    };
+
+    bool issued;
+    if (drainingWrites_)
+        issued = try_schedule(writeQ_, true) ||
+                 try_schedule(readQ_, false);
+    else
+        issued = try_schedule(readQ_, false) ||
+                 try_schedule(writeQ_, true);
+
+    // Closed-page policy: spend otherwise-idle command cycles
+    // precharging rows no pending transaction wants.
+    if (!issued && cfg_.pagePolicy == PagePolicy::Closed)
+        closeIdleRows(dram_now);
+}
+
+bool
+MemoryController::closeIdleRows(std::uint64_t dram_now)
+{
+    for (std::uint32_t rank = 0; rank < cfg_.org.ranksPerChannel;
+         ++rank) {
+        for (std::uint32_t b = 0; b < cfg_.org.banksPerRank; ++b) {
+            const dram::DramAddress da{0, rank, b, 0, 0};
+            if (!device_.isRowOpen(da))
+                continue;
+            const std::uint32_t open_row = device_.bank(rank, b).openRow;
+            auto wants_row = [&](const std::deque<Transaction> &q) {
+                for (const Transaction &txn : q) {
+                    if (txn.da.rank == rank && txn.da.bank == b &&
+                        txn.da.row == open_row) {
+                        return true;
+                    }
+                }
+                return false;
+            };
+            if (wants_row(readQ_) || wants_row(writeQ_))
+                continue;
+            dram::DramAddress pre = da;
+            pre.row = open_row;
+            if (device_.canIssue(dram::Cmd::PRE, pre, dram_now)) {
+                device_.issue(dram::Cmd::PRE, pre, dram_now);
+                stats_.inc("pagepolicy.closes");
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+std::vector<MemRequest>
+MemoryController::popResponses(Cycle now)
+{
+    std::vector<MemRequest> done;
+    auto it = responses_.begin();
+    while (it != responses_.end()) {
+        if (it->readyCpu <= now) {
+            done.push_back(it->req);
+            it = responses_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    // Deterministic delivery order: by readiness then id.
+    std::sort(done.begin(), done.end(),
+              [](const MemRequest &a, const MemRequest &b) {
+                  return a.mcDone != b.mcDone ? a.mcDone < b.mcDone
+                                              : a.id < b.id;
+              });
+    return done;
+}
+
+void
+MemoryController::boostPriority(CoreId core, std::uint32_t tokens)
+{
+    if (tokens == 0)
+        return;
+    priorityTokens_[core] += tokens;
+    stats_.inc("priority.boosts");
+    stats_.inc("priority.tokens.granted", tokens);
+}
+
+void
+MemoryController::setHighestPriorityCore(std::optional<CoreId> core)
+{
+    highestPriorityCore_ = core;
+}
+
+std::uint32_t
+MemoryController::priorityTokens(CoreId core) const
+{
+    auto it = priorityTokens_.find(core);
+    return it == priorityTokens_.end() ? 0 : it->second;
+}
+
+} // namespace camo::mem

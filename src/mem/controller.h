@@ -1,0 +1,198 @@
+/**
+ * @file
+ * The memory controller: transaction queues, write-drain policy,
+ * refresh management, scheduler dispatch, and the CPU/DRAM clock
+ * crossing.
+ *
+ * The controller lives in the CPU clock domain (requests arrive and
+ * responses depart in CPU cycles) and drives the DRAM device through a
+ * rational clock divider (Table II: 2.4 GHz core, DDR3-1333 => 18/5
+ * CPU cycles per DRAM cycle).
+ */
+
+#ifndef CAMO_MEM_CONTROLLER_H
+#define CAMO_MEM_CONTROLLER_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/dram/address.h"
+#include "src/dram/device.h"
+#include "src/dram/timing.h"
+#include "src/mem/request.h"
+#include "src/mem/schedulers.h"
+
+namespace camo::mem {
+
+/** Which scheduling policy the controller runs. */
+enum class SchedulerKind
+{
+    FrFcfs,            ///< baseline (and Camouflage's substrate)
+    Fcfs,              ///< plain in-order reference
+    TemporalPartition, ///< TP baseline [Wang et al. HPCA'14]
+    FixedService,      ///< FS baseline [Shafiee et al. MICRO'15]
+};
+
+/** Row-buffer management policy. */
+enum class PagePolicy
+{
+    /** Leave rows open after a CAS (bets on row-buffer locality). */
+    Open,
+    /**
+     * Close idle rows eagerly: when the command bus is otherwise
+     * idle, precharge banks whose open row no pending transaction
+     * wants. Trades row hits for lower conflict latency — and
+     * removes the row-buffer residency timing channel.
+     */
+    Closed,
+};
+
+const char *schedulerKindName(SchedulerKind kind);
+
+/** Controller configuration (Table II defaults). */
+struct ControllerConfig
+{
+    dram::DramOrganization org;
+    dram::DramTiming timing;
+    dram::MappingScheme mapping = dram::MappingScheme::RowColRankBank;
+
+    std::uint32_t readQueueDepth = 32;  ///< "32-entry transaction queue"
+    std::uint32_t writeQueueDepth = 32;
+    std::uint32_t writeDrainHigh = 24;  ///< start draining writes
+    std::uint32_t writeDrainLow = 8;    ///< stop draining writes
+
+    /** CPU cycles per DRAM cycle as a ratio (18/5 = 3.6). */
+    std::uint64_t cpuPerDramNum = 18;
+    std::uint64_t cpuPerDramDen = 5;
+
+    SchedulerKind scheduler = SchedulerKind::FrFcfs;
+    PagePolicy pagePolicy = PagePolicy::Open;
+    TpConfig tp;
+    FsConfig fs;
+
+    /**
+     * Bank partitioning (used by the FS baseline): core `c` may only
+     * touch banks owned by its partition; the controller remaps the
+     * decoded bank into the core's partition.
+     */
+    bool bankPartitioning = false;
+    /**
+     * Rank partitioning (the FS variant the paper could not evaluate
+     * with one rank, SIV-F): each core's traffic is confined to the
+     * rank core % ranksPerChannel.
+     */
+    bool rankPartitioning = false;
+    std::uint32_t numCores = 4;
+
+    /**
+     * Performance extension, OFF by default and NOT secure: schedule
+     * Camouflage fake traffic at strictly lowest priority and drop it
+     * under queue pressure. A real memory controller cannot tell fake
+     * from real traffic (there is no such wire on the bus), and the
+     * covert-channel bench shows that an MC which does distinguish
+     * them re-opens the very side channel fake traffic exists to
+     * close: the victim's real traffic competes at full priority
+     * while fakes are cheap, so the adversary's latency again tracks
+     * the victim's activity. Use only when fakes are trusted inputs.
+     */
+    bool demoteFakeTraffic = false;
+};
+
+/** One DRAM channel's controller. */
+class MemoryController
+{
+  public:
+    explicit MemoryController(const ControllerConfig &cfg);
+    ~MemoryController();
+
+    MemoryController(const MemoryController &) = delete;
+    MemoryController &operator=(const MemoryController &) = delete;
+
+    /** Is there queue space for another transaction of this type? */
+    bool canAccept(bool is_write) const;
+
+    /**
+     * Enqueue a transaction at CPU cycle `now`.
+     * @pre canAccept(req.isWrite).
+     * Writes are posted (no response); reads produce a response
+     * retrievable via popResponses().
+     * @param decode_addr address to decode DRAM coordinates from
+     *        (kNoAddr = use req.addr); MemorySystem passes the
+     *        channel-local address here while the request keeps its
+     *        original address for the return path.
+     */
+    void enqueue(MemRequest req, Cycle now, Addr decode_addr = kNoAddr);
+
+    /** Advance one CPU cycle; internally ticks the DRAM domain. */
+    void tick(Cycle now);
+
+    /** Read responses that completed at or before CPU cycle `now`. */
+    std::vector<MemRequest> popResponses(Cycle now);
+
+    /**
+     * RespC acceleration hook: grant `tokens` high-priority CAS slots
+     * to `core` (paper: priority proportional to unused credits).
+     */
+    void boostPriority(CoreId core, std::uint32_t tokens);
+
+    /**
+     * MISE alpha-measurement mode: while set, `core`'s transactions
+     * preempt everything (paper §IV-C "Highest Priority Mode").
+     */
+    void setHighestPriorityCore(std::optional<CoreId> core);
+
+    std::uint32_t priorityTokens(CoreId core) const;
+    std::size_t readQueueSize() const { return readQ_.size(); }
+    std::size_t writeQueueSize() const { return writeQ_.size(); }
+    std::uint64_t dramCycle() const { return divider_.derivedTicks(); }
+
+    const ControllerConfig &config() const { return cfg_; }
+    const dram::DramDevice &device() const { return device_; }
+    const Scheduler &scheduler() const { return *sched_; }
+    const StatGroup &stats() const { return stats_; }
+
+    /** Decode with bank partitioning applied (exposed for tests). */
+    dram::DramAddress decode(Addr addr, CoreId core) const;
+
+  private:
+    struct PendingResponse
+    {
+        MemRequest req;
+        Cycle readyCpu; ///< CPU cycle the response is available
+    };
+
+    void dramTick(Cycle cpu_now);
+    bool manageRefresh(std::uint64_t dram_now);
+    bool closeIdleRows(std::uint64_t dram_now);
+    void buildPool(std::deque<Transaction> &queue, SchedView &view,
+                   std::vector<std::size_t> &index_map);
+    void execute(const Decision &d, std::deque<Transaction> &queue,
+                 const std::vector<std::size_t> &index_map, Cycle cpu_now,
+                 std::uint64_t dram_now);
+    Cycle dramDelayToCpu(std::uint64_t dram_cycles) const;
+
+    ControllerConfig cfg_;
+    dram::AddressMapper mapper_;
+    dram::DramDevice device_;
+    ClockDivider divider_;
+    std::unique_ptr<Scheduler> sched_;
+
+    std::deque<Transaction> readQ_;
+    std::deque<Transaction> writeQ_;
+    bool drainingWrites_ = false;
+    std::vector<PendingResponse> responses_;
+    std::map<CoreId, std::uint32_t> priorityTokens_;
+    std::optional<CoreId> highestPriorityCore_;
+    StatGroup stats_;
+};
+
+} // namespace camo::mem
+
+#endif // CAMO_MEM_CONTROLLER_H

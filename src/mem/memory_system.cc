@@ -1,0 +1,113 @@
+#include "src/mem/memory_system.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace camo::mem {
+
+MemorySystem::MemorySystem(const ControllerConfig &cfg)
+    : mapper_(cfg.org, cfg.mapping)
+{
+    camo_assert(cfg.org.channels >= 1, "need at least one channel");
+    ControllerConfig per_channel = cfg;
+    per_channel.org.channels = 1;
+    for (std::uint32_t c = 0; c < cfg.org.channels; ++c) {
+        channels_.push_back(
+            std::make_unique<MemoryController>(per_channel));
+    }
+}
+
+std::uint32_t
+MemorySystem::channelOf(Addr addr) const
+{
+    return mapper_.channelOf(addr);
+}
+
+bool
+MemorySystem::canAccept(Addr addr, bool is_write) const
+{
+    return channels_[channelOf(addr)]->canAccept(is_write);
+}
+
+void
+MemorySystem::enqueue(MemRequest req, Cycle now)
+{
+    const std::uint32_t c = channelOf(req.addr);
+    // Controllers decode channel-local addresses; the request itself
+    // keeps the original address so responses route back to the
+    // caches untouched.
+    const Addr local = mapper_.stripChannel(req.addr);
+    channels_[c]->enqueue(std::move(req), now, local);
+}
+
+void
+MemorySystem::tick(Cycle now)
+{
+    for (auto &mc : channels_)
+        mc->tick(now);
+}
+
+std::vector<MemRequest>
+MemorySystem::popResponses(Cycle now)
+{
+    std::vector<MemRequest> all;
+    for (auto &mc : channels_) {
+        for (auto &resp : mc->popResponses(now))
+            all.push_back(std::move(resp));
+    }
+    std::sort(all.begin(), all.end(),
+              [](const MemRequest &a, const MemRequest &b) {
+                  return a.mcDone != b.mcDone ? a.mcDone < b.mcDone
+                                              : a.id < b.id;
+              });
+    return all;
+}
+
+void
+MemorySystem::boostPriority(CoreId core, std::uint32_t tokens)
+{
+    for (auto &mc : channels_)
+        mc->boostPriority(core, tokens);
+}
+
+void
+MemorySystem::setHighestPriorityCore(std::optional<CoreId> core)
+{
+    for (auto &mc : channels_)
+        mc->setHighestPriorityCore(core);
+}
+
+MemoryController &
+MemorySystem::channel(std::uint32_t i)
+{
+    camo_assert(i < channels_.size(), "channel out of range");
+    return *channels_[i];
+}
+
+const MemoryController &
+MemorySystem::channel(std::uint32_t i) const
+{
+    camo_assert(i < channels_.size(), "channel out of range");
+    return *channels_[i];
+}
+
+std::size_t
+MemorySystem::readQueueSize() const
+{
+    std::size_t total = 0;
+    for (const auto &mc : channels_)
+        total += mc->readQueueSize();
+    return total;
+}
+
+std::size_t
+MemorySystem::writeQueueSize() const
+{
+    std::size_t total = 0;
+    for (const auto &mc : channels_)
+        total += mc->writeQueueSize();
+    return total;
+}
+
+} // namespace camo::mem

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Multi-channel memory system: one MemoryController per channel
+ * behind a line-interleaved channel decoder. With channels == 1 this
+ * is a thin wrapper over a single controller (the paper's Table II
+ * configuration).
+ */
+
+#ifndef CAMO_MEM_MEMORY_SYSTEM_H
+#define CAMO_MEM_MEMORY_SYSTEM_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/dram/address.h"
+#include "src/mem/controller.h"
+#include "src/mem/request.h"
+
+namespace camo::mem {
+
+/** N per-channel controllers + channel routing. */
+class MemorySystem
+{
+  public:
+    /**
+     * @param cfg controller configuration; cfg.org.channels selects
+     *        how many controllers to instantiate (each controller
+     *        sees a channels==1 organization and channel-local
+     *        addresses).
+     */
+    explicit MemorySystem(const ControllerConfig &cfg);
+
+    /** Channel a request address routes to. */
+    std::uint32_t channelOf(Addr addr) const;
+
+    bool canAccept(Addr addr, bool is_write) const;
+    void enqueue(MemRequest req, Cycle now);
+    void tick(Cycle now);
+    std::vector<MemRequest> popResponses(Cycle now);
+
+    void boostPriority(CoreId core, std::uint32_t tokens);
+    void setHighestPriorityCore(std::optional<CoreId> core);
+
+    std::uint32_t numChannels() const
+    {
+        return static_cast<std::uint32_t>(channels_.size());
+    }
+    MemoryController &channel(std::uint32_t i);
+    const MemoryController &channel(std::uint32_t i) const;
+
+    /** Aggregate queue depths across channels. */
+    std::size_t readQueueSize() const;
+    std::size_t writeQueueSize() const;
+
+  private:
+    dram::AddressMapper mapper_; ///< top-level (channel) decode only
+    std::vector<std::unique_ptr<MemoryController>> channels_;
+};
+
+} // namespace camo::mem
+
+#endif // CAMO_MEM_MEMORY_SYSTEM_H

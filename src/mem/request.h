@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The memory transaction type that flows core → shaper → NoC →
+ * memory controller → DRAM and back.
+ */
+
+#ifndef CAMO_MEM_REQUEST_H
+#define CAMO_MEM_REQUEST_H
+
+#include "src/common/types.h"
+
+namespace camo {
+
+/** A single cache-line memory transaction and its timing breadcrumbs. */
+struct MemRequest
+{
+    ReqId id = 0;
+    CoreId core = kNoCore;
+    Addr addr = kNoAddr;
+    bool isWrite = false;
+
+    /**
+     * Fake traffic injected by Camouflage (non-cached, random address).
+     * Fake requests occupy real bandwidth everywhere downstream but
+     * carry no data any core waits for.
+     */
+    bool isFake = false;
+
+    /** Cycle the transaction was created (LLC miss, or fake-gen). */
+    Cycle created = 0;
+    /** Cycle the request shaper released it (== created if unshaped). */
+    Cycle shaperOut = kNoCycle;
+    /** Cycle it entered the memory controller queue. */
+    Cycle mcArrive = kNoCycle;
+    /** Cycle the response left the memory controller (reads only). */
+    Cycle mcDone = kNoCycle;
+    /** Cycle the response shaper released the response. */
+    Cycle respShaperOut = kNoCycle;
+    /** Cycle the core received the response. */
+    Cycle delivered = kNoCycle;
+
+    /** End-to-end latency visible to the core (reads). */
+    Cycle
+    totalLatency() const
+    {
+        return delivered == kNoCycle ? kNoCycle : delivered - created;
+    }
+};
+
+} // namespace camo
+
+#endif // CAMO_MEM_REQUEST_H

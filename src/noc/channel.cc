@@ -1,0 +1,89 @@
+#include "src/noc/channel.h"
+
+#include "src/common/logging.h"
+
+namespace camo::noc {
+
+SharedChannel::SharedChannel(std::uint32_t num_ports,
+                             const ChannelConfig &cfg)
+    : cfg_(cfg), ingress_(num_ports)
+{
+    camo_assert(num_ports >= 1, "channel needs at least one port");
+    camo_assert(cfg_.ingressCap >= 1 && cfg_.egressCap >= 1,
+                "channel queues need capacity");
+}
+
+bool
+SharedChannel::canAccept(std::uint32_t port) const
+{
+    camo_assert(port < ingress_.size(), "port out of range");
+    return ingress_[port].size() < cfg_.ingressCap;
+}
+
+void
+SharedChannel::push(std::uint32_t port, MemRequest req)
+{
+    camo_assert(canAccept(port), "push into a full ingress queue");
+    ingress_[port].push_back(std::move(req));
+    stats_.inc("pushed");
+}
+
+void
+SharedChannel::tick(Cycle now)
+{
+    // Move arrived flits from the pipeline to the egress queue
+    // (bounded; back-pressure holds them in the pipe).
+    while (!pipe_.empty() && pipe_.front().arrivesAt <= now &&
+           egress_.size() < cfg_.egressCap) {
+        egress_.push_back(pipe_.front());
+        pipe_.pop_front();
+    }
+
+    // Round-robin arbitration: one grant per cycle.
+    const std::uint32_t ports = static_cast<std::uint32_t>(ingress_.size());
+    for (std::uint32_t i = 0; i < ports; ++i) {
+        const std::uint32_t port = (rrNext_ + i) % ports;
+        if (ingress_[port].empty())
+            continue;
+        InFlight f;
+        f.req = std::move(ingress_[port].front());
+        ingress_[port].pop_front();
+        f.arrivesAt = now + cfg_.latency;
+        pipe_.push_back(std::move(f));
+        rrNext_ = (port + 1) % ports;
+        stats_.inc("granted");
+        break;
+    }
+}
+
+bool
+SharedChannel::hasEgress(Cycle now) const
+{
+    (void)now;
+    return !egress_.empty();
+}
+
+const MemRequest &
+SharedChannel::egressFront() const
+{
+    camo_assert(!egress_.empty(), "egressFront on empty channel");
+    return egress_.front().req;
+}
+
+MemRequest
+SharedChannel::popEgress()
+{
+    camo_assert(!egress_.empty(), "popEgress on empty channel");
+    MemRequest req = std::move(egress_.front().req);
+    egress_.pop_front();
+    return req;
+}
+
+std::size_t
+SharedChannel::ingressDepth(std::uint32_t port) const
+{
+    camo_assert(port < ingress_.size(), "port out of range");
+    return ingress_[port].size();
+}
+
+} // namespace camo::noc

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The shared on-chip channel between cores and the memory controller
+ * (leakage points SC1/SC5 in the paper's Figure 5).
+ *
+ * One direction of traffic: per-port ingress queues, a round-robin
+ * arbiter granting one transfer per cycle (the shared-bandwidth
+ * bottleneck that creates cross-domain interference), and a fixed
+ * pipeline latency to the egress queue.
+ */
+
+#ifndef CAMO_NOC_CHANNEL_H
+#define CAMO_NOC_CHANNEL_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/mem/request.h"
+
+namespace camo::noc {
+
+/** Channel parameters. */
+struct ChannelConfig
+{
+    std::uint32_t latency = 6;     ///< pipeline cycles port -> egress
+    std::uint32_t ingressCap = 16; ///< per-port queue entries
+    std::uint32_t egressCap = 32;  ///< egress queue entries
+};
+
+/** One direction of the shared channel. */
+class SharedChannel
+{
+  public:
+    SharedChannel(std::uint32_t num_ports, const ChannelConfig &cfg);
+
+    bool canAccept(std::uint32_t port) const;
+    void push(std::uint32_t port, MemRequest req);
+
+    /** Arbitrate (1 grant/cycle) and advance the pipeline. */
+    void tick(Cycle now);
+
+    bool hasEgress(Cycle now) const;
+    const MemRequest &egressFront() const;
+    MemRequest popEgress();
+
+    std::size_t ingressDepth(std::uint32_t port) const;
+    std::size_t egressDepth() const { return egress_.size(); }
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    struct InFlight
+    {
+        MemRequest req;
+        Cycle arrivesAt = 0;
+    };
+
+    ChannelConfig cfg_;
+    std::vector<std::deque<MemRequest>> ingress_;
+    std::deque<InFlight> pipe_;
+    std::deque<InFlight> egress_;
+    std::uint32_t rrNext_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace camo::noc
+
+#endif // CAMO_NOC_CHANNEL_H

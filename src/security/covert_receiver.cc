@@ -1,0 +1,73 @@
+#include "src/security/covert_receiver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace camo::security {
+
+DecodeResult
+decodeCovert(const std::vector<LatencySample> &samples,
+             const CovertDecoderConfig &cfg, std::size_t num_bits)
+{
+    camo_assert(cfg.windowCycles > 0, "window must be positive");
+    DecodeResult result;
+    if (num_bits == 0)
+        return result;
+
+    // Mean latency per window.
+    std::vector<double> sums(num_bits, 0.0);
+    std::vector<std::uint64_t> counts(num_bits, 0);
+    for (const LatencySample &s : samples) {
+        if (s.at < cfg.start)
+            continue;
+        const std::uint64_t w = (s.at - cfg.start) / cfg.windowCycles;
+        if (w >= num_bits)
+            break;
+        sums[w] += static_cast<double>(s.latency);
+        ++counts[w];
+    }
+    result.windowMeans.resize(num_bits, 0.0);
+    double lo = 0.0, hi = 0.0;
+    bool first = true;
+    for (std::size_t w = 0; w < num_bits; ++w) {
+        const double mean = counts[w] ? sums[w] / counts[w] : 0.0;
+        result.windowMeans[w] = mean;
+        if (first) {
+            lo = hi = mean;
+            first = false;
+        } else {
+            lo = std::min(lo, mean);
+            hi = std::max(hi, mean);
+        }
+    }
+
+    // Midpoint threshold between the quietest and loudest windows.
+    result.threshold = (lo + hi) / 2.0;
+    result.bits.reserve(num_bits);
+    for (std::size_t w = 0; w < num_bits; ++w)
+        result.bits.push_back(result.windowMeans[w] > result.threshold);
+    return result;
+}
+
+double
+bitErrorRate(const std::vector<bool> &decoded, const std::vector<bool> &key)
+{
+    if (decoded.empty() || key.empty())
+        return 0.5;
+    double best = 1.0;
+    for (std::size_t shift = 0; shift < key.size(); ++shift) {
+        std::uint64_t errors = 0;
+        for (std::size_t i = 0; i < decoded.size(); ++i) {
+            const bool expect = key[(i + shift) % key.size()];
+            if (decoded[i] != expect)
+                ++errors;
+        }
+        best = std::min(best, static_cast<double>(errors) /
+                                  static_cast<double>(decoded.size()));
+    }
+    return best;
+}
+
+} // namespace camo::security

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The receiving side of the covert channel (paper §IV-G): the
+ * adversary issues probe loads at a fixed cadence and decodes key bits
+ * from its own observed response latencies, one bit per PULSE window.
+ */
+
+#ifndef CAMO_SECURITY_COVERT_RECEIVER_H
+#define CAMO_SECURITY_COVERT_RECEIVER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace camo::security {
+
+/** One observed probe: when it completed and how long it took. */
+struct LatencySample
+{
+    Cycle at = 0;      ///< completion cycle
+    Cycle latency = 0; ///< end-to-end latency the adversary measured
+};
+
+/** Decoder configuration. */
+struct CovertDecoderConfig
+{
+    /** Window length in CPU cycles (the sender's PULSE duration as
+     *  seen at the memory system). */
+    Cycle windowCycles = 20000;
+    /** First window starts here (alignment). */
+    Cycle start = 0;
+};
+
+/** Result of a decode attempt. */
+struct DecodeResult
+{
+    std::vector<bool> bits;
+    std::vector<double> windowMeans; ///< mean probe latency per window
+    double threshold = 0.0;
+};
+
+/**
+ * Latency-threshold decoder: average the adversary's probe latencies
+ * in each PULSE window; windows above the midpoint threshold decode
+ * as 1 (the victim was hammering memory), below as 0.
+ */
+DecodeResult decodeCovert(const std::vector<LatencySample> &samples,
+                          const CovertDecoderConfig &cfg,
+                          std::size_t num_bits);
+
+/**
+ * Bit error rate of `decoded` against the repeating `key`, trying all
+ * cyclic alignments and reporting the best (the attacker can
+ * synchronize); 0.5 means the channel carries nothing.
+ */
+double bitErrorRate(const std::vector<bool> &decoded,
+                    const std::vector<bool> &key);
+
+} // namespace camo::security
+
+#endif // CAMO_SECURITY_COVERT_RECEIVER_H

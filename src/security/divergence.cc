@@ -1,0 +1,95 @@
+#include "src/security/divergence.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace camo::security {
+
+double
+klDivergenceBits(const std::vector<double> &p, const std::vector<double> &q,
+                 double epsilon)
+{
+    camo_assert(p.size() == q.size(), "KL needs matching supports");
+    camo_assert(epsilon > 0.0, "epsilon must be positive");
+    // Smooth Q: mix in epsilon uniform mass.
+    const double n = static_cast<double>(p.size());
+    double kl = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        if (p[i] <= 0.0)
+            continue;
+        const double qi =
+            (q[i] + epsilon / n) / (1.0 + epsilon);
+        kl += p[i] * std::log2(p[i] / qi);
+    }
+    return kl < 0.0 ? 0.0 : kl;
+}
+
+double
+klDivergenceBits(const Histogram &p, const Histogram &q, double epsilon)
+{
+    camo_assert(p.numBins() == q.numBins(),
+                "KL needs identical binning");
+    return klDivergenceBits(p.pmf(), q.pmf(), epsilon);
+}
+
+ChiSquareResult
+chiSquareGoodnessOfFit(const std::vector<std::uint64_t> &observed,
+                       const std::vector<double> &expected_pmf,
+                       double min_expected)
+{
+    camo_assert(observed.size() == expected_pmf.size(),
+                "chi-square needs matching supports");
+    std::uint64_t total = 0;
+    for (const auto o : observed)
+        total += o;
+
+    ChiSquareResult result;
+    if (total == 0)
+        return result;
+
+    // Pool adjacent cells until every expected count is large enough.
+    std::vector<double> exp_pool;
+    std::vector<double> obs_pool;
+    double exp_acc = 0.0;
+    double obs_acc = 0.0;
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+        exp_acc += expected_pmf[i] * static_cast<double>(total);
+        obs_acc += static_cast<double>(observed[i]);
+        if (exp_acc >= min_expected) {
+            exp_pool.push_back(exp_acc);
+            obs_pool.push_back(obs_acc);
+            exp_acc = 0.0;
+            obs_acc = 0.0;
+        }
+    }
+    if (exp_acc > 0.0 || obs_acc > 0.0) {
+        if (exp_pool.empty()) {
+            exp_pool.push_back(exp_acc);
+            obs_pool.push_back(obs_acc);
+        } else {
+            exp_pool.back() += exp_acc;
+            obs_pool.back() += obs_acc;
+        }
+    }
+
+    double stat = 0.0;
+    for (std::size_t i = 0; i < exp_pool.size(); ++i) {
+        if (exp_pool[i] <= 0.0)
+            continue;
+        const double d = obs_pool[i] - exp_pool[i];
+        stat += d * d / exp_pool[i];
+    }
+    result.statistic = stat;
+    result.degreesOfFreedom =
+        exp_pool.size() > 1
+            ? static_cast<std::uint32_t>(exp_pool.size() - 1)
+            : 0;
+    const double df = static_cast<double>(result.degreesOfFreedom);
+    const double critical = df + 3.0 * std::sqrt(2.0 * df);
+    result.fitsAtOnePercent =
+        result.degreesOfFreedom == 0 || stat <= critical;
+    return result;
+}
+
+} // namespace camo::security

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Distribution-comparison statistics used to *test* (not just
+ * eyeball) the Figure 11 claim that shaped traffic matches the
+ * programmed distribution: Kullback-Leibler divergence and Pearson's
+ * chi-square goodness-of-fit.
+ */
+
+#ifndef CAMO_SECURITY_DIVERGENCE_H
+#define CAMO_SECURITY_DIVERGENCE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/histogram.h"
+
+namespace camo::security {
+
+/**
+ * D_KL(P || Q) in bits. Bins where p > 0 but q == 0 contribute
+ * infinity; this implementation smooths Q by `epsilon` mass so the
+ * result stays finite and comparable (standard practice for sampled
+ * distributions).
+ */
+double klDivergenceBits(const std::vector<double> &p,
+                        const std::vector<double> &q,
+                        double epsilon = 1e-9);
+
+/** Convenience: KL between two identically-binned histograms. */
+double klDivergenceBits(const Histogram &p, const Histogram &q,
+                        double epsilon = 1e-9);
+
+/** Result of a chi-square goodness-of-fit test. */
+struct ChiSquareResult
+{
+    double statistic = 0.0;
+    std::uint32_t degreesOfFreedom = 0;
+    /**
+     * Conservative acceptance at ~1% significance using the
+     * normal approximation chi2_crit ~ df + 3*sqrt(2*df).
+     */
+    bool fitsAtOnePercent = false;
+};
+
+/**
+ * Pearson chi-square of observed counts against an expected pmf.
+ * Bins with expected mass below `min_expected` counts are pooled into
+ * their neighbour (standard validity rule).
+ */
+ChiSquareResult chiSquareGoodnessOfFit(
+    const std::vector<std::uint64_t> &observed,
+    const std::vector<double> &expected_pmf, double min_expected = 5.0);
+
+} // namespace camo::security
+
+#endif // CAMO_SECURITY_DIVERGENCE_H

@@ -1,0 +1,23 @@
+#include "src/security/leakage_bound.h"
+
+#include <cmath>
+
+namespace camo::security {
+
+double
+reconfigLeakBoundBits(std::uint64_t epochs, std::uint64_t configs)
+{
+    if (configs <= 1 || epochs == 0)
+        return 0.0;
+    return static_cast<double>(epochs) *
+           std::log2(static_cast<double>(configs));
+}
+
+double
+gaConfigPhaseLeakBoundBits(std::uint64_t generations,
+                           std::uint64_t population)
+{
+    return reconfigLeakBoundBits(generations * population, population);
+}
+
+} // namespace camo::security

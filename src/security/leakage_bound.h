@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Analytic leakage bounds for rate/configuration changes.
+ *
+ * A shaper whose configuration never changes leaks nothing through
+ * its (fixed) output distribution; every observable reconfiguration,
+ * however, transmits up to log2(R) bits when one of R configurations
+ * is chosen (Fletcher et al., HPCA'14 — cited by the paper in SII-B:
+ * "this technique bounds the leakage to E x log R"). The same bound
+ * applies to Camouflage's epoch-based GA reconfiguration (SIV-C).
+ */
+
+#ifndef CAMO_SECURITY_LEAKAGE_BOUND_H
+#define CAMO_SECURITY_LEAKAGE_BOUND_H
+
+#include <cstdint>
+
+namespace camo::security {
+
+/**
+ * Upper bound, in bits, of the information leaked by `epochs`
+ * observable configuration choices, each drawn from `configs`
+ * alternatives: epochs * log2(configs).
+ * @return 0 when there is at most one configuration (nothing to
+ *         choose, nothing to leak).
+ */
+double reconfigLeakBoundBits(std::uint64_t epochs,
+                             std::uint64_t configs);
+
+/**
+ * Leakage bound of an online-GA CONFIG_PHASE (paper Figure 8): every
+ * child evaluation is an observable reconfiguration among
+ * `population` candidates, repeated for `generations` generations.
+ */
+double gaConfigPhaseLeakBoundBits(std::uint64_t generations,
+                                  std::uint64_t population);
+
+} // namespace camo::security
+
+#endif // CAMO_SECURITY_LEAKAGE_BOUND_H

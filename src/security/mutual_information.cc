@@ -1,0 +1,309 @@
+#include "src/security/mutual_information.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace camo::security {
+
+JointDistribution::JointDistribution(std::size_t nx, std::size_t ny)
+    : nx_(nx), ny_(ny), counts_(nx * ny, 0)
+{
+    camo_assert(nx >= 1 && ny >= 1, "joint distribution needs symbols");
+}
+
+void
+JointDistribution::add(std::size_t x, std::size_t y, std::uint64_t weight)
+{
+    camo_assert(x < nx_ && y < ny_, "symbol out of range");
+    counts_[x * ny_ + y] += weight;
+    total_ += weight;
+}
+
+std::uint64_t
+JointDistribution::count(std::size_t x, std::size_t y) const
+{
+    camo_assert(x < nx_ && y < ny_, "symbol out of range");
+    return counts_[x * ny_ + y];
+}
+
+namespace {
+
+double
+entropyOf(const std::vector<double> &p)
+{
+    double h = 0.0;
+    for (const double v : p) {
+        if (v > 0.0)
+            h -= v * std::log2(v);
+    }
+    return h;
+}
+
+} // namespace
+
+double
+JointDistribution::mutualInformationBits() const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::vector<double> px(nx_, 0.0), py(ny_, 0.0);
+    const double n = static_cast<double>(total_);
+    for (std::size_t x = 0; x < nx_; ++x) {
+        for (std::size_t y = 0; y < ny_; ++y) {
+            const double pxy = counts_[x * ny_ + y] / n;
+            px[x] += pxy;
+            py[y] += pxy;
+        }
+    }
+    double mi = 0.0;
+    for (std::size_t x = 0; x < nx_; ++x) {
+        for (std::size_t y = 0; y < ny_; ++y) {
+            const double pxy = counts_[x * ny_ + y] / n;
+            if (pxy > 0.0)
+                mi += pxy * std::log2(pxy / (px[x] * py[y]));
+        }
+    }
+    return mi < 0.0 ? 0.0 : mi; // clamp -0.0 / fp noise
+}
+
+double
+JointDistribution::mutualInformationBitsCorrected() const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::size_t kxy = 0;
+    std::vector<bool> x_seen(nx_, false), y_seen(ny_, false);
+    for (std::size_t x = 0; x < nx_; ++x) {
+        for (std::size_t y = 0; y < ny_; ++y) {
+            if (counts_[x * ny_ + y] > 0) {
+                ++kxy;
+                x_seen[x] = true;
+                y_seen[y] = true;
+            }
+        }
+    }
+    const auto kx = static_cast<double>(
+        std::count(x_seen.begin(), x_seen.end(), true));
+    const auto ky = static_cast<double>(
+        std::count(y_seen.begin(), y_seen.end(), true));
+    const double bias = (static_cast<double>(kxy) - kx - ky + 1.0) /
+                        (2.0 * static_cast<double>(total_) *
+                         std::log(2.0));
+    const double mi = mutualInformationBits() - std::max(0.0, bias);
+    return mi < 0.0 ? 0.0 : mi;
+}
+
+double
+JointDistribution::entropyXBits() const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::vector<double> px(nx_, 0.0);
+    const double n = static_cast<double>(total_);
+    for (std::size_t x = 0; x < nx_; ++x) {
+        for (std::size_t y = 0; y < ny_; ++y)
+            px[x] += counts_[x * ny_ + y] / n;
+    }
+    return entropyOf(px);
+}
+
+double
+JointDistribution::entropyYBits() const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::vector<double> py(ny_, 0.0);
+    const double n = static_cast<double>(total_);
+    for (std::size_t x = 0; x < nx_; ++x) {
+        for (std::size_t y = 0; y < ny_; ++y)
+            py[y] += counts_[x * ny_ + y] / n;
+    }
+    return entropyOf(py);
+}
+
+Histogram
+makeMiQuantizer(std::size_t nbins, Cycle base, double ratio)
+{
+    return Histogram::makeGeometric(nbins, base, ratio);
+}
+
+ShapingMiResult
+computeShapingMi(const std::vector<shaper::TrafficEvent> &intrinsic,
+                 const std::vector<shaper::TrafficEvent> &shaped,
+                 const Histogram &quantizer)
+{
+    const std::size_t nq = quantizer.numBins();
+    const std::size_t idle_symbol = nq; // extra X symbol for fakes
+    JointDistribution joint(nq + 1, nq);
+
+    ShapingMiResult result;
+
+    // Intrinsic gaps, indexed by real-request ordinal.
+    std::vector<std::size_t> xbins;
+    xbins.reserve(intrinsic.size());
+    for (std::size_t i = 1; i < intrinsic.size(); ++i) {
+        xbins.push_back(
+            quantizer.binOf(intrinsic[i].at - intrinsic[i - 1].at));
+    }
+
+    Histogram intrinsic_hist = quantizer;
+    intrinsic_hist.clear();
+    for (std::size_t i = 1; i < intrinsic.size(); ++i)
+        intrinsic_hist.add(intrinsic[i].at - intrinsic[i - 1].at);
+    result.intrinsicEntropy = intrinsic_hist.entropyBits();
+
+    // Walk the shaped stream: the k-th real shaped event corresponds
+    // to the k-th intrinsic event (FIFO release order), so its
+    // intrinsic gap is xbins[k-2] (1-based k; the first real event
+    // has no gap).
+    std::size_t real_seen =
+        shaped.empty() || shaped[0].fake ? 0 : 1;
+    for (std::size_t i = 1; i < shaped.size(); ++i) {
+        const std::size_t ybin =
+            quantizer.binOf(shaped[i].at - shaped[i - 1].at);
+        if (shaped[i].fake) {
+            joint.add(idle_symbol, ybin);
+            ++result.fakeEvents;
+        } else {
+            ++real_seen;
+            if (real_seen >= 2 && real_seen - 2 < xbins.size())
+                joint.add(xbins[real_seen - 2], ybin);
+        }
+    }
+
+    result.miBitsRaw = joint.mutualInformationBits();
+    result.miBits = joint.mutualInformationBitsCorrected();
+    result.shapedEntropy = joint.entropyYBits();
+    result.pairs = joint.total();
+    return result;
+}
+
+namespace {
+
+/** Equal-frequency quantization of `values` into <= levels symbols. */
+std::vector<std::size_t>
+quantileBins(const std::vector<double> &values, std::size_t levels)
+{
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<double> cuts;
+    for (std::size_t q = 1; q < levels; ++q) {
+        const std::size_t idx = q * sorted.size() / levels;
+        if (idx < sorted.size())
+            cuts.push_back(sorted[idx]);
+    }
+    std::vector<std::size_t> bins;
+    bins.reserve(values.size());
+    for (const double v : values) {
+        std::size_t b = 0;
+        while (b < cuts.size() && v >= cuts[b])
+            ++b;
+        bins.push_back(b);
+    }
+    return bins;
+}
+
+} // namespace
+
+CrossMiResult
+computeWindowedCrossMi(const std::vector<shaper::TrafficEvent> &victim,
+                       const std::vector<LatencySample> &adversary,
+                       Cycle window_cycles, std::size_t levels)
+{
+    camo_assert(window_cycles > 0 && levels >= 2, "bad cross-MI params");
+    CrossMiResult result;
+    if (victim.empty() || adversary.empty())
+        return result;
+
+    const Cycle end = std::max(victim.back().at, adversary.back().at);
+    const std::size_t nwin =
+        static_cast<std::size_t>(end / window_cycles) + 1;
+
+    std::vector<double> victim_count(nwin, 0.0);
+    for (const auto &e : victim)
+        victim_count[e.at / window_cycles] += 1.0;
+
+    std::vector<double> lat_sum(nwin, 0.0);
+    std::vector<std::uint64_t> lat_n(nwin, 0);
+    for (const auto &s : adversary) {
+        const std::size_t w = s.at / window_cycles;
+        lat_sum[w] += static_cast<double>(s.latency);
+        ++lat_n[w];
+    }
+
+    // Keep only windows where the adversary probed.
+    std::vector<double> x, y;
+    for (std::size_t w = 0; w < nwin; ++w) {
+        if (lat_n[w] == 0)
+            continue;
+        x.push_back(victim_count[w]);
+        y.push_back(lat_sum[w] / static_cast<double>(lat_n[w]));
+    }
+    if (x.size() < 2)
+        return result;
+
+    const auto xb = quantileBins(x, levels);
+    const auto yb = quantileBins(y, levels);
+    JointDistribution joint(levels, levels);
+    for (std::size_t i = 0; i < xb.size(); ++i)
+        joint.add(xb[i], yb[i]);
+
+    result.miBitsRaw = joint.mutualInformationBits();
+    result.miBits = joint.mutualInformationBitsCorrected();
+    result.victimEntropy = joint.entropyXBits();
+    result.windows = joint.total();
+    return result;
+}
+
+CrossMiResult
+computeWindowedCrossMiCounts(const std::vector<shaper::TrafficEvent> &x,
+                             const std::vector<shaper::TrafficEvent> &y,
+                             Cycle window_cycles, std::size_t levels)
+{
+    camo_assert(window_cycles > 0 && levels >= 2, "bad cross-MI params");
+    CrossMiResult result;
+    if (x.empty() || y.empty())
+        return result;
+
+    const Cycle end = std::max(x.back().at, y.back().at);
+    const std::size_t nwin =
+        static_cast<std::size_t>(end / window_cycles) + 1;
+    std::vector<double> xc(nwin, 0.0), yc(nwin, 0.0);
+    for (const auto &e : x)
+        xc[e.at / window_cycles] += 1.0;
+    for (const auto &e : y)
+        yc[e.at / window_cycles] += 1.0;
+
+    const auto xb = quantileBins(xc, levels);
+    const auto yb = quantileBins(yc, levels);
+    JointDistribution joint(levels, levels);
+    for (std::size_t i = 0; i < xb.size(); ++i)
+        joint.add(xb[i], yb[i]);
+
+    result.miBitsRaw = joint.mutualInformationBits();
+    result.miBits = joint.mutualInformationBitsCorrected();
+    result.victimEntropy = joint.entropyXBits();
+    result.windows = joint.total();
+    return result;
+}
+
+ShapingMiResult
+computeUnshapedLeakage(const std::vector<shaper::TrafficEvent> &intrinsic,
+                       const Histogram &quantizer)
+{
+    ShapingMiResult result;
+    Histogram hist = quantizer;
+    hist.clear();
+    for (std::size_t i = 1; i < intrinsic.size(); ++i)
+        hist.add(intrinsic[i].at - intrinsic[i - 1].at);
+    result.intrinsicEntropy = hist.entropyBits();
+    result.shapedEntropy = result.intrinsicEntropy;
+    result.miBits = result.intrinsicEntropy; // I(X;X) = H(X)
+    result.miBitsRaw = result.intrinsicEntropy;
+    result.pairs = hist.totalCount();
+    return result;
+}
+
+} // namespace camo::security

@@ -1,0 +1,59 @@
+#include "src/sim/presets.h"
+
+#include <sstream>
+
+namespace camo::sim {
+
+SystemConfig
+paperConfig()
+{
+    SystemConfig cfg;
+    cfg.numCores = 4;
+
+    cfg.core.width = 4;
+    cfg.core.windowSize = 128;
+
+    cfg.cache.l1 = {32 * 1024, 4, 64, 4};
+    cfg.cache.l2 = {128 * 1024, 8, 64, 12};
+    cfg.cache.mshrs = 8;
+
+    cfg.mc.org.channels = 1;
+    cfg.mc.org.ranksPerChannel = 1;
+    cfg.mc.org.banksPerRank = 8;
+    cfg.mc.org.rowBufferBytes = 8192;
+    cfg.mc.org.lineBytes = 64;
+    cfg.mc.readQueueDepth = 32;
+    cfg.mc.writeQueueDepth = 32;
+    // 2.4 GHz CPU / 666.67 MHz DDR3-1333 command clock = 18/5.
+    cfg.mc.cpuPerDramNum = 18;
+    cfg.mc.cpuPerDramDen = 5;
+
+    cfg.noc.latency = 6;
+
+    return cfg;
+}
+
+std::vector<std::string>
+adversaryMix(const std::string &adversary, const std::string &victim,
+             std::uint32_t num_cores)
+{
+    std::vector<std::string> mix;
+    mix.push_back(adversary);
+    for (std::uint32_t i = 1; i < num_cores; ++i)
+        mix.push_back(victim);
+    return mix;
+}
+
+std::string
+tableIiBanner()
+{
+    std::ostringstream os;
+    os << "# System (paper Table II): 4 cores, 2.4GHz, 4-wide, "
+          "128-entry window\n"
+       << "# L1 32KB/4-way, L2 128KB/8-way private, 64B lines, 8 MSHRs\n"
+       << "# MC: 32-entry transaction queue; DDR3-1333, 1 channel, "
+          "1 rank, 8 banks, 8KB rows\n";
+    return os.str();
+}
+
+} // namespace camo::sim

@@ -1,0 +1,338 @@
+#include "src/sim/runner.h"
+
+#include <algorithm>
+
+#include "src/camouflage/phase_detector.h"
+
+#include "src/common/logging.h"
+#include "src/ga/mise.h"
+#include "src/security/leakage_bound.h"
+
+namespace camo::sim {
+
+double
+RunMetrics::throughput() const
+{
+    double sum = 0.0;
+    for (const double v : ipc)
+        sum += v;
+    return sum;
+}
+
+RunMetrics
+runAndMeasure(System &system, Cycle cycles, Cycle warmup)
+{
+    if (warmup > 0) {
+        system.run(warmup);
+        system.clearEpochCounters();
+    }
+    system.run(cycles);
+
+    RunMetrics m;
+    m.cycles = cycles;
+    for (std::uint32_t i = 0; i < system.numCores(); ++i) {
+        const auto &core = system.coreAt(i);
+        m.ipc.push_back(core.ipc());
+        m.retired.push_back(core.retired());
+        m.servedReads.push_back(system.servedReads(i));
+        m.avgReadLatency.push_back(system.avgReadLatency(i));
+        m.alpha.push_back(core.alpha());
+    }
+    return m;
+}
+
+RunMetrics
+runConfig(const SystemConfig &cfg,
+          const std::vector<std::string> &workloads, Cycle cycles,
+          Cycle warmup)
+{
+    System system(cfg, workloads);
+    return runAndMeasure(system, cycles, warmup);
+}
+
+std::vector<double>
+slowdownVs(const RunMetrics &baseline, const RunMetrics &test)
+{
+    camo_assert(baseline.ipc.size() == test.ipc.size(),
+                "mismatched core counts");
+    std::vector<double> slow;
+    slow.reserve(baseline.ipc.size());
+    for (std::size_t i = 0; i < baseline.ipc.size(); ++i) {
+        slow.push_back(test.ipc[i] > 0.0 ? baseline.ipc[i] / test.ipc[i]
+                                         : 1.0);
+    }
+    return slow;
+}
+
+double
+maxSlowdownVs(const RunMetrics &baseline, const RunMetrics &test)
+{
+    double worst = 1.0;
+    for (const double s : slowdownVs(baseline, test))
+        worst = std::max(worst, s);
+    return worst;
+}
+
+double
+harmonicSpeedupVs(const RunMetrics &baseline, const RunMetrics &test)
+{
+    const auto slow = slowdownVs(baseline, test);
+    double denom = 0.0;
+    for (const double s : slow)
+        denom += s; // 1 / (1/s) summed == sum of slowdowns
+    return denom > 0.0 ? static_cast<double>(slow.size()) / denom : 0.0;
+}
+
+std::vector<shaper::TrafficEvent>
+unshapedIntrinsicEvents(const SystemConfig &cfg,
+                        const std::vector<std::string> &workloads,
+                        std::uint32_t core, Cycle cycles)
+{
+    SystemConfig ref = cfg;
+    ref.mitigation = Mitigation::None;
+    ref.recordTraffic = true;
+    System system(ref, workloads);
+    system.run(cycles);
+    return system.intrinsicMonitor(core).events();
+}
+
+shaper::BinConfig
+binsFromMonitor(const shaper::DistributionMonitor &monitor,
+                Cycle observed_cycles, Cycle period, double headroom)
+{
+    camo_assert(observed_cycles > 0 && period > 0, "bad cycle counts");
+    camo_assert(headroom > 0.0, "headroom must be positive");
+    const Histogram &hist = monitor.histogram();
+
+    shaper::BinConfig cfg;
+    cfg.replenishPeriod = period;
+    for (std::size_t i = 0; i < hist.numBins(); ++i)
+        cfg.edges.push_back(hist.lowerEdge(i));
+
+    const double rate = static_cast<double>(hist.totalCount()) /
+                        static_cast<double>(observed_cycles);
+    const double total = rate * static_cast<double>(period) * headroom;
+    std::uint64_t granted = 0;
+    for (const double p : hist.pmf()) {
+        const auto c = static_cast<std::uint32_t>(p * total + 0.5);
+        cfg.credits.push_back(
+            std::min(c, shaper::kMaxCreditsPerBin));
+        granted += cfg.credits.back();
+    }
+    if (granted == 0)
+        cfg.credits[0] = 1; // stay valid for silent streams
+    cfg.validate();
+    return cfg;
+}
+
+OnlineGaResult
+runOnlineGa(const SystemConfig &cfg,
+            const std::vector<std::string> &workloads,
+            const ga::GaConfig &ga_cfg, Cycle epoch_cycles)
+{
+    System system(cfg, workloads);
+    return tuneOnline(system, cfg, ga_cfg, epoch_cycles);
+}
+
+OnlineGaResult
+tuneOnline(System &system, const SystemConfig &cfg,
+           const ga::GaConfig &ga_cfg, Cycle epoch_cycles)
+{
+    camo_assert(cfg.mitigation == Mitigation::BDC ||
+                    cfg.mitigation == Mitigation::ReqC ||
+                    cfg.mitigation == Mitigation::RespC,
+                "online GA needs a Camouflage mitigation");
+    const bool both = cfg.mitigation == Mitigation::BDC;
+    const std::size_t bins = cfg.reqBins.numBins();
+    const std::size_t slices = both ? 2 : 1;
+
+    const std::size_t cores = system.numCores();
+    // Genome layout: for each core, its request bins then (for BDC)
+    // its response bins; each 10-gene slice carries its own budget.
+    const std::size_t genome_len = cores * slices * bins;
+
+    ga::GaConfig ga_cfg_seg = ga_cfg;
+    ga_cfg_seg.budgetSegmentLen = bins;
+    ga::GeneticOptimizer optimizer(ga_cfg_seg, genome_len,
+                                   cfg.seed + 17);
+    // Seed the naive baselines so the GA never regresses below them:
+    // a half-budget uniform spread (fakes fill unused credits, so
+    // frugal is usually closer to the optimum than the cap) and a
+    // front-loaded (bursty) full-budget ramp.
+    {
+        const auto per_bin = static_cast<std::uint32_t>(std::max<std::uint64_t>(
+            1, ga_cfg_seg.maxTotalCredits / (2 * bins)));
+        ga::Genome uniform(genome_len, per_bin);
+        optimizer.seedCandidate(0, std::move(uniform));
+        ga::Genome ramp(genome_len, 0);
+        for (std::size_t seg = 0; seg < genome_len / bins; ++seg) {
+            std::uint32_t remaining = ga_cfg_seg.maxTotalCredits;
+            for (std::size_t i = 0; i < bins && remaining > 0; ++i) {
+                const auto c = std::min(
+                    ga_cfg_seg.maxGeneValue,
+                    std::max<std::uint32_t>(1, remaining / 2));
+                ramp[seg * bins + i] = c;
+                remaining -= c;
+            }
+        }
+        if (ga_cfg_seg.populationSize > 1)
+            optimizer.seedCandidate(1, std::move(ramp));
+    }
+
+    // Decode a genome into per-core request/response configurations.
+    auto req_of = [&](const ga::Genome &g, std::size_t core) {
+        return ga::genomeToBinConfig(g, core * slices * bins,
+                                     cfg.reqBins);
+    };
+    auto resp_of = [&](const ga::Genome &g, std::size_t core) {
+        return both ? ga::genomeToBinConfig(
+                          g, core * slices * bins + bins, cfg.respBins)
+                    : cfg.respBins;
+    };
+    auto apply = [&](const ga::Genome &g) {
+        for (std::uint32_t c = 0; c < cores; ++c)
+            system.reconfigureShaper(c, req_of(g, c), resp_of(g, c));
+    };
+
+    OnlineGaResult result;
+
+    // Wide-open shaper configuration for alone-rate measurement: the
+    // MISE "alone" service rate must reflect the unshaped program.
+    shaper::BinConfig open = cfg.reqBins;
+    for (auto &c : open.credits)
+        c = shaper::kMaxCreditsPerBin;
+
+    std::vector<double> alone_rate(cores, 0.0);
+
+    for (std::size_t gen = 0; gen < ga_cfg.generations; ++gen) {
+        // Highest-priority-mode epochs: each program's alone rate,
+        // with shapers effectively disabled -- including their fake
+        // generators, which would otherwise flood the channel when
+        // handed a wide-open credit set.
+        system.reconfigureShapers(open, open);
+        system.setFakeTraffic(false);
+        for (std::uint32_t c = 0; c < cores; ++c) {
+            system.memory().setHighestPriorityCore(c);
+            system.clearEpochCounters();
+            system.run(epoch_cycles);
+            alone_rate[c] = static_cast<double>(system.servedReads(c)) /
+                            static_cast<double>(epoch_cycles);
+        }
+        system.memory().setHighestPriorityCore(std::nullopt);
+        system.setFakeTraffic(cfg.fakeTraffic);
+
+        // Evaluate each child configuration for one epoch.
+        double generation_best = -1e300;
+        for (std::size_t child = 0;
+             child < optimizer.population().size(); ++child) {
+            apply(optimizer.population()[child]);
+            system.clearEpochCounters();
+            system.run(epoch_cycles);
+
+            double total = 0.0;
+            for (std::uint32_t c = 0; c < cores; ++c) {
+                ga::MiseSample s;
+                s.alpha = system.coreAt(c).alpha();
+                s.aloneRate = alone_rate[c];
+                s.sharedRate =
+                    static_cast<double>(system.servedReads(c)) /
+                    static_cast<double>(epoch_cycles);
+                total += ga::miseSlowdown(s);
+            }
+            const double fitness =
+                -total / static_cast<double>(cores);
+            optimizer.setFitness(child, fitness);
+            generation_best = std::max(generation_best, fitness);
+        }
+        result.generationBest.push_back(generation_best);
+        if (gen + 1 < ga_cfg.generations)
+            optimizer.nextGeneration();
+    }
+
+    // Select from the final generation's measurements rather than the
+    // historical max: with a noisy fitness the all-time best is
+    // biased toward lucky outliers.
+    const ga::Genome &best = optimizer.bestOfCurrentGeneration();
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        result.reqBinsPerCore.push_back(req_of(best, c));
+        result.respBinsPerCore.push_back(resp_of(best, c));
+    }
+    apply(best); // leave the live system on the tuned configuration
+    result.reqBins = result.reqBinsPerCore.front();
+    result.respBins = result.respBinsPerCore.front();
+    result.bestFitness = optimizer.bestFitnessOfCurrentGeneration();
+    result.configPhaseCycles = system.now();
+    result.configPhaseLeakBoundBits =
+        security::gaConfigPhaseLeakBoundBits(ga_cfg.generations,
+                                             ga_cfg.populationSize);
+    return result;
+}
+
+
+AdaptiveResult
+runAdaptive(const SystemConfig &cfg,
+            const std::vector<std::string> &workloads,
+            Cycle total_cycles, const AdaptiveConfig &adaptive)
+{
+    AdaptiveResult result;
+    System system(cfg, workloads);
+
+    // Initial CONFIG_PHASE.
+    tuneOnline(system, cfg, adaptive.ga, adaptive.epochCycles);
+    ++result.reconfigurations;
+    result.reconfigAt.push_back(system.now());
+
+    std::vector<shaper::PhaseDetector> detectors;
+    for (std::uint32_t c = 0; c < system.numCores(); ++c)
+        detectors.emplace_back(0.25, adaptive.detectorThreshold);
+
+    const Cycle run_start = system.now();
+    system.clearEpochCounters();
+    std::vector<std::uint64_t> prev_served(system.numCores(), 0);
+
+    while (system.now() - run_start < total_cycles) {
+        system.run(adaptive.epochCycles);
+
+        bool phase_change = false;
+        for (std::uint32_t c = 0; c < system.numCores(); ++c) {
+            const std::uint64_t served = system.servedReads(c);
+            const double rate =
+                static_cast<double>(served - prev_served[c]) /
+                static_cast<double>(adaptive.epochCycles);
+            prev_served[c] = served;
+            phase_change = detectors[c].sample(rate) || phase_change;
+        }
+        if (!phase_change)
+            continue;
+        ++result.phaseChangesDetected;
+        if (result.reconfigurations >= adaptive.maxReconfigs)
+            continue; // leakage budget spent: hold the configuration
+
+        tuneOnline(system, cfg, adaptive.ga, adaptive.epochCycles);
+        ++result.reconfigurations;
+        result.reconfigAt.push_back(system.now());
+        // The config phase perturbed the counters the detectors and
+        // metrics rely on.
+        system.clearEpochCounters();
+        std::fill(prev_served.begin(), prev_served.end(), 0);
+        for (auto &d : detectors)
+            d = shaper::PhaseDetector(0.25, adaptive.detectorThreshold);
+    }
+
+    for (std::uint32_t i = 0; i < system.numCores(); ++i) {
+        const auto &core = system.coreAt(i);
+        result.metrics.ipc.push_back(core.ipc());
+        result.metrics.retired.push_back(core.retired());
+        result.metrics.servedReads.push_back(system.servedReads(i));
+        result.metrics.avgReadLatency.push_back(system.avgReadLatency(i));
+        result.metrics.alpha.push_back(core.alpha());
+    }
+    result.metrics.cycles = system.now() - run_start;
+    result.leakBoundBits =
+        static_cast<double>(result.reconfigurations) *
+        security::gaConfigPhaseLeakBoundBits(adaptive.ga.generations,
+                                             adaptive.ga.populationSize);
+    return result;
+}
+
+} // namespace camo::sim

@@ -1,0 +1,424 @@
+#include "src/sim/system.h"
+
+#include "src/common/logging.h"
+#include "src/trace/workloads.h"
+
+namespace camo::sim {
+
+const char *
+mitigationName(Mitigation m)
+{
+    switch (m) {
+      case Mitigation::None: return "no-shaping";
+      case Mitigation::CS: return "CS";
+      case Mitigation::ReqC: return "ReqC";
+      case Mitigation::RespC: return "RespC";
+      case Mitigation::BDC: return "BDC";
+      case Mitigation::TP: return "TP";
+      case Mitigation::FS: return "FS";
+    }
+    return "?";
+}
+
+/** Everything owned per core. */
+struct System::PerCore
+{
+    std::unique_ptr<trace::TraceSource> trace;
+    std::unique_ptr<cache::CacheHierarchy> cache;
+    std::unique_ptr<core::Core> core;
+    std::unique_ptr<shaper::RequestShaper> reqShaper;
+    std::unique_ptr<shaper::ResponseShaper> respShaper;
+
+    /** LLC-miss buffer between the cache and the shaper/channel. */
+    std::deque<MemRequest> missBuffer;
+    /** MC-egress buffer in front of the response shaper. */
+    std::deque<MemRequest> respBuffer;
+
+    shaper::DistributionMonitor intrinsicMon;
+    shaper::DistributionMonitor busMon;
+    shaper::DistributionMonitor respMon;
+
+    std::vector<security::LatencySample> latencies;
+    std::uint64_t servedReads = 0;
+    std::uint64_t latencySum = 0;
+
+    PerCore(const std::vector<Cycle> &edges)
+        : intrinsicMon(edges), busMon(edges), respMon(edges)
+    {
+    }
+};
+
+System::System(const SystemConfig &cfg,
+               const std::vector<std::string> &workloads)
+    : cfg_(cfg)
+{
+    camo_assert(cfg_.numCores >= 1, "need at least one core");
+    if (workloads.size() != cfg_.numCores)
+        camo_fatal("expected ", cfg_.numCores, " workloads, got ",
+                   workloads.size());
+    if (!cfg_.shapeCore.empty() && cfg_.shapeCore.size() != cfg_.numCores)
+        camo_fatal("shapeCore mask must match numCores");
+    if (!cfg_.reqBinsPerCore.empty() &&
+        cfg_.reqBinsPerCore.size() != cfg_.numCores) {
+        camo_fatal("reqBinsPerCore must match numCores");
+    }
+    if (!cfg_.respBinsPerCore.empty() &&
+        cfg_.respBinsPerCore.size() != cfg_.numCores) {
+        camo_fatal("respBinsPerCore must match numCores");
+    }
+
+    // Baseline scheduler selection per mitigation.
+    cfg_.mc.numCores = cfg_.numCores;
+    switch (cfg_.mitigation) {
+      case Mitigation::TP:
+        cfg_.mc.scheduler = mem::SchedulerKind::TemporalPartition;
+        cfg_.mc.tp.numDomains = cfg_.numCores;
+        break;
+      case Mitigation::FS:
+        cfg_.mc.scheduler = mem::SchedulerKind::FixedService;
+        cfg_.mc.fs.numCores = cfg_.numCores;
+        cfg_.mc.bankPartitioning = true;
+        break;
+      default:
+        // Keep the configured scheduler (FR-FCFS by default); the
+        // substrate ablations swap in plain FCFS this way.
+        break;
+    }
+
+    mem_ = std::make_unique<mem::MemorySystem>(cfg_.mc);
+    reqChannel_ =
+        std::make_unique<noc::SharedChannel>(cfg_.numCores, cfg_.noc);
+    respChannel_ =
+        std::make_unique<noc::SharedChannel>(cfg_.numCores, cfg_.noc);
+
+    const bool wants_req = cfg_.mitigation == Mitigation::ReqC ||
+                           cfg_.mitigation == Mitigation::BDC ||
+                           cfg_.mitigation == Mitigation::CS;
+    const bool wants_resp = cfg_.mitigation == Mitigation::RespC ||
+                            cfg_.mitigation == Mitigation::BDC;
+
+    for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
+        auto pc = std::make_unique<PerCore>(cfg_.reqBins.edges);
+        // Disjoint 1 TiB address windows keep workloads from aliasing.
+        const Addr base = static_cast<Addr>(i) << 40;
+        pc->trace = trace::makeWorkload(workloads[i],
+                                        cfg_.seed * 7919 + i, base);
+        pc->cache = std::make_unique<cache::CacheHierarchy>(i, cfg_.cache);
+        pc->core = std::make_unique<core::Core>(i, cfg_.core, *pc->trace,
+                                                *pc->cache);
+
+        if (wants_req && coreIsShaped(i)) {
+            shaper::RequestShaperConfig rc;
+            if (cfg_.mitigation == Mitigation::CS) {
+                // Ascend-style constant rate: strictly periodic issue
+                // slots, dummies (fakes) filling empty slots.
+                rc.bins = shaper::BinConfig::constantRate(
+                    cfg_.csInterval, cfg_.csInterval * 10);
+                rc.strictSlotInterval = cfg_.csInterval;
+            } else {
+                rc.bins = cfg_.reqBinsPerCore.empty()
+                              ? cfg_.reqBins
+                              : cfg_.reqBinsPerCore[i];
+            }
+            rc.generateFakes = cfg_.fakeTraffic;
+            rc.randomizeTiming = cfg_.randomizeTiming;
+            rc.fakeSequential = cfg_.fakeSequential;
+            rc.fakeWriteFrac = cfg_.fakeWriteFrac;
+            rc.fakeAddrBase = base + (1ULL << 39);
+            pc->reqShaper = std::make_unique<shaper::RequestShaper>(
+                i, rc, cfg_.seed * 104729 + i);
+        }
+        if (wants_resp && coreIsShaped(i)) {
+            shaper::ResponseShaperConfig rc;
+            rc.bins = cfg_.respBinsPerCore.empty()
+                          ? cfg_.respBins
+                          : cfg_.respBinsPerCore[i];
+            rc.generateFakes = cfg_.fakeTraffic;
+            pc->respShaper =
+                std::make_unique<shaper::ResponseShaper>(i, rc);
+        }
+        if (cfg_.recordTraffic) {
+            pc->intrinsicMon.setLogging(true);
+            pc->busMon.setLogging(true);
+            pc->respMon.setLogging(true);
+            if (pc->reqShaper) {
+                pc->reqShaper->preMonitor().setLogging(true);
+                pc->reqShaper->postMonitor().setLogging(true);
+            }
+            if (pc->respShaper) {
+                pc->respShaper->preMonitor().setLogging(true);
+                pc->respShaper->postMonitor().setLogging(true);
+            }
+        }
+        cores_.push_back(std::move(pc));
+    }
+}
+
+System::~System() = default;
+
+bool
+System::coreIsShaped(std::uint32_t i) const
+{
+    return cfg_.shapeCore.empty() || cfg_.shapeCore[i];
+}
+
+const core::Core &
+System::coreAt(std::uint32_t i) const
+{
+    camo_assert(i < cores_.size(), "core index out of range");
+    return *cores_[i]->core;
+}
+
+core::Core &
+System::coreAt(std::uint32_t i)
+{
+    camo_assert(i < cores_.size(), "core index out of range");
+    return *cores_[i]->core;
+}
+
+shaper::RequestShaper *
+System::requestShaper(std::uint32_t i)
+{
+    camo_assert(i < cores_.size(), "core index out of range");
+    return cores_[i]->reqShaper.get();
+}
+
+shaper::ResponseShaper *
+System::responseShaper(std::uint32_t i)
+{
+    camo_assert(i < cores_.size(), "core index out of range");
+    return cores_[i]->respShaper.get();
+}
+
+const shaper::DistributionMonitor &
+System::intrinsicMonitor(std::uint32_t i) const
+{
+    camo_assert(i < cores_.size(), "core index out of range");
+    return cores_[i]->intrinsicMon;
+}
+
+const shaper::DistributionMonitor &
+System::busMonitor(std::uint32_t i) const
+{
+    camo_assert(i < cores_.size(), "core index out of range");
+    return cores_[i]->busMon;
+}
+
+const shaper::DistributionMonitor &
+System::responseMonitor(std::uint32_t i) const
+{
+    camo_assert(i < cores_.size(), "core index out of range");
+    return cores_[i]->respMon;
+}
+
+const std::vector<security::LatencySample> &
+System::latencyLog(std::uint32_t i) const
+{
+    camo_assert(i < cores_.size(), "core index out of range");
+    return cores_[i]->latencies;
+}
+
+std::uint64_t
+System::servedReads(std::uint32_t i) const
+{
+    camo_assert(i < cores_.size(), "core index out of range");
+    return cores_[i]->servedReads;
+}
+
+double
+System::avgReadLatency(std::uint32_t i) const
+{
+    camo_assert(i < cores_.size(), "core index out of range");
+    const PerCore &pc = *cores_[i];
+    return pc.servedReads == 0
+               ? 0.0
+               : static_cast<double>(pc.latencySum) /
+                     static_cast<double>(pc.servedReads);
+}
+
+void
+System::clearEpochCounters()
+{
+    for (auto &pc : cores_) {
+        pc->core->clearEpochCounters();
+        pc->servedReads = 0;
+        pc->latencySum = 0;
+    }
+}
+
+void
+System::reconfigureShapers(const shaper::BinConfig &req_bins,
+                           const shaper::BinConfig &resp_bins)
+{
+    for (std::uint32_t i = 0; i < cores_.size(); ++i)
+        reconfigureShaper(i, req_bins, resp_bins);
+}
+
+void
+System::reconfigureShaper(std::uint32_t core,
+                          const shaper::BinConfig &req_bins,
+                          const shaper::BinConfig &resp_bins)
+{
+    camo_assert(core < cores_.size(), "core index out of range");
+    PerCore &pc = *cores_[core];
+    if (pc.reqShaper)
+        pc.reqShaper->reconfigure(req_bins);
+    if (pc.respShaper)
+        pc.respShaper->reconfigure(resp_bins);
+}
+
+void
+System::setFakeTraffic(bool on)
+{
+    for (auto &pc : cores_) {
+        if (pc->reqShaper)
+            pc->reqShaper->setGenerateFakes(on);
+        if (pc->respShaper)
+            pc->respShaper->setGenerateFakes(on);
+    }
+}
+
+void
+System::drainCacheOutgoing(PerCore &pc)
+{
+    for (MemRequest &req : pc.cache->popOutgoing()) {
+        pc.intrinsicMon.record(now_);
+        pc.missBuffer.push_back(std::move(req));
+    }
+}
+
+void
+System::feedRequestPath(PerCore &pc)
+{
+    const std::uint32_t port = pc.core->id();
+
+    if (pc.reqShaper) {
+        // Miss buffer -> shaper queue.
+        while (!pc.missBuffer.empty() && pc.reqShaper->canAccept()) {
+            pc.reqShaper->push(std::move(pc.missBuffer.front()), now_);
+            pc.missBuffer.pop_front();
+        }
+        // Shaper -> shared request channel.
+        const bool ready = reqChannel_->canAccept(port);
+        if (auto released = pc.reqShaper->tick(now_, ready)) {
+            pc.busMon.record(now_, released->isFake);
+            reqChannel_->push(port, std::move(*released));
+        }
+        return;
+    }
+
+    // Unshaped: straight to the channel (one per cycle per port).
+    if (!pc.missBuffer.empty() && reqChannel_->canAccept(port)) {
+        MemRequest req = std::move(pc.missBuffer.front());
+        pc.missBuffer.pop_front();
+        req.shaperOut = now_;
+        pc.busMon.record(now_, req.isFake);
+        reqChannel_->push(port, std::move(req));
+    }
+}
+
+void
+System::routeMcResponses()
+{
+    for (MemRequest &resp : mem_->popResponses(now_)) {
+        const std::uint32_t c = resp.core;
+        camo_assert(c < cores_.size(), "response for unknown core");
+        cores_[c]->respBuffer.push_back(std::move(resp));
+    }
+}
+
+void
+System::feedResponsePath(PerCore &pc)
+{
+    const std::uint32_t port = pc.core->id();
+
+    if (pc.respShaper) {
+        while (!pc.respBuffer.empty() && pc.respShaper->canAccept()) {
+            pc.respShaper->push(std::move(pc.respBuffer.front()), now_);
+            pc.respBuffer.pop_front();
+        }
+        // Forward accumulated priority warnings to the scheduler.
+        if (const std::uint32_t boost =
+                pc.respShaper->takePriorityWarning()) {
+            mem_->boostPriority(port, boost);
+        }
+        const bool ready = respChannel_->canAccept(port);
+        if (auto released = pc.respShaper->tick(now_, ready))
+            respChannel_->push(port, std::move(*released));
+        return;
+    }
+
+    if (!pc.respBuffer.empty() && respChannel_->canAccept(port)) {
+        MemRequest resp = std::move(pc.respBuffer.front());
+        pc.respBuffer.pop_front();
+        resp.respShaperOut = now_;
+        respChannel_->push(port, std::move(resp));
+    }
+}
+
+void
+System::deliverResponses()
+{
+    // One delivery per cycle: the return channel's bandwidth.
+    if (!respChannel_->hasEgress(now_))
+        return;
+    MemRequest resp = respChannel_->popEgress();
+    const std::uint32_t c = resp.core;
+    camo_assert(c < cores_.size(), "response for unknown core");
+    PerCore &pc = *cores_[c];
+    resp.delivered = now_;
+    pc.respMon.record(now_, resp.isFake);
+
+    if (resp.isFake) {
+        stats_.inc("responses.fake.dropped");
+        return; // pure bus activity; no core state waits on it
+    }
+
+    ++pc.servedReads;
+    pc.latencySum += resp.totalLatency();
+    if (cfg_.recordLatencies)
+        pc.latencies.push_back({now_, resp.totalLatency()});
+    const Cycle usable = pc.cache->onFill(resp.addr, now_);
+    pc.core->onFill(resp.addr, usable);
+    // Fills can displace dirty lines: collect the writebacks.
+    drainCacheOutgoing(pc);
+}
+
+void
+System::tick()
+{
+    ++now_;
+
+    for (auto &pc : cores_) {
+        pc->core->tick(now_);
+        drainCacheOutgoing(*pc);
+        feedRequestPath(*pc);
+    }
+
+    reqChannel_->tick(now_);
+
+    // Channel egress -> controller (one transaction per cycle).
+    if (reqChannel_->hasEgress(now_) &&
+        mem_->canAccept(reqChannel_->egressFront().addr,
+                        reqChannel_->egressFront().isWrite)) {
+        mem_->enqueue(reqChannel_->popEgress(), now_);
+    }
+
+    mem_->tick(now_);
+    routeMcResponses();
+
+    for (auto &pc : cores_)
+        feedResponsePath(*pc);
+
+    respChannel_->tick(now_);
+    deliverResponses();
+}
+
+void
+System::run(Cycle cycles)
+{
+    for (Cycle i = 0; i < cycles; ++i)
+        tick();
+}
+
+} // namespace camo::sim

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Full-system assembly: cores + caches + Camouflage shapers + shared
+ * channels + memory controller + DRAM, in the paper's Figure 5
+ * topology.
+ *
+ * Data flow each CPU cycle:
+ *   core -> L1/L2 -> [Request Camouflage] -> request channel (SC1) ->
+ *   memory controller (SC2) -> DRAM (SC3) ->
+ *   [Response Camouflage] (SC4) -> response channel (SC5) -> core
+ */
+
+#ifndef CAMO_SIM_SYSTEM_H
+#define CAMO_SIM_SYSTEM_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cache/hierarchy.h"
+#include "src/camouflage/bin_config.h"
+#include "src/camouflage/monitor.h"
+#include "src/camouflage/request_shaper.h"
+#include "src/camouflage/response_shaper.h"
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/core/core.h"
+#include "src/mem/memory_system.h"
+#include "src/noc/channel.h"
+#include "src/security/covert_receiver.h"
+#include "src/trace/trace.h"
+
+namespace camo::sim {
+
+/** The protection scheme deployed on the system. */
+enum class Mitigation
+{
+    None,  ///< unprotected FR-FCFS baseline
+    CS,    ///< constant-rate request shaping (Ascend / Fletcher'14)
+    ReqC,  ///< Request Camouflage
+    RespC, ///< Response Camouflage
+    BDC,   ///< Bi-directional Camouflage
+    TP,    ///< Temporal Partitioning [Wang'14]
+    FS,    ///< Fixed Service + bank partitioning [Shafiee'15]
+};
+
+const char *mitigationName(Mitigation m);
+
+/** Whole-system configuration. Defaults reproduce Table II. */
+struct SystemConfig
+{
+    std::uint32_t numCores = 4;
+    core::CoreConfig core;
+    cache::HierarchyConfig cache;
+    mem::ControllerConfig mc;
+    noc::ChannelConfig noc;
+
+    Mitigation mitigation = Mitigation::None;
+    shaper::BinConfig reqBins = shaper::BinConfig::desired();
+    shaper::BinConfig respBins = shaper::BinConfig::desired();
+    /** Per-core overrides (empty = every core uses reqBins/respBins).
+     *  The online GA produces per-core configurations. */
+    std::vector<shaper::BinConfig> reqBinsPerCore;
+    std::vector<shaper::BinConfig> respBinsPerCore;
+    /** CS baseline: one request per this many cycles. */
+    Cycle csInterval = 90;
+    bool fakeTraffic = true;
+    /** SIV-B4 hardening: random slack within each credit interval. */
+    bool randomizeTiming = false;
+    /** Extension: sequential fake addresses (row-hit-like fakes). */
+    bool fakeSequential = false;
+    /** Extension: fraction of fakes issued as posted writes. */
+    double fakeWriteFrac = 0.0;
+    /**
+     * Which cores get shapers under ReqC/RespC/BDC/CS (empty = all).
+     * Fig. 10 shapes only the ADVERSARY's responses, for example.
+     */
+    std::vector<bool> shapeCore;
+
+    std::uint64_t seed = 1;
+    bool recordLatencies = false; ///< per-core latency logs
+    bool recordTraffic = false;   ///< full traffic event logs
+};
+
+/** The simulated machine. */
+class System
+{
+  public:
+    /**
+     * @param workloads one workload name per core (see
+     *        trace::makeWorkload for accepted names).
+     */
+    System(const SystemConfig &cfg,
+           const std::vector<std::string> &workloads);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Advance one CPU cycle. */
+    void tick();
+    /** Advance `cycles` CPU cycles. */
+    void run(Cycle cycles);
+
+    Cycle now() const { return now_; }
+    std::uint32_t numCores() const
+    {
+        return static_cast<std::uint32_t>(cores_.size());
+    }
+
+    const core::Core &coreAt(std::uint32_t i) const;
+    core::Core &coreAt(std::uint32_t i);
+    /** The (possibly multi-channel) memory system. */
+    mem::MemorySystem &memory() { return *mem_; }
+    const mem::MemorySystem &memory() const { return *mem_; }
+    /** Channel-0 controller (convenience for 1-channel configs). */
+    mem::MemoryController &controller() { return mem_->channel(0); }
+    const mem::MemoryController &controller() const
+    {
+        return mem_->channel(0);
+    }
+
+    /** nullptr when the mitigation gives this core no such shaper. */
+    shaper::RequestShaper *requestShaper(std::uint32_t i);
+    shaper::ResponseShaper *responseShaper(std::uint32_t i);
+
+    /** Intrinsic LLC-miss traffic monitor (always present). */
+    const shaper::DistributionMonitor &
+    intrinsicMonitor(std::uint32_t i) const;
+    /** What actually went onto the shared request channel. */
+    const shaper::DistributionMonitor &busMonitor(std::uint32_t i) const;
+    /** Responses as delivered to the core (post everything). */
+    const shaper::DistributionMonitor &
+    responseMonitor(std::uint32_t i) const;
+
+    /** Per-core latency log (needs cfg.recordLatencies). */
+    const std::vector<security::LatencySample> &
+    latencyLog(std::uint32_t i) const;
+
+    /** Real read responses delivered to core `i` since epoch start. */
+    std::uint64_t servedReads(std::uint32_t i) const;
+    /** Mean end-to-end read latency since epoch start. */
+    double avgReadLatency(std::uint32_t i) const;
+    /** Zero per-epoch counters on cores and service counters. */
+    void clearEpochCounters();
+
+    /** GA hook: swap every core's shaper configuration at run time. */
+    void reconfigureShapers(const shaper::BinConfig &req_bins,
+                            const shaper::BinConfig &resp_bins);
+
+    /** GA hook: per-core reconfiguration (the paper's GA "optimizes
+     *  all bins from all programs simultaneously", SIV-C). */
+    void reconfigureShaper(std::uint32_t core,
+                           const shaper::BinConfig &req_bins,
+                           const shaper::BinConfig &resp_bins);
+
+    /** GA hook: toggle fake generation on every shaper at run time. */
+    void setFakeTraffic(bool on);
+
+    const SystemConfig &config() const { return cfg_; }
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    struct PerCore;
+
+    void drainCacheOutgoing(PerCore &pc);
+    void feedRequestPath(PerCore &pc);
+    void routeMcResponses();
+    void feedResponsePath(PerCore &pc);
+    void deliverResponses();
+    bool coreIsShaped(std::uint32_t i) const;
+
+    SystemConfig cfg_;
+    Cycle now_ = 0;
+
+    std::vector<std::unique_ptr<PerCore>> cores_;
+    std::unique_ptr<noc::SharedChannel> reqChannel_;
+    std::unique_ptr<noc::SharedChannel> respChannel_;
+    std::unique_ptr<mem::MemorySystem> mem_;
+    StatGroup stats_;
+};
+
+} // namespace camo::sim
+
+#endif // CAMO_SIM_SYSTEM_H

@@ -1,0 +1,82 @@
+#include "src/trace/covert.h"
+
+#include "src/common/logging.h"
+
+namespace camo::trace {
+
+std::vector<bool>
+keyBits(std::uint32_t key, std::uint32_t bits)
+{
+    camo_assert(bits >= 1 && bits <= 32, "key width must be 1..32");
+    std::vector<bool> out;
+    out.reserve(bits);
+    for (std::uint32_t i = 0; i < bits; ++i)
+        out.push_back(((key >> (bits - 1 - i)) & 1u) != 0);
+    return out;
+}
+
+CovertSender::CovertSender(const CovertSenderParams &params)
+    : params_(params), nextLine_(params.bufferBase)
+{
+    camo_assert(!params_.key.empty(), "covert key must be non-empty");
+    camo_assert(params_.pulseCycles >= 100, "pulse too short to carry");
+}
+
+TraceItem
+CovertSender::next(Cycle now)
+{
+    if (!started_) {
+        started_ = true;
+        pulseEnd_ = now + params_.pulseCycles;
+    }
+    if (now >= pulseEnd_) {
+        ++bitIndex_;
+        pulseEnd_ += params_.pulseCycles;
+    }
+
+    const bool bit = params_.key[bitIndex_ % params_.key.size()];
+    TraceItem item;
+
+    if (!bit) {
+        // 0-pulse: DoNothing until the pulse elapses (busy wait).
+        item.waitCycles = pulseEnd_ - now;
+        return item;
+    }
+
+    // 1-pulse: hammer memory by writing successive cache lines of
+    // BigBuffer for the duration of the pulse.
+    item.gapInstrs = params_.writeEveryInstrs - 1;
+    item.addr = nextLine_;
+    item.isWrite = true;
+    nextLine_ += params_.lineBytes;
+    if (nextLine_ >= params_.bufferBase + params_.bufferBytes)
+        nextLine_ = params_.bufferBase;
+    return item;
+}
+
+ProbeWorkload::ProbeWorkload(const ProbeParams &params)
+    : params_(params), cursor_(params.base)
+{
+    camo_assert(params_.probeEveryCycles >= 1, "probe cadence >= 1");
+    camo_assert(params_.strideBytes >= 64, "probe stride >= one line");
+}
+
+TraceItem
+ProbeWorkload::next(Cycle now)
+{
+    TraceItem item;
+    // Fixed wall-clock cadence: wait out the remainder of the probe
+    // period, then load.
+    if (nextProbeAt_ > now)
+        item.waitCycles = nextProbeAt_ - now;
+    nextProbeAt_ = (nextProbeAt_ > now ? nextProbeAt_ : now) +
+                   params_.probeEveryCycles;
+    item.addr = cursor_;
+    item.isWrite = false;
+    cursor_ += params_.strideBytes;
+    if (cursor_ >= params_.base + params_.regionBytes)
+        cursor_ = params_.base;
+    return item;
+}
+
+} // namespace camo::trace

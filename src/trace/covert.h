@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The covert-channel sender of the paper's Algorithm 1, as a trace
+ * program, plus a constant-rate probe used as the receiving adversary.
+ *
+ * Both are wall-clock paced (Algorithm 1 loops "while ElapsedTime <
+ * PULSE"), which the trace interface models with TraceItem::waitCycles.
+ */
+
+#ifndef CAMO_TRACE_COVERT_H
+#define CAMO_TRACE_COVERT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace camo::trace {
+
+/** Expand a word into its bit vector, MSB first. */
+std::vector<bool> keyBits(std::uint32_t key, std::uint32_t bits = 32);
+
+/** Algorithm 1 parameters. */
+struct CovertSenderParams
+{
+    std::vector<bool> key;
+    /** PULSE duration in CPU cycles (one bit per pulse). */
+    Cycle pulseCycles = 20000;
+    /** Instructions between consecutive buffer writes in a 1-pulse. */
+    std::uint64_t writeEveryInstrs = 8;
+    /** BigBuffer placement and size (streams through cache lines). */
+    Addr bufferBase = 1ULL << 32;
+    std::uint64_t bufferBytes = 64ULL * 1024 * 1024;
+    std::uint32_t lineBytes = 64;
+};
+
+/**
+ * Covert-channel sender (paper Algorithm 1):
+ * for each key bit: if 1, write BigBuffer[NextCacheLine] (advancing a
+ * line each time) until PULSE time elapses; if 0, do nothing until
+ * PULSE time elapses. The key repeats indefinitely.
+ */
+class CovertSender : public TraceSource
+{
+  public:
+    explicit CovertSender(const CovertSenderParams &params);
+
+    const std::string &name() const override { return name_; }
+    TraceItem next(Cycle now) override;
+
+    /** Bit index currently being transmitted (mod key length). */
+    std::size_t currentBit() const { return bitIndex_ % params_.key.size(); }
+    std::uint64_t pulsesSent() const { return bitIndex_; }
+
+  private:
+    CovertSenderParams params_;
+    std::string name_ = "covert-sender";
+    std::size_t bitIndex_ = 0;
+    Cycle pulseEnd_ = 0;
+    bool started_ = false;
+    Addr nextLine_ = 0;
+};
+
+/** Constant-rate memory probe: the measuring adversary. */
+struct ProbeParams
+{
+    /** CPU cycles between probes (wall-clock cadence). */
+    Cycle probeEveryCycles = 150;
+    /** Probe region (never cache-resident: strided beyond the LLC). */
+    Addr base = 1ULL << 36;
+    std::uint64_t regionBytes = 256ULL * 1024 * 1024;
+    /** 65 lines: defeats the LLC and walks every bank. */
+    std::uint32_t strideBytes = 4160;
+};
+
+/**
+ * The receiving adversary: issues loads at a fixed wall-clock cadence
+ * with an LLC-defeating stride and watches its own latencies (the
+ * latency log lives in the System, not here).
+ */
+class ProbeWorkload : public TraceSource
+{
+  public:
+    explicit ProbeWorkload(const ProbeParams &params);
+
+    const std::string &name() const override { return name_; }
+    TraceItem next(Cycle now) override;
+
+  private:
+    ProbeParams params_;
+    std::string name_ = "probe";
+    Addr cursor_ = 0;
+    Cycle nextProbeAt_ = 0;
+};
+
+} // namespace camo::trace
+
+#endif // CAMO_TRACE_COVERT_H

@@ -1,0 +1,113 @@
+#include "src/trace/replay.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace camo::trace {
+
+RecordingTrace::RecordingTrace(std::unique_ptr<TraceSource> inner,
+                               std::size_t max_items)
+    : inner_(std::move(inner)), maxItems_(max_items)
+{
+    camo_assert(inner_ != nullptr, "recording needs a source");
+    name_ = "record:" + inner_->name();
+}
+
+TraceItem
+RecordingTrace::next(Cycle now)
+{
+    TraceItem item = inner_->next(now);
+    if (items_.size() < maxItems_)
+        items_.push_back(item);
+    return item;
+}
+
+void
+RecordingTrace::save(std::ostream &os) const
+{
+    os << "# camouflage trace v1: waitCycles gapInstrs addrHex r|w|-\n";
+    for (const TraceItem &item : items_) {
+        os << item.waitCycles << ' ' << item.gapInstrs << ' ';
+        if (item.hasMemOp()) {
+            os << std::hex << item.addr << std::dec << ' '
+               << (item.isWrite ? 'w' : 'r');
+        } else {
+            os << "0 -";
+        }
+        os << '\n';
+    }
+}
+
+void
+RecordingTrace::saveFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        camo_fatal("cannot write trace file: ", path);
+    save(os);
+}
+
+ReplayTrace::ReplayTrace(std::vector<TraceItem> items, std::string name)
+    : items_(std::move(items)), name_(std::move(name))
+{
+    if (items_.empty())
+        camo_fatal("replay trace is empty");
+}
+
+ReplayTrace
+ReplayTrace::fromStream(std::istream &is, std::string name)
+{
+    std::vector<TraceItem> items;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        TraceItem item;
+        std::string addr_hex, kind;
+        if (!(ls >> item.waitCycles >> item.gapInstrs >> addr_hex >>
+              kind)) {
+            camo_fatal("trace parse error at line ", lineno, ": '",
+                       line, "'");
+        }
+        if (kind == "-") {
+            item.addr = kNoAddr;
+        } else if (kind == "r" || kind == "w") {
+            item.addr = std::stoull(addr_hex, nullptr, 16);
+            item.isWrite = kind == "w";
+        } else {
+            camo_fatal("trace parse error at line ", lineno,
+                       ": bad op kind '", kind, "'");
+        }
+        items.push_back(item);
+    }
+    return ReplayTrace(std::move(items), std::move(name));
+}
+
+ReplayTrace
+ReplayTrace::fromFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        camo_fatal("cannot read trace file: ", path);
+    return fromStream(is, "replay:" + path);
+}
+
+TraceItem
+ReplayTrace::next(Cycle now)
+{
+    (void)now;
+    const TraceItem &item = items_[idx_];
+    ++idx_;
+    if (idx_ >= items_.size()) {
+        idx_ = 0;
+        ++loops_;
+    }
+    return item;
+}
+
+} // namespace camo::trace

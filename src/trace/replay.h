@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Trace recording and replay.
+ *
+ * RecordingTrace wraps any TraceSource and logs the items it serves;
+ * the log can be saved to a simple line-oriented text format and
+ * replayed later with ReplayTrace (looping forever, like every other
+ * source). This is how users plug their own application traces into
+ * the simulator, and how regression tests freeze a synthetic
+ * workload's exact behaviour.
+ *
+ * Format: one item per line, "<waitCycles> <gapInstrs> <addrHex> <r|w|->"
+ * ('-' marks an instructions-only item). Lines starting with '#' are
+ * comments.
+ */
+
+#ifndef CAMO_TRACE_REPLAY_H
+#define CAMO_TRACE_REPLAY_H
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace camo::trace {
+
+/** Pass-through wrapper that records the served items. */
+class RecordingTrace : public TraceSource
+{
+  public:
+    /**
+     * @param inner the source to wrap
+     * @param max_items recording stops (pass-through continues) after
+     *        this many items
+     */
+    RecordingTrace(std::unique_ptr<TraceSource> inner,
+                   std::size_t max_items = 1 << 20);
+
+    const std::string &name() const override { return name_; }
+    TraceItem next(Cycle now) override;
+
+    const std::vector<TraceItem> &items() const { return items_; }
+
+    /** Write the recorded items in replay format. */
+    void save(std::ostream &os) const;
+    void saveFile(const std::string &path) const;
+
+  private:
+    std::unique_ptr<TraceSource> inner_;
+    std::size_t maxItems_;
+    std::vector<TraceItem> items_;
+    std::string name_;
+};
+
+/** Replays a recorded item sequence, looping forever. */
+class ReplayTrace : public TraceSource
+{
+  public:
+    explicit ReplayTrace(std::vector<TraceItem> items,
+                         std::string name = "replay");
+
+    /** Parse the replay text format. camo_fatal on syntax errors. */
+    static ReplayTrace fromStream(std::istream &is,
+                                  std::string name = "replay");
+    static ReplayTrace fromFile(const std::string &path);
+
+    const std::string &name() const override { return name_; }
+    TraceItem next(Cycle now) override;
+
+    std::size_t size() const { return items_.size(); }
+    std::uint64_t loops() const { return loops_; }
+
+  private:
+    std::vector<TraceItem> items_;
+    std::string name_;
+    std::size_t idx_ = 0;
+    std::uint64_t loops_ = 0;
+};
+
+} // namespace camo::trace
+
+#endif // CAMO_TRACE_REPLAY_H

@@ -1,0 +1,104 @@
+#include "src/trace/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace camo::trace {
+
+SyntheticWorkload::SyntheticWorkload(const WorkloadParams &params,
+                                     std::uint64_t seed)
+    : params_(params), rng_(seed)
+{
+    camo_assert(params_.memPerKiloInstr > 0 &&
+                    params_.memPerKiloInstr <= 1000.0,
+                "memPerKiloInstr must be in (0, 1000]");
+    camo_assert(params_.coldFrac >= 0 && params_.coldFrac <= 1.0,
+                "coldFrac must be in [0, 1]");
+    camo_assert(params_.hotBytes >= 64 && params_.coldBytes >= 4096,
+                "address regions too small");
+    seqCursor_ = params_.addrBase + params_.hotBytes;
+    phaseInstrsLeft_ = static_cast<std::uint64_t>(
+        std::max(1.0, params_.highPhaseMeanInstrs));
+}
+
+void
+SyntheticWorkload::maybeSwitchPhase()
+{
+    if (phaseInstrsLeft_ > 0)
+        return;
+    highPhase_ = !highPhase_;
+    const double mean = highPhase_ ? params_.highPhaseMeanInstrs
+                                   : params_.lowPhaseMeanInstrs;
+    // Exponentially distributed phase length (memoryless switching).
+    const double u = std::max(1e-12, rng_.uniform());
+    phaseInstrsLeft_ =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                       -mean * std::log(u)));
+}
+
+Addr
+SyntheticWorkload::pickAddr(bool cold)
+{
+    if (!cold) {
+        // Hot set: uniform within a small cache-resident region.
+        const Addr offset = rng_.below(params_.hotBytes) & ~Addr{7};
+        return params_.addrBase + offset;
+    }
+    const Addr cold_base = params_.addrBase + params_.hotBytes;
+    if (rng_.chance(params_.seqFrac)) {
+        seqCursor_ += 64; // next cache line: row-buffer friendly
+        if (seqCursor_ >= cold_base + params_.coldBytes)
+            seqCursor_ = cold_base;
+        return seqCursor_;
+    }
+    const Addr offset = rng_.below(params_.coldBytes) & ~Addr{63};
+    seqCursor_ = cold_base + offset; // streams restart at the jump
+    return seqCursor_;
+}
+
+TraceItem
+SyntheticWorkload::next(Cycle now)
+{
+    (void)now; // instruction-paced: wall-clock time is irrelevant
+    TraceItem item;
+
+    // Continue an in-progress cold burst: back-to-back memory ops.
+    if (burstLeft_ > 0) {
+        --burstLeft_;
+        item.gapInstrs = 0;
+        item.addr = pickAddr(/*cold=*/true);
+        item.isWrite = rng_.chance(params_.writeFrac);
+        ++instrCount_;
+        if (phaseInstrsLeft_ > 0)
+            --phaseInstrsLeft_;
+        maybeSwitchPhase();
+        return item;
+    }
+
+    // Geometric gap to the next memory instruction.
+    const double mem_prob = params_.memPerKiloInstr / 1000.0;
+    std::uint64_t gap = 0;
+    while (!rng_.chance(mem_prob) && gap < 100000)
+        ++gap;
+
+    item.gapInstrs = gap;
+    const double scale = highPhase_ ? 1.0 : params_.lowIntensityScale;
+    const bool cold = rng_.chance(params_.coldFrac * scale);
+    item.addr = pickAddr(cold);
+    item.isWrite = rng_.chance(params_.writeFrac);
+
+    if (cold && rng_.chance(params_.burstContinue)) {
+        burstLeft_ =
+            rng_.burstLength(params_.burstContinue, params_.burstCap) - 1;
+    }
+
+    const std::uint64_t instrs = gap + 1;
+    instrCount_ += instrs;
+    phaseInstrsLeft_ -= std::min(phaseInstrsLeft_, instrs);
+    maybeSwitchPhase();
+    return item;
+}
+
+} // namespace camo::trace

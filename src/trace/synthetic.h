@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Parameterized synthetic workload model.
+ *
+ * The model reproduces the aspects of a benchmark's memory behaviour
+ * Camouflage's evaluation depends on (DESIGN.md §5): demand intensity,
+ * burstiness, phase changes, row-buffer locality, and read/write mix.
+ *
+ * Structure: a two-state (HIGH/LOW intensity) Markov phase modulator
+ * scales the base memory-op probability; memory ops target either a
+ * small hot set (cache-resident) or a large cold region; cold accesses
+ * stream sequentially with probability `seqFrac` (row-buffer hits) or
+ * jump randomly; bursts cluster consecutive memory ops.
+ */
+
+#ifndef CAMO_TRACE_SYNTHETIC_H
+#define CAMO_TRACE_SYNTHETIC_H
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/trace/trace.h"
+
+namespace camo::trace {
+
+/** Knobs of the synthetic workload model. */
+struct WorkloadParams
+{
+    std::string name = "synthetic";
+
+    /** Memory instructions per 1000 instructions. */
+    double memPerKiloInstr = 300.0;
+    /** Fraction of memory ops that target the cold (LLC-missing)
+     *  region; this controls LLC MPKI. */
+    double coldFrac = 0.02;
+    /** Fraction of cold accesses that continue a sequential stream
+     *  (row-buffer locality); the rest jump randomly. */
+    double seqFrac = 0.5;
+    /** Probability a cold access continues a burst. */
+    double burstContinue = 0.5;
+    /** Maximum burst length. */
+    std::uint64_t burstCap = 32;
+    /** Fraction of memory ops that are stores. */
+    double writeFrac = 0.3;
+
+    /** Hot working-set bytes (should fit in L1/L2). */
+    std::uint64_t hotBytes = 16 * 1024;
+    /** Cold region bytes (must dwarf the LLC). */
+    std::uint64_t coldBytes = 64ULL * 1024 * 1024;
+
+    /** Mean instructions spent in the HIGH-intensity phase. */
+    double highPhaseMeanInstrs = 50000.0;
+    /** Mean instructions spent in the LOW-intensity phase. */
+    double lowPhaseMeanInstrs = 50000.0;
+    /** Cold-access multiplier while in the LOW phase (0..1]. */
+    double lowIntensityScale = 0.25;
+
+    /** Base of this workload's address space (keeps cores disjoint). */
+    Addr addrBase = 0;
+};
+
+/** Synthetic workload generator. */
+class SyntheticWorkload : public TraceSource
+{
+  public:
+    SyntheticWorkload(const WorkloadParams &params, std::uint64_t seed);
+
+    const std::string &name() const override { return params_.name; }
+    TraceItem next(Cycle now) override;
+
+    const WorkloadParams &params() const { return params_; }
+    bool inHighPhase() const { return highPhase_; }
+
+  private:
+    Addr pickAddr(bool cold);
+    void maybeSwitchPhase();
+
+    WorkloadParams params_;
+    Rng rng_;
+    bool highPhase_ = true;
+    std::uint64_t phaseInstrsLeft_ = 0;
+    std::uint64_t burstLeft_ = 0;
+    Addr seqCursor_ = 0;
+    std::uint64_t instrCount_ = 0;
+};
+
+} // namespace camo::trace
+
+#endif // CAMO_TRACE_SYNTHETIC_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Trace-source abstraction feeding the cores.
+ *
+ * A trace is an infinite stream of TraceItems; each item is either a
+ * run of non-memory instructions or a single memory instruction
+ * preceded by a (possibly zero) run of non-memory instructions. The
+ * paper drove its simulator with gem5-generated SPECInt 2006 traces;
+ * we substitute synthetic models (see DESIGN.md §5).
+ */
+
+#ifndef CAMO_TRACE_TRACE_H
+#define CAMO_TRACE_TRACE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/types.h"
+
+namespace camo::trace {
+
+/** One unit of work from a trace. */
+struct TraceItem
+{
+    /**
+     * Busy-wait for this many CPU cycles before anything else in the
+     * item (models wall-clock pacing such as Algorithm 1's
+     * "while ElapsedTime < PULSE"). Dispatch stalls for the duration.
+     */
+    std::uint64_t waitCycles = 0;
+    /** Non-memory instructions preceding the memory op (may be 0). */
+    std::uint64_t gapInstrs = 0;
+    /** Memory op address; kNoAddr if this item is instructions only. */
+    Addr addr = kNoAddr;
+    bool isWrite = false;
+
+    bool hasMemOp() const { return addr != kNoAddr; }
+};
+
+/** An infinite instruction/memory stream. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+    virtual const std::string &name() const = 0;
+    /**
+     * Produce the next item. Streams never end.
+     * @param now current CPU cycle, for wall-clock-paced programs
+     *        (most workloads ignore it).
+     */
+    virtual TraceItem next(Cycle now) = 0;
+};
+
+} // namespace camo::trace
+
+#endif // CAMO_TRACE_TRACE_H

@@ -1,0 +1,201 @@
+#include "src/trace/workloads.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/common/logging.h"
+#include "src/trace/covert.h"
+
+namespace camo::trace {
+
+namespace {
+
+/**
+ * Benchmark parameter table. `coldFrac` is the dial for LLC MPKI
+ * (memory instructions/kilo-instr x coldFrac ~ LLC misses/kilo-instr);
+ * `seqFrac` the dial for row-buffer locality; the phase parameters
+ * give each benchmark its characteristic intensity swings.
+ */
+WorkloadParams
+baseParams(const std::string &name)
+{
+    WorkloadParams p;
+    p.name = name;
+
+    if (name == "mcf") {
+        // Pointer-chasing sparse graph: extremely memory intensive,
+        // poor locality, strong phases.
+        p.memPerKiloInstr = 350;
+        p.coldFrac = 0.17;
+        p.seqFrac = 0.15;
+        p.burstContinue = 0.60;
+        p.coldBytes = 512ULL << 20;
+        p.highPhaseMeanInstrs = 80000;
+        p.lowPhaseMeanInstrs = 40000;
+        p.lowIntensityScale = 0.35;
+        p.writeFrac = 0.25;
+    } else if (name == "libqt" || name == "libquantum") {
+        // Pure streaming over a large vector: intense and sequential.
+        p.memPerKiloInstr = 300;
+        p.coldFrac = 0.10;
+        p.seqFrac = 0.95;
+        p.burstContinue = 0.75;
+        p.coldBytes = 128ULL << 20;
+        p.highPhaseMeanInstrs = 200000;
+        p.lowPhaseMeanInstrs = 20000;
+        p.lowIntensityScale = 0.8;
+        p.writeFrac = 0.35;
+    } else if (name == "omnetpp") {
+        // Discrete-event simulator: heap-heavy, random, intensive.
+        p.memPerKiloInstr = 340;
+        p.coldFrac = 0.08;
+        p.seqFrac = 0.25;
+        p.burstContinue = 0.45;
+        p.coldBytes = 256ULL << 20;
+        p.highPhaseMeanInstrs = 60000;
+        p.lowPhaseMeanInstrs = 60000;
+        p.lowIntensityScale = 0.5;
+        p.writeFrac = 0.35;
+    } else if (name == "apache") {
+        // Request-driven server: bursty on/off behaviour, random.
+        p.memPerKiloInstr = 320;
+        p.coldFrac = 0.045;
+        p.seqFrac = 0.35;
+        p.burstContinue = 0.70;
+        p.burstCap = 64;
+        p.coldBytes = 128ULL << 20;
+        p.highPhaseMeanInstrs = 25000;
+        p.lowPhaseMeanInstrs = 75000;
+        p.lowIntensityScale = 0.1;
+        p.writeFrac = 0.3;
+    } else if (name == "astar") {
+        // Path-finding: moderate intensity, mixed locality.
+        p.memPerKiloInstr = 330;
+        p.coldFrac = 0.030;
+        p.seqFrac = 0.4;
+        p.burstContinue = 0.5;
+        p.coldBytes = 64ULL << 20;
+        p.highPhaseMeanInstrs = 70000;
+        p.lowPhaseMeanInstrs = 50000;
+        p.lowIntensityScale = 0.45;
+        p.writeFrac = 0.3;
+    } else if (name == "gcc") {
+        p.memPerKiloInstr = 310;
+        p.coldFrac = 0.020;
+        p.seqFrac = 0.45;
+        p.burstContinue = 0.55;
+        p.coldBytes = 96ULL << 20;
+        p.highPhaseMeanInstrs = 30000;
+        p.lowPhaseMeanInstrs = 30000;
+        p.lowIntensityScale = 0.3;
+        p.writeFrac = 0.35;
+    } else if (name == "bzip" || name == "bzip2") {
+        p.memPerKiloInstr = 290;
+        p.coldFrac = 0.014;
+        p.seqFrac = 0.7;
+        p.burstContinue = 0.6;
+        p.coldBytes = 48ULL << 20;
+        p.highPhaseMeanInstrs = 120000;
+        p.lowPhaseMeanInstrs = 80000;
+        p.lowIntensityScale = 0.5;
+        p.writeFrac = 0.4;
+    } else if (name == "hmmer") {
+        p.memPerKiloInstr = 380;
+        p.coldFrac = 0.009;
+        p.seqFrac = 0.8;
+        p.burstContinue = 0.7;
+        p.coldBytes = 32ULL << 20;
+        p.highPhaseMeanInstrs = 300000;
+        p.lowPhaseMeanInstrs = 30000;
+        p.lowIntensityScale = 0.7;
+        p.writeFrac = 0.3;
+    } else if (name == "h264ref") {
+        p.memPerKiloInstr = 350;
+        p.coldFrac = 0.005;
+        p.seqFrac = 0.75;
+        p.burstContinue = 0.5;
+        p.coldBytes = 32ULL << 20;
+        p.highPhaseMeanInstrs = 50000;
+        p.lowPhaseMeanInstrs = 50000;
+        p.lowIntensityScale = 0.6;
+        p.writeFrac = 0.3;
+    } else if (name == "gobmk") {
+        p.memPerKiloInstr = 280;
+        p.coldFrac = 0.004;
+        p.seqFrac = 0.3;
+        p.burstContinue = 0.35;
+        p.coldBytes = 24ULL << 20;
+        p.highPhaseMeanInstrs = 40000;
+        p.lowPhaseMeanInstrs = 40000;
+        p.lowIntensityScale = 0.5;
+        p.writeFrac = 0.3;
+    } else if (name == "sjeng") {
+        p.memPerKiloInstr = 270;
+        p.coldFrac = 0.003;
+        p.seqFrac = 0.25;
+        p.burstContinue = 0.3;
+        p.coldBytes = 96ULL << 20;
+        p.highPhaseMeanInstrs = 60000;
+        p.lowPhaseMeanInstrs = 60000;
+        p.lowIntensityScale = 0.6;
+        p.writeFrac = 0.25;
+    } else {
+        camo_fatal("unknown workload: ", name);
+    }
+    return p;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = {
+        "astar", "bzip", "gcc", "h264ref", "gobmk", "libqt",
+        "sjeng", "mcf", "hmmer", "omnetpp", "apache",
+    };
+    return names;
+}
+
+bool
+isKnownWorkload(const std::string &name)
+{
+    if (name == "probe" || name.rfind("covert:", 0) == 0)
+        return true;
+    const auto &names = workloadNames();
+    if (std::find(names.begin(), names.end(), name) != names.end())
+        return true;
+    return name == "bzip2" || name == "libquantum";
+}
+
+WorkloadParams
+workloadParams(const std::string &name)
+{
+    return baseParams(name);
+}
+
+std::unique_ptr<TraceSource>
+makeWorkload(const std::string &name, std::uint64_t seed, Addr addr_base)
+{
+    if (name == "probe") {
+        ProbeParams p;
+        p.base += addr_base;
+        return std::make_unique<ProbeWorkload>(p);
+    }
+    if (name.rfind("covert:", 0) == 0) {
+        const std::string hex = name.substr(7);
+        char *end = nullptr;
+        const unsigned long key = std::strtoul(hex.c_str(), &end, 16);
+        if (end == nullptr || *end != '\0')
+            camo_fatal("bad covert key (hex expected): ", hex);
+        CovertSenderParams p;
+        p.key = keyBits(static_cast<std::uint32_t>(key));
+        p.bufferBase += addr_base;
+        return std::make_unique<CovertSender>(p);
+    }
+    WorkloadParams p = baseParams(name);
+    p.addrBase = addr_base;
+    return std::make_unique<SyntheticWorkload>(p, seed);
+}
+
+} // namespace camo::trace

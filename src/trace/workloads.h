@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Registry of the paper's evaluation workloads.
+ *
+ * SPECInt 2006 benchmarks plus the Apache web server, modelled
+ * synthetically (DESIGN.md §5). Parameters encode each benchmark's
+ * qualitative memory character: demand intensity (LLC MPKI ordering:
+ * mcf >> libquantum ~ omnetpp > apache > astar > gcc > bzip2 > hmmer >
+ * h264ref > gobmk > sjeng), sequential vs pointer-chasing access, and
+ * phase/burst structure.
+ */
+
+#ifndef CAMO_TRACE_WORKLOADS_H
+#define CAMO_TRACE_WORKLOADS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/trace/synthetic.h"
+#include "src/trace/trace.h"
+
+namespace camo::trace {
+
+/** Names of the 11 evaluation workloads, in the paper's order. */
+const std::vector<std::string> &workloadNames();
+
+/** Is `name` a known workload (including "covert:..." / "probe")? */
+bool isKnownWorkload(const std::string &name);
+
+/** Parameters for one of the 11 named workloads. */
+WorkloadParams workloadParams(const std::string &name);
+
+/**
+ * Instantiate a workload trace.
+ *
+ * Accepted names: the 11 benchmark names; "probe" (constant-rate
+ * measuring adversary); "covert:HEX" (Algorithm 1 sender with a
+ * 32-bit key, e.g. "covert:2AAAAAAA").
+ *
+ * @param addr_base keeps different cores' address spaces disjoint.
+ */
+std::unique_ptr<TraceSource> makeWorkload(const std::string &name,
+                                          std::uint64_t seed,
+                                          Addr addr_base);
+
+} // namespace camo::trace
+
+#endif // CAMO_TRACE_WORKLOADS_H

@@ -1,0 +1,352 @@
+/** @file Unit and property tests for src/common. */
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/clock.h"
+#include "src/common/histogram.h"
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+
+namespace camo {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL,
+                                1ULL << 40}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(rng.below(bound), bound) << "bound=" << bound;
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.range(5, 8);
+        ASSERT_GE(v, 5u);
+        ASSERT_LE(v, 8u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u) << "all values in [5,8] should appear";
+}
+
+TEST(Rng, UniformIsInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, BurstLengthBounds)
+{
+    Rng rng(17);
+    for (int i = 0; i < 500; ++i) {
+        const auto len = rng.burstLength(0.7, 16);
+        ASSERT_GE(len, 1u);
+        ASSERT_LE(len, 16u);
+    }
+    // p=0 always yields length 1.
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.burstLength(0.0, 16), 1u);
+}
+
+// ---------------------------------------------------------- Histogram
+
+TEST(Histogram, BinOfRespectsEdges)
+{
+    Histogram h({0, 10, 100, 1000});
+    EXPECT_EQ(h.binOf(0), 0u);
+    EXPECT_EQ(h.binOf(9), 0u);
+    EXPECT_EQ(h.binOf(10), 1u);
+    EXPECT_EQ(h.binOf(99), 1u);
+    EXPECT_EQ(h.binOf(100), 2u);
+    EXPECT_EQ(h.binOf(1000), 3u);
+    EXPECT_EQ(h.binOf(~0ULL), 3u);
+}
+
+TEST(Histogram, CountsAndPmf)
+{
+    Histogram h({0, 10});
+    h.add(1);
+    h.add(2);
+    h.add(3);
+    h.add(50);
+    EXPECT_EQ(h.totalCount(), 4u);
+    EXPECT_EQ(h.count(0), 3u);
+    EXPECT_EQ(h.count(1), 1u);
+    const auto p = h.pmf();
+    EXPECT_DOUBLE_EQ(p[0], 0.75);
+    EXPECT_DOUBLE_EQ(p[1], 0.25);
+}
+
+TEST(Histogram, WeightedAdd)
+{
+    Histogram h({0, 10});
+    h.add(5, 7);
+    EXPECT_EQ(h.count(0), 7u);
+    EXPECT_EQ(h.totalCount(), 7u);
+}
+
+TEST(Histogram, EntropyUniformIsLogN)
+{
+    Histogram h({0, 1, 2, 3});
+    for (std::uint64_t v : {0u, 1u, 2u, 3u})
+        h.add(v, 100);
+    EXPECT_NEAR(h.entropyBits(), 2.0, 1e-9);
+}
+
+TEST(Histogram, EntropyDegenerateIsZero)
+{
+    Histogram h({0, 1});
+    h.add(0, 1000);
+    EXPECT_DOUBLE_EQ(h.entropyBits(), 0.0);
+    Histogram empty({0, 1});
+    EXPECT_DOUBLE_EQ(empty.entropyBits(), 0.0);
+}
+
+TEST(Histogram, TotalVariationDistance)
+{
+    Histogram a({0, 1}), b({0, 1});
+    a.add(0, 100);
+    b.add(1, 100);
+    EXPECT_DOUBLE_EQ(a.totalVariationDistance(b), 1.0);
+    EXPECT_DOUBLE_EQ(a.totalVariationDistance(a), 0.0);
+}
+
+TEST(Histogram, GeometricEdgesStrictlyIncrease)
+{
+    const auto h = Histogram::makeGeometric(16, 2, 1.3);
+    ASSERT_EQ(h.numBins(), 16u);
+    for (std::size_t i = 1; i < h.numBins(); ++i)
+        ASSERT_GT(h.lowerEdge(i), h.lowerEdge(i - 1));
+    EXPECT_EQ(h.lowerEdge(0), 0u);
+}
+
+TEST(Histogram, LinearEdges)
+{
+    const auto h = Histogram::makeLinear(5, 10);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(h.lowerEdge(i), i * 10);
+}
+
+TEST(Histogram, ClearRetainsEdges)
+{
+    Histogram h({0, 5});
+    h.add(7);
+    h.clear();
+    EXPECT_EQ(h.totalCount(), 0u);
+    EXPECT_EQ(h.binOf(7), 1u);
+}
+
+TEST(Histogram, AsciiRendersEveryBin)
+{
+    Histogram h({0, 10, 20});
+    h.add(1, 10);
+    const auto s = h.toAscii(10);
+    EXPECT_NE(s.find("[0, 10)"), std::string::npos);
+    EXPECT_NE(s.find("inf)"), std::string::npos);
+}
+
+/** Property: pmf always sums to 1 (or 0 when empty). */
+class HistogramPmfProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HistogramPmfProperty, PmfSumsToOne)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const std::size_t nbins = 2 + rng.below(20);
+    auto h = Histogram::makeGeometric(nbins, 1 + rng.below(10),
+                                      1.1 + rng.uniform());
+    const std::size_t samples = 1 + rng.below(500);
+    for (std::size_t i = 0; i < samples; ++i)
+        h.add(rng.below(100000));
+    double sum = 0;
+    for (const double p : h.pmf())
+        sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_EQ(h.totalCount(), samples);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramPmfProperty,
+                         ::testing::Range(0, 12));
+
+// -------------------------------------------------------------- Stats
+
+TEST(Stats, CountersAccumulate)
+{
+    StatGroup g;
+    g.inc("a");
+    g.inc("a", 4);
+    EXPECT_EQ(g.counter("a"), 5u);
+    EXPECT_EQ(g.counter("missing"), 0u);
+    EXPECT_TRUE(g.hasCounter("a"));
+    EXPECT_FALSE(g.hasCounter("missing"));
+}
+
+TEST(Stats, ScalarTracksMinMaxMean)
+{
+    StatGroup g;
+    g.sample("x", 1.0);
+    g.sample("x", 3.0);
+    g.sample("x", 2.0);
+    const Scalar &s = g.scalar("x");
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(Stats, EmptyScalarIsZero)
+{
+    StatGroup g;
+    const Scalar &s = g.scalar("nope");
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Stats, ClearResets)
+{
+    StatGroup g;
+    g.inc("a");
+    g.sample("x", 1.0);
+    g.clear();
+    EXPECT_EQ(g.counter("a"), 0u);
+    EXPECT_EQ(g.scalar("x").count(), 0u);
+}
+
+TEST(Stats, DumpContainsNames)
+{
+    StatGroup g;
+    g.inc("reads", 3);
+    g.sample("lat", 5.5);
+    const auto s = g.dump("mc.");
+    EXPECT_NE(s.find("mc.reads = 3"), std::string::npos);
+    EXPECT_NE(s.find("mc.lat"), std::string::npos);
+}
+
+TEST(Stats, GeomeanBasics)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({3.0}), 3.0, 1e-12);
+}
+
+// -------------------------------------------------------- ClockDivider
+
+TEST(ClockDivider, ExactRatioLongRun)
+{
+    // 18/5: DDR3-1333 under a 2.4 GHz core.
+    ClockDivider div(18, 5);
+    const std::uint64_t cpu_ticks = 1800000;
+    std::uint64_t derived = 0;
+    for (std::uint64_t i = 0; i < cpu_ticks; ++i)
+        derived += div.tick();
+    EXPECT_EQ(derived, cpu_ticks * 5 / 18);
+    EXPECT_EQ(div.derivedTicks(), derived);
+}
+
+TEST(ClockDivider, UnityRatioTicksEveryCycle)
+{
+    ClockDivider div(1, 1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(div.tick());
+}
+
+/** Property: for random ratios, drift never exceeds one tick. */
+class DividerProperty
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(DividerProperty, NoDrift)
+{
+    const auto [num, den] = GetParam();
+    ClockDivider div(static_cast<std::uint64_t>(num),
+                     static_cast<std::uint64_t>(den));
+    for (std::uint64_t t = 1; t <= 100000; ++t) {
+        div.tick();
+        const double expect = static_cast<double>(t) * den / num;
+        EXPECT_LE(std::abs(static_cast<double>(div.derivedTicks()) -
+                           expect),
+                  1.0)
+            << "at t=" << t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ratios, DividerProperty,
+    ::testing::Values(std::make_pair(18, 5), std::make_pair(3, 1),
+                      std::make_pair(7, 2), std::make_pair(10, 3),
+                      std::make_pair(5, 4)));
+
+// ------------------------------------------------------------- Logging
+
+TEST(Logging, VerboseToggle)
+{
+    setVerbose(false);
+    EXPECT_FALSE(verbose());
+    setVerbose(true);
+    EXPECT_TRUE(verbose());
+}
+
+TEST(LoggingDeathTest, AssertAborts)
+{
+    EXPECT_DEATH(camo_assert(false, "boom"), "assertion failed");
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(camo_panic("bad state ", 42), "bad state 42");
+}
+
+TEST(LoggingDeathTest, FatalExitsCleanly)
+{
+    EXPECT_EXIT(camo_fatal("user error"),
+                ::testing::ExitedWithCode(1), "user error");
+}
+
+} // namespace
+} // namespace camo

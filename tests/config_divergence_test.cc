@@ -1,0 +1,144 @@
+/** @file Tests for the hardware config port and the distribution
+ *  divergence statistics. */
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/camouflage/config_port.h"
+#include "src/common/rng.h"
+#include "src/security/divergence.h"
+
+namespace camo {
+namespace {
+
+// ----------------------------------------------------------- config port
+
+TEST(ConfigPort, RoundTripDesired)
+{
+    const auto cfg = shaper::BinConfig::desired();
+    const auto regs = shaper::encodeConfig(cfg);
+    const auto back = shaper::decodeConfig(regs);
+    EXPECT_EQ(back.edges, cfg.edges);
+    EXPECT_EQ(back.credits, cfg.credits);
+    EXPECT_EQ(back.replenishPeriod, cfg.replenishPeriod);
+}
+
+TEST(ConfigPort, RoundTripRandomConfigs)
+{
+    Rng rng(5);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<std::uint32_t> credits(10);
+        for (auto &c : credits)
+            c = static_cast<std::uint32_t>(rng.below(1024));
+        if (std::count(credits.begin(), credits.end(), 0u) == 10)
+            credits[0] = 1;
+        const auto cfg = shaper::BinConfig::geometric(
+            credits, 5 + rng.below(50), 1.2 + rng.uniform(),
+            1000 + rng.below(100000));
+        const auto back =
+            shaper::decodeConfig(shaper::encodeConfig(cfg));
+        ASSERT_EQ(back.edges, cfg.edges);
+        ASSERT_EQ(back.credits, cfg.credits);
+        ASSERT_EQ(back.replenishPeriod, cfg.replenishPeriod);
+    }
+}
+
+TEST(ConfigPortDeathTest, OverflowingFieldsAreFatal)
+{
+    auto cfg = shaper::BinConfig::desired();
+    cfg.replenishPeriod = 1ULL << 30; // > 24-bit period register
+    EXPECT_EXIT(shaper::encodeConfig(cfg),
+                ::testing::ExitedWithCode(1), "does not fit");
+
+    auto cfg2 = shaper::BinConfig::desired(20, 1.7, 10000);
+    cfg2.edges.back() = 1ULL << 21; // > 20-bit edge register
+    EXPECT_EXIT(shaper::encodeConfig(cfg2),
+                ::testing::ExitedWithCode(1), "does not fit");
+}
+
+TEST(ConfigPort, StorageMatchesPaperScale)
+{
+    // 10 bins: 24 + 10*(20+10) programmed + 10*2*10 run-time
+    // = 524 bits — the "minimal hardware overhead" the paper claims.
+    const auto bits = shaper::hardwareStorageBits(10);
+    EXPECT_EQ(bits, 24u + 10 * 30 + 200);
+    EXPECT_LT(bits, 1024u) << "well under a kilobit per unit";
+}
+
+TEST(ConfigPort, ImageIsCompact)
+{
+    const auto regs = shaper::encodeConfig(shaper::BinConfig::desired());
+    // 24 + 10*30 = 324 bits -> 11 words.
+    EXPECT_LE(regs.words.size(), 11u);
+}
+
+// ------------------------------------------------------------ divergence
+
+TEST(Divergence, KlOfIdenticalIsZero)
+{
+    const std::vector<double> p = {0.5, 0.3, 0.2};
+    EXPECT_NEAR(security::klDivergenceBits(p, p), 0.0, 1e-6);
+}
+
+TEST(Divergence, KlDetectsMismatch)
+{
+    const std::vector<double> p = {0.9, 0.1};
+    const std::vector<double> q = {0.1, 0.9};
+    EXPECT_GT(security::klDivergenceBits(p, q), 1.0);
+}
+
+TEST(Divergence, KlHandlesZeroTargetMass)
+{
+    const std::vector<double> p = {0.5, 0.5};
+    const std::vector<double> q = {1.0, 0.0};
+    const double kl = security::klDivergenceBits(p, q);
+    EXPECT_GT(kl, 5.0) << "smoothed but still large";
+    EXPECT_TRUE(std::isfinite(kl));
+}
+
+TEST(Divergence, ChiSquareAcceptsSampledTruth)
+{
+    Rng rng(11);
+    const std::vector<double> pmf = {0.4, 0.3, 0.2, 0.1};
+    std::vector<std::uint64_t> observed(4, 0);
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform();
+        if (u < 0.4) ++observed[0];
+        else if (u < 0.7) ++observed[1];
+        else if (u < 0.9) ++observed[2];
+        else ++observed[3];
+    }
+    const auto r = security::chiSquareGoodnessOfFit(observed, pmf);
+    EXPECT_TRUE(r.fitsAtOnePercent) << "stat=" << r.statistic;
+}
+
+TEST(Divergence, ChiSquareRejectsWrongDistribution)
+{
+    const std::vector<double> pmf = {0.25, 0.25, 0.25, 0.25};
+    const std::vector<std::uint64_t> observed = {9000, 500, 300, 200};
+    const auto r = security::chiSquareGoodnessOfFit(observed, pmf);
+    EXPECT_FALSE(r.fitsAtOnePercent);
+    EXPECT_GT(r.statistic, 100.0);
+}
+
+TEST(Divergence, ChiSquarePoolsSparseCells)
+{
+    // Expected mass concentrated in cell 0; the tiny tail cells get
+    // pooled instead of dividing by ~0.
+    const std::vector<double> pmf = {0.97, 0.01, 0.01, 0.01};
+    const std::vector<std::uint64_t> observed = {97, 1, 1, 1};
+    const auto r = security::chiSquareGoodnessOfFit(observed, pmf);
+    EXPECT_TRUE(std::isfinite(r.statistic));
+    EXPECT_LE(r.degreesOfFreedom, 1u);
+}
+
+TEST(Divergence, ChiSquareEmptyObservation)
+{
+    const auto r = security::chiSquareGoodnessOfFit({0, 0}, {0.5, 0.5});
+    EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+}
+
+} // namespace
+} // namespace camo

@@ -1,0 +1,300 @@
+/** @file Tests for mutual information and the covert-channel decoder. */
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/security/covert_receiver.h"
+#include "src/security/mutual_information.h"
+#include "src/trace/covert.h"
+
+namespace camo::security {
+namespace {
+
+// -------------------------------------------------- JointDistribution
+
+TEST(JointDistribution, IdenticalVariablesGiveEntropy)
+{
+    JointDistribution joint(4, 4);
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.below(4);
+        joint.add(v, v);
+    }
+    EXPECT_NEAR(joint.mutualInformationBits(), 2.0, 0.05);
+    EXPECT_NEAR(joint.entropyXBits(), 2.0, 0.05);
+    EXPECT_NEAR(joint.entropyYBits(), 2.0, 0.05);
+}
+
+TEST(JointDistribution, IndependentVariablesNearZero)
+{
+    JointDistribution joint(8, 8);
+    Rng rng(5);
+    for (int i = 0; i < 50000; ++i)
+        joint.add(rng.below(8), rng.below(8));
+    EXPECT_LT(joint.mutualInformationBits(), 0.01);
+    EXPECT_LT(joint.mutualInformationBitsCorrected(),
+              joint.mutualInformationBits() + 1e-12);
+}
+
+TEST(JointDistribution, MiBoundedByMarginalEntropies)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        JointDistribution joint(6, 5);
+        const int n = 100 + static_cast<int>(rng.below(1000));
+        for (int i = 0; i < n; ++i) {
+            const auto x = rng.below(6);
+            // Partially dependent y.
+            const auto y =
+                rng.chance(0.5) ? x % 5 : rng.below(5);
+            joint.add(x, y);
+        }
+        const double mi = joint.mutualInformationBits();
+        EXPECT_GE(mi, 0.0);
+        EXPECT_LE(mi, joint.entropyXBits() + 1e-9);
+        EXPECT_LE(mi, joint.entropyYBits() + 1e-9);
+    }
+}
+
+TEST(JointDistribution, EmptyIsZero)
+{
+    JointDistribution joint(4, 4);
+    EXPECT_DOUBLE_EQ(joint.mutualInformationBits(), 0.0);
+    EXPECT_DOUBLE_EQ(joint.mutualInformationBitsCorrected(), 0.0);
+    EXPECT_DOUBLE_EQ(joint.entropyXBits(), 0.0);
+}
+
+TEST(JointDistribution, WeightedCounts)
+{
+    JointDistribution joint(2, 2);
+    joint.add(0, 0, 50);
+    joint.add(1, 1, 50);
+    EXPECT_EQ(joint.total(), 100u);
+    EXPECT_EQ(joint.count(0, 0), 50u);
+    EXPECT_NEAR(joint.mutualInformationBits(), 1.0, 1e-9);
+}
+
+TEST(JointDistribution, CorrectionReducesSmallSampleBias)
+{
+    // Independent variables, few samples: the plug-in estimate is
+    // biased up; the corrected one should be much closer to zero.
+    Rng rng(11);
+    JointDistribution joint(8, 8);
+    for (int i = 0; i < 200; ++i)
+        joint.add(rng.below(8), rng.below(8));
+    const double raw = joint.mutualInformationBits();
+    const double corrected = joint.mutualInformationBitsCorrected();
+    EXPECT_GT(raw, 0.05) << "bias should be visible at n=200";
+    EXPECT_LT(corrected, raw / 2);
+}
+
+// ------------------------------------------------------ shaping MI
+
+std::vector<shaper::TrafficEvent>
+eventsFromGaps(const std::vector<Cycle> &gaps)
+{
+    std::vector<shaper::TrafficEvent> ev;
+    Cycle t = 0;
+    ev.push_back({t, false});
+    for (const Cycle g : gaps) {
+        t += g;
+        ev.push_back({t, false});
+    }
+    return ev;
+}
+
+TEST(ShapingMi, PassThroughLeaksEverything)
+{
+    Rng rng(13);
+    std::vector<Cycle> gaps;
+    for (int i = 0; i < 20000; ++i)
+        gaps.push_back(1 + rng.below(1000));
+    const auto events = eventsFromGaps(gaps);
+    const auto quantizer = makeMiQuantizer(16, 8, 1.7);
+    const auto r = computeShapingMi(events, events, quantizer);
+    const auto h = computeUnshapedLeakage(events, quantizer);
+    EXPECT_NEAR(r.miBits, h.intrinsicEntropy, 0.1)
+        << "identity shaping leaks H(X)";
+    EXPECT_GT(h.intrinsicEntropy, 2.0);
+}
+
+TEST(ShapingMi, ConstantOutputLeaksNothing)
+{
+    Rng rng(17);
+    std::vector<Cycle> in_gaps, out_gaps;
+    for (int i = 0; i < 20000; ++i) {
+        in_gaps.push_back(1 + rng.below(1000));
+        out_gaps.push_back(100); // constant-rate output
+    }
+    const auto r = computeShapingMi(eventsFromGaps(in_gaps),
+                                    eventsFromGaps(out_gaps),
+                                    makeMiQuantizer(16, 8, 1.7));
+    EXPECT_LT(r.miBits, 0.01);
+    EXPECT_LT(r.shapedEntropy, 0.01);
+}
+
+TEST(ShapingMi, FakeEventsUseIdleSymbol)
+{
+    std::vector<shaper::TrafficEvent> intrinsic = {{0, false},
+                                                   {1000, false}};
+    std::vector<shaper::TrafficEvent> shaped = {
+        {0, false}, {100, true}, {200, true}, {300, false}};
+    const auto r = computeShapingMi(intrinsic, shaped,
+                                    makeMiQuantizer(8, 8, 2.0));
+    EXPECT_EQ(r.fakeEvents, 2u);
+    EXPECT_GT(r.pairs, 0u);
+}
+
+TEST(ShapingMi, UnshapedLeakageEqualsEntropy)
+{
+    Rng rng(19);
+    std::vector<Cycle> gaps;
+    for (int i = 0; i < 5000; ++i)
+        gaps.push_back(1 + rng.below(300));
+    const auto events = eventsFromGaps(gaps);
+    const auto r =
+        computeUnshapedLeakage(events, makeMiQuantizer(16, 8, 1.7));
+    EXPECT_DOUBLE_EQ(r.miBits, r.intrinsicEntropy);
+    EXPECT_GT(r.miBits, 1.0);
+}
+
+// ------------------------------------------------------ windowed MI
+
+TEST(WindowedCrossMi, DependentStreamsDetected)
+{
+    // Victim activity alternates per window; adversary latency follows.
+    std::vector<shaper::TrafficEvent> victim;
+    std::vector<LatencySample> adversary;
+    Rng rng(23);
+    for (Cycle w = 0; w < 400; ++w) {
+        const bool busy = (w / 2) % 2 == 0;
+        const Cycle base = w * 1000;
+        const int victim_events = busy ? 20 : 2;
+        for (int i = 0; i < victim_events; ++i)
+            victim.push_back({base + rng.below(1000), false});
+        for (int i = 0; i < 5; ++i) {
+            adversary.push_back(
+                {base + rng.below(1000),
+                 (busy ? 400u : 100u) + rng.below(30)});
+        }
+    }
+    const auto r = computeWindowedCrossMi(victim, adversary, 1000, 4);
+    EXPECT_GT(r.miBits, 0.5);
+}
+
+TEST(WindowedCrossMi, IndependentStreamsNearZero)
+{
+    std::vector<shaper::TrafficEvent> victim;
+    std::vector<LatencySample> adversary;
+    Rng rng(29);
+    for (Cycle w = 0; w < 800; ++w) {
+        const Cycle base = w * 1000;
+        const auto n = rng.below(20);
+        for (std::uint64_t i = 0; i < n; ++i)
+            victim.push_back({base + rng.below(1000), false});
+        for (int i = 0; i < 5; ++i)
+            adversary.push_back(
+                {base + rng.below(1000), 100 + rng.below(300)});
+    }
+    const auto r = computeWindowedCrossMi(victim, adversary, 1000, 4);
+    EXPECT_LT(r.miBits, 0.05);
+}
+
+TEST(WindowedCrossMi, EmptyInputsAreZero)
+{
+    const auto r = computeWindowedCrossMi({}, {}, 1000, 4);
+    EXPECT_DOUBLE_EQ(r.miBits, 0.0);
+    EXPECT_EQ(r.windows, 0u);
+}
+
+TEST(WindowedCrossMiCounts, TracksSharedStructure)
+{
+    std::vector<shaper::TrafficEvent> x, y;
+    Rng rng(31);
+    for (Cycle w = 0; w < 600; ++w) {
+        const bool busy = rng.chance(0.5);
+        const Cycle base = w * 1000;
+        const int n = busy ? 15 : 1;
+        for (int i = 0; i < n; ++i) {
+            x.push_back({base + rng.below(1000), false});
+            y.push_back({base + rng.below(1000), false});
+        }
+    }
+    const auto dependent = computeWindowedCrossMiCounts(x, y, 1000, 4);
+    EXPECT_GT(dependent.miBits, 0.5);
+}
+
+// ------------------------------------------------------ covert decode
+
+TEST(CovertDecoder, CleanSignalDecodesExactly)
+{
+    // Latency 400 in 1-windows, 100 in 0-windows.
+    const auto key = trace::keyBits(0xB4u, 8); // 10110100
+    std::vector<LatencySample> samples;
+    for (std::size_t bit = 0; bit < key.size(); ++bit) {
+        const Cycle base = static_cast<Cycle>(bit) * 1000;
+        for (int i = 0; i < 10; ++i) {
+            samples.push_back(
+                {base + 100 * static_cast<Cycle>(i),
+                 key[bit] ? 400u : 100u});
+        }
+    }
+    CovertDecoderConfig cfg;
+    cfg.windowCycles = 1000;
+    const auto decoded = decodeCovert(samples, cfg, key.size());
+    ASSERT_EQ(decoded.bits.size(), key.size());
+    for (std::size_t i = 0; i < key.size(); ++i)
+        EXPECT_EQ(decoded.bits[i], key[i]) << "bit " << i;
+    EXPECT_DOUBLE_EQ(bitErrorRate(decoded.bits, key), 0.0);
+}
+
+TEST(CovertDecoder, NoisySignalStillDecodes)
+{
+    const auto key = trace::keyBits(0x2AAAAAAAu);
+    Rng rng(37);
+    std::vector<LatencySample> samples;
+    for (std::size_t bit = 0; bit < key.size(); ++bit) {
+        const Cycle base = static_cast<Cycle>(bit) * 2000;
+        for (int i = 0; i < 20; ++i) {
+            const Cycle noise = rng.below(120);
+            samples.push_back({base + 100 * static_cast<Cycle>(i),
+                               (key[bit] ? 350u : 150u) + noise});
+        }
+    }
+    CovertDecoderConfig cfg;
+    cfg.windowCycles = 2000;
+    const auto decoded = decodeCovert(samples, cfg, key.size());
+    EXPECT_LT(bitErrorRate(decoded.bits, key), 0.1);
+}
+
+TEST(BitErrorRate, FindsBestCyclicAlignment)
+{
+    const std::vector<bool> key = {true, false, false, true};
+    // Decoded stream shifted by 1.
+    const std::vector<bool> decoded = {false, false, true, true};
+    EXPECT_DOUBLE_EQ(bitErrorRate(decoded, key), 0.0);
+}
+
+TEST(BitErrorRate, RandomGuessNearHalf)
+{
+    Rng rng(41);
+    const auto key = trace::keyBits(0xDEADBEEFu);
+    std::vector<bool> decoded;
+    for (int i = 0; i < 512; ++i)
+        decoded.push_back(rng.chance(0.5));
+    const double ber = bitErrorRate(decoded, key);
+    EXPECT_GT(ber, 0.35);
+    EXPECT_LE(ber, 0.5);
+}
+
+TEST(BitErrorRate, EmptyInputsAreChance)
+{
+    EXPECT_DOUBLE_EQ(bitErrorRate({}, {true}), 0.5);
+}
+
+} // namespace
+} // namespace camo::security

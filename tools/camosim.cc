@@ -1,0 +1,236 @@
+/**
+ * @file
+ * camosim — command-line driver for the Camouflage simulator.
+ *
+ * Runs a workload mix on the paper's Table II machine under a chosen
+ * mitigation and prints per-core results (optionally as CSV), with
+ * knobs for the interesting configuration surface. Examples:
+ *
+ *   camosim --workloads=mcf,astar,astar,astar --mitigation=bdc
+ *   camosim --workloads=probe,apache,apache,apache --mitigation=respc \
+ *           --shape-cores=0 --cycles=2000000 --csv
+ *   camosim --workloads=bzip,astar,astar,astar --mitigation=bdc --ga
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/sim/presets.h"
+#include "src/sim/runner.h"
+#include "src/trace/workloads.h"
+
+using namespace camo;
+
+namespace {
+
+struct Options
+{
+    std::vector<std::string> workloads;
+    sim::Mitigation mitigation = sim::Mitigation::None;
+    Cycle cycles = 1000000;
+    Cycle warmup = 50000;
+    std::uint64_t seed = 1;
+    std::uint32_t channels = 1;
+    bool fakeTraffic = true;
+    bool randomizeTiming = false;
+    bool csv = false;
+    bool runGa = false;
+    std::size_t gaGenerations = 8;
+    std::size_t gaPopulation = 14;
+    std::vector<bool> shapeCores; // empty = all
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --workloads=w0,w1,...   one per core (default mcf,astar x3)\n"
+        "  --mitigation=M          none|cs|reqc|respc|bdc|tp|fs\n"
+        "  --cycles=N --warmup=N   measurement window (CPU cycles)\n"
+        "  --seed=N                deterministic RNG seed\n"
+        "  --channels=N            DRAM channels (default 1)\n"
+        "  --no-fakes              disable fake traffic generation\n"
+        "  --randomize-timing      SIV-B4 random slack\n"
+        "  --shape-cores=i,j,...   shape only the listed cores\n"
+        "  --ga [--ga-gens=N --ga-pop=N]  tune bins online first\n"
+        "  --csv                   machine-readable output\n"
+        "workloads: ",
+        argv0);
+    for (const auto &n : trace::workloadNames())
+        std::fprintf(stderr, "%s ", n.c_str());
+    std::fprintf(stderr, "probe covert:HEX\n");
+    std::exit(2);
+}
+
+sim::Mitigation
+parseMitigation(const std::string &s)
+{
+    if (s == "none") return sim::Mitigation::None;
+    if (s == "cs") return sim::Mitigation::CS;
+    if (s == "reqc") return sim::Mitigation::ReqC;
+    if (s == "respc") return sim::Mitigation::RespC;
+    if (s == "bdc") return sim::Mitigation::BDC;
+    if (s == "tp") return sim::Mitigation::TP;
+    if (s == "fs") return sim::Mitigation::FS;
+    camo_fatal("unknown mitigation: ", s);
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        const auto comma = s.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(s.substr(start));
+            break;
+        }
+        out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    opt.workloads = {"mcf", "astar", "astar", "astar"};
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&arg](const char *key) -> const char * {
+            const std::size_t n = std::strlen(key);
+            if (arg.compare(0, n, key) == 0 && arg.size() > n &&
+                arg[n] == '=') {
+                return arg.c_str() + n + 1;
+            }
+            return nullptr;
+        };
+        if (const char *v = value("--workloads")) {
+            opt.workloads = splitCommas(v);
+        } else if (const char *v = value("--mitigation")) {
+            opt.mitigation = parseMitigation(v);
+        } else if (const char *v = value("--cycles")) {
+            opt.cycles = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = value("--warmup")) {
+            opt.warmup = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = value("--seed")) {
+            opt.seed = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = value("--channels")) {
+            opt.channels = static_cast<std::uint32_t>(
+                std::strtoul(v, nullptr, 10));
+        } else if (arg == "--no-fakes") {
+            opt.fakeTraffic = false;
+        } else if (arg == "--randomize-timing") {
+            opt.randomizeTiming = true;
+        } else if (const char *v = value("--shape-cores")) {
+            opt.shapeCores.assign(opt.workloads.size(), false);
+            for (const auto &idx : splitCommas(v)) {
+                const auto c = std::strtoul(idx.c_str(), nullptr, 10);
+                if (c >= opt.shapeCores.size())
+                    camo_fatal("--shape-cores index out of range: ", c);
+                opt.shapeCores[c] = true;
+            }
+        } else if (arg == "--ga") {
+            opt.runGa = true;
+        } else if (const char *v = value("--ga-gens")) {
+            opt.gaGenerations = std::strtoul(v, nullptr, 10);
+        } else if (const char *v = value("--ga-pop")) {
+            opt.gaPopulation = std::strtoul(v, nullptr, 10);
+        } else if (arg == "--csv") {
+            opt.csv = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    for (const auto &w : opt.workloads) {
+        if (!trace::isKnownWorkload(w))
+            camo_fatal("unknown workload: ", w);
+    }
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+
+    sim::SystemConfig cfg = sim::paperConfig();
+    cfg.numCores = static_cast<std::uint32_t>(opt.workloads.size());
+    cfg.mitigation = opt.mitigation;
+    cfg.seed = opt.seed;
+    cfg.mc.org.channels = opt.channels;
+    cfg.fakeTraffic = opt.fakeTraffic;
+    cfg.randomizeTiming = opt.randomizeTiming;
+    cfg.shapeCore = opt.shapeCores;
+
+    if (opt.runGa) {
+        if (opt.mitigation != sim::Mitigation::BDC &&
+            opt.mitigation != sim::Mitigation::ReqC &&
+            opt.mitigation != sim::Mitigation::RespC) {
+            camo_fatal("--ga needs a Camouflage mitigation");
+        }
+        ga::GaConfig ga_cfg;
+        ga_cfg.generations = opt.gaGenerations;
+        ga_cfg.populationSize = opt.gaPopulation;
+        if (!opt.csv)
+            std::printf("# tuning bins online (%zu gens x %zu "
+                        "children)...\n", ga_cfg.generations,
+                        ga_cfg.populationSize);
+        const auto tuned = sim::runOnlineGa(cfg, opt.workloads, ga_cfg);
+        cfg.reqBinsPerCore = tuned.reqBinsPerCore;
+        cfg.respBinsPerCore = tuned.respBinsPerCore;
+        if (!opt.csv) {
+            std::printf("# GA leak bound: %.1f bits over %llu config "
+                        "cycles\n", tuned.configPhaseLeakBoundBits,
+                        static_cast<unsigned long long>(
+                            tuned.configPhaseCycles));
+        }
+    }
+
+    const auto m = sim::runConfig(cfg, opt.workloads, opt.cycles,
+                                  opt.warmup);
+
+    if (opt.csv) {
+        std::printf("core,workload,ipc,retired,served_reads,"
+                    "avg_read_latency,alpha\n");
+        for (std::size_t i = 0; i < m.ipc.size(); ++i) {
+            std::printf("%zu,%s,%.4f,%llu,%llu,%.1f,%.3f\n", i,
+                        opt.workloads[i].c_str(), m.ipc[i],
+                        static_cast<unsigned long long>(m.retired[i]),
+                        static_cast<unsigned long long>(
+                            m.servedReads[i]),
+                        m.avgReadLatency[i], m.alpha[i]);
+        }
+        return 0;
+    }
+
+    std::printf("%s", sim::tableIiBanner().c_str());
+    std::printf("# mitigation: %s, %llu cycles (+%llu warmup), "
+                "seed %llu\n\n",
+                sim::mitigationName(opt.mitigation),
+                static_cast<unsigned long long>(opt.cycles),
+                static_cast<unsigned long long>(opt.warmup),
+                static_cast<unsigned long long>(opt.seed));
+    std::printf("%4s %-14s %8s %12s %10s %10s %7s\n", "core",
+                "workload", "IPC", "retired", "reads", "avg lat",
+                "alpha");
+    for (std::size_t i = 0; i < m.ipc.size(); ++i) {
+        std::printf("%4zu %-14s %8.3f %12llu %10llu %10.1f %7.3f\n", i,
+                    opt.workloads[i].c_str(), m.ipc[i],
+                    static_cast<unsigned long long>(m.retired[i]),
+                    static_cast<unsigned long long>(m.servedReads[i]),
+                    m.avgReadLatency[i], m.alpha[i]);
+    }
+    std::printf("\nthroughput (sum IPC): %.3f\n", m.throughput());
+    return 0;
+}
