@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bins.dir/ablation_bins.cc.o"
+  "CMakeFiles/bench_ablation_bins.dir/ablation_bins.cc.o.d"
+  "bench_ablation_bins"
+  "bench_ablation_bins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

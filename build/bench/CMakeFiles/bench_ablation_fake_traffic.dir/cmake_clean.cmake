@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fake_traffic.dir/ablation_fake_traffic.cc.o"
+  "CMakeFiles/bench_ablation_fake_traffic.dir/ablation_fake_traffic.cc.o.d"
+  "bench_ablation_fake_traffic"
+  "bench_ablation_fake_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fake_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

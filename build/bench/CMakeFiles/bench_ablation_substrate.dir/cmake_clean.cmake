@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_substrate.dir/ablation_substrate.cc.o"
+  "CMakeFiles/bench_ablation_substrate.dir/ablation_substrate.cc.o.d"
+  "bench_ablation_substrate"
+  "bench_ablation_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

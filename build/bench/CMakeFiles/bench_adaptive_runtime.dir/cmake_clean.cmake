@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_runtime.dir/adaptive_runtime.cc.o"
+  "CMakeFiles/bench_adaptive_runtime.dir/adaptive_runtime.cc.o.d"
+  "bench_adaptive_runtime"
+  "bench_adaptive_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_respc.dir/fig10_respc.cc.o"
+  "CMakeFiles/bench_fig10_respc.dir/fig10_respc.cc.o.d"
+  "bench_fig10_respc"
+  "bench_fig10_respc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_respc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

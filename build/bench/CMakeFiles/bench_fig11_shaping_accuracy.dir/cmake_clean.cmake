@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_shaping_accuracy.dir/fig11_shaping_accuracy.cc.o"
+  "CMakeFiles/bench_fig11_shaping_accuracy.dir/fig11_shaping_accuracy.cc.o.d"
+  "bench_fig11_shaping_accuracy"
+  "bench_fig11_shaping_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_shaping_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

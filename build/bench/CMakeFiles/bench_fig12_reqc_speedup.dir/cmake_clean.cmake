@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_reqc_speedup.dir/fig12_reqc_speedup.cc.o"
+  "CMakeFiles/bench_fig12_reqc_speedup.dir/fig12_reqc_speedup.cc.o.d"
+  "bench_fig12_reqc_speedup"
+  "bench_fig12_reqc_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_reqc_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_bdc.dir/fig13_bdc.cc.o"
+  "CMakeFiles/bench_fig13_bdc.dir/fig13_bdc.cc.o.d"
+  "bench_fig13_bdc"
+  "bench_fig13_bdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_bdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

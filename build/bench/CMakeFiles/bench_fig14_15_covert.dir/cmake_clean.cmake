@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_15_covert.dir/fig14_15_covert.cc.o"
+  "CMakeFiles/bench_fig14_15_covert.dir/fig14_15_covert.cc.o.d"
+  "bench_fig14_15_covert"
+  "bench_fig14_15_covert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_15_covert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_tradeoff.dir/fig2_tradeoff.cc.o"
+  "CMakeFiles/bench_fig2_tradeoff.dir/fig2_tradeoff.cc.o.d"
+  "bench_fig2_tradeoff"
+  "bench_fig2_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ga_ablation.dir/ga_ablation.cc.o"
+  "CMakeFiles/bench_ga_ablation.dir/ga_ablation.cc.o.d"
+  "bench_ga_ablation"
+  "bench_ga_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ga_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mi_measurement.dir/mi_measurement.cc.o"
+  "CMakeFiles/bench_mi_measurement.dir/mi_measurement.cc.o.d"
+  "bench_mi_measurement"
+  "bench_mi_measurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mi_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

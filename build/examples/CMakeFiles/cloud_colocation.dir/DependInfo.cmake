@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cloud_colocation.cpp" "examples/CMakeFiles/cloud_colocation.dir/cloud_colocation.cpp.o" "gcc" "examples/CMakeFiles/cloud_colocation.dir/cloud_colocation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/camo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/camo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/camo_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/camo_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/camo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/camo_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/camo_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/camouflage/CMakeFiles/camo_shaper.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/camo_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/camo_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/camo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

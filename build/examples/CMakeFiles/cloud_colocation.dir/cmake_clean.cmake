@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_colocation.dir/cloud_colocation.cpp.o"
+  "CMakeFiles/cloud_colocation.dir/cloud_colocation.cpp.o.d"
+  "cloud_colocation"
+  "cloud_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

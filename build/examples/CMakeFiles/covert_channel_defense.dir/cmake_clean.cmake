@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covert_channel_defense.dir/covert_channel_defense.cpp.o"
+  "CMakeFiles/covert_channel_defense.dir/covert_channel_defense.cpp.o.d"
+  "covert_channel_defense"
+  "covert_channel_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covert_channel_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camo_cache.dir/cache.cc.o"
+  "CMakeFiles/camo_cache.dir/cache.cc.o.d"
+  "CMakeFiles/camo_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/camo_cache.dir/hierarchy.cc.o.d"
+  "libcamo_cache.a"
+  "libcamo_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camo_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

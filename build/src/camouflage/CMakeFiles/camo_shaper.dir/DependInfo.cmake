@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/camouflage/bin_config.cc" "src/camouflage/CMakeFiles/camo_shaper.dir/bin_config.cc.o" "gcc" "src/camouflage/CMakeFiles/camo_shaper.dir/bin_config.cc.o.d"
+  "/root/repo/src/camouflage/bin_shaper.cc" "src/camouflage/CMakeFiles/camo_shaper.dir/bin_shaper.cc.o" "gcc" "src/camouflage/CMakeFiles/camo_shaper.dir/bin_shaper.cc.o.d"
+  "/root/repo/src/camouflage/config_port.cc" "src/camouflage/CMakeFiles/camo_shaper.dir/config_port.cc.o" "gcc" "src/camouflage/CMakeFiles/camo_shaper.dir/config_port.cc.o.d"
+  "/root/repo/src/camouflage/monitor.cc" "src/camouflage/CMakeFiles/camo_shaper.dir/monitor.cc.o" "gcc" "src/camouflage/CMakeFiles/camo_shaper.dir/monitor.cc.o.d"
+  "/root/repo/src/camouflage/request_shaper.cc" "src/camouflage/CMakeFiles/camo_shaper.dir/request_shaper.cc.o" "gcc" "src/camouflage/CMakeFiles/camo_shaper.dir/request_shaper.cc.o.d"
+  "/root/repo/src/camouflage/response_shaper.cc" "src/camouflage/CMakeFiles/camo_shaper.dir/response_shaper.cc.o" "gcc" "src/camouflage/CMakeFiles/camo_shaper.dir/response_shaper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/camo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/camo_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/camo_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camo_shaper.dir/bin_config.cc.o"
+  "CMakeFiles/camo_shaper.dir/bin_config.cc.o.d"
+  "CMakeFiles/camo_shaper.dir/bin_shaper.cc.o"
+  "CMakeFiles/camo_shaper.dir/bin_shaper.cc.o.d"
+  "CMakeFiles/camo_shaper.dir/config_port.cc.o"
+  "CMakeFiles/camo_shaper.dir/config_port.cc.o.d"
+  "CMakeFiles/camo_shaper.dir/monitor.cc.o"
+  "CMakeFiles/camo_shaper.dir/monitor.cc.o.d"
+  "CMakeFiles/camo_shaper.dir/request_shaper.cc.o"
+  "CMakeFiles/camo_shaper.dir/request_shaper.cc.o.d"
+  "CMakeFiles/camo_shaper.dir/response_shaper.cc.o"
+  "CMakeFiles/camo_shaper.dir/response_shaper.cc.o.d"
+  "libcamo_shaper.a"
+  "libcamo_shaper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camo_shaper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

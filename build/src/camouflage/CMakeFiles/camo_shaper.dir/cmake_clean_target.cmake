@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcamo_shaper.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camo_common.dir/histogram.cc.o"
+  "CMakeFiles/camo_common.dir/histogram.cc.o.d"
+  "CMakeFiles/camo_common.dir/logging.cc.o"
+  "CMakeFiles/camo_common.dir/logging.cc.o.d"
+  "CMakeFiles/camo_common.dir/stats.cc.o"
+  "CMakeFiles/camo_common.dir/stats.cc.o.d"
+  "libcamo_common.a"
+  "libcamo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camo_core.dir/core.cc.o"
+  "CMakeFiles/camo_core.dir/core.cc.o.d"
+  "libcamo_core.a"
+  "libcamo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

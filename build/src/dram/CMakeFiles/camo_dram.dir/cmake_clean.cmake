@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camo_dram.dir/address.cc.o"
+  "CMakeFiles/camo_dram.dir/address.cc.o.d"
+  "CMakeFiles/camo_dram.dir/device.cc.o"
+  "CMakeFiles/camo_dram.dir/device.cc.o.d"
+  "libcamo_dram.a"
+  "libcamo_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camo_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ga/genetic.cc" "src/ga/CMakeFiles/camo_ga.dir/genetic.cc.o" "gcc" "src/ga/CMakeFiles/camo_ga.dir/genetic.cc.o.d"
+  "/root/repo/src/ga/mise.cc" "src/ga/CMakeFiles/camo_ga.dir/mise.cc.o" "gcc" "src/ga/CMakeFiles/camo_ga.dir/mise.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/camo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/camouflage/CMakeFiles/camo_shaper.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/camo_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/camo_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

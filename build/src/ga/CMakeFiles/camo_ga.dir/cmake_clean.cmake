@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camo_ga.dir/genetic.cc.o"
+  "CMakeFiles/camo_ga.dir/genetic.cc.o.d"
+  "CMakeFiles/camo_ga.dir/mise.cc.o"
+  "CMakeFiles/camo_ga.dir/mise.cc.o.d"
+  "libcamo_ga.a"
+  "libcamo_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camo_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camo_mem.dir/controller.cc.o"
+  "CMakeFiles/camo_mem.dir/controller.cc.o.d"
+  "CMakeFiles/camo_mem.dir/memory_system.cc.o"
+  "CMakeFiles/camo_mem.dir/memory_system.cc.o.d"
+  "CMakeFiles/camo_mem.dir/schedulers.cc.o"
+  "CMakeFiles/camo_mem.dir/schedulers.cc.o.d"
+  "libcamo_mem.a"
+  "libcamo_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camo_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

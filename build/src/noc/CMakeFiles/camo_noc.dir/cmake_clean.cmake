@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camo_noc.dir/channel.cc.o"
+  "CMakeFiles/camo_noc.dir/channel.cc.o.d"
+  "libcamo_noc.a"
+  "libcamo_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camo_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/security/covert_receiver.cc" "src/security/CMakeFiles/camo_security.dir/covert_receiver.cc.o" "gcc" "src/security/CMakeFiles/camo_security.dir/covert_receiver.cc.o.d"
+  "/root/repo/src/security/divergence.cc" "src/security/CMakeFiles/camo_security.dir/divergence.cc.o" "gcc" "src/security/CMakeFiles/camo_security.dir/divergence.cc.o.d"
+  "/root/repo/src/security/leakage_bound.cc" "src/security/CMakeFiles/camo_security.dir/leakage_bound.cc.o" "gcc" "src/security/CMakeFiles/camo_security.dir/leakage_bound.cc.o.d"
+  "/root/repo/src/security/mutual_information.cc" "src/security/CMakeFiles/camo_security.dir/mutual_information.cc.o" "gcc" "src/security/CMakeFiles/camo_security.dir/mutual_information.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/camo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/camouflage/CMakeFiles/camo_shaper.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/camo_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/camo_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camo_security.dir/covert_receiver.cc.o"
+  "CMakeFiles/camo_security.dir/covert_receiver.cc.o.d"
+  "CMakeFiles/camo_security.dir/divergence.cc.o"
+  "CMakeFiles/camo_security.dir/divergence.cc.o.d"
+  "CMakeFiles/camo_security.dir/leakage_bound.cc.o"
+  "CMakeFiles/camo_security.dir/leakage_bound.cc.o.d"
+  "CMakeFiles/camo_security.dir/mutual_information.cc.o"
+  "CMakeFiles/camo_security.dir/mutual_information.cc.o.d"
+  "libcamo_security.a"
+  "libcamo_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camo_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camo_sim.dir/presets.cc.o"
+  "CMakeFiles/camo_sim.dir/presets.cc.o.d"
+  "CMakeFiles/camo_sim.dir/runner.cc.o"
+  "CMakeFiles/camo_sim.dir/runner.cc.o.d"
+  "CMakeFiles/camo_sim.dir/system.cc.o"
+  "CMakeFiles/camo_sim.dir/system.cc.o.d"
+  "libcamo_sim.a"
+  "libcamo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

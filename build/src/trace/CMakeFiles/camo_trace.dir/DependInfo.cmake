@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/covert.cc" "src/trace/CMakeFiles/camo_trace.dir/covert.cc.o" "gcc" "src/trace/CMakeFiles/camo_trace.dir/covert.cc.o.d"
+  "/root/repo/src/trace/replay.cc" "src/trace/CMakeFiles/camo_trace.dir/replay.cc.o" "gcc" "src/trace/CMakeFiles/camo_trace.dir/replay.cc.o.d"
+  "/root/repo/src/trace/synthetic.cc" "src/trace/CMakeFiles/camo_trace.dir/synthetic.cc.o" "gcc" "src/trace/CMakeFiles/camo_trace.dir/synthetic.cc.o.d"
+  "/root/repo/src/trace/workloads.cc" "src/trace/CMakeFiles/camo_trace.dir/workloads.cc.o" "gcc" "src/trace/CMakeFiles/camo_trace.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/camo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

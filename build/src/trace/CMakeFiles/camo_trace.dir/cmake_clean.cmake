@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camo_trace.dir/covert.cc.o"
+  "CMakeFiles/camo_trace.dir/covert.cc.o.d"
+  "CMakeFiles/camo_trace.dir/replay.cc.o"
+  "CMakeFiles/camo_trace.dir/replay.cc.o.d"
+  "CMakeFiles/camo_trace.dir/synthetic.cc.o"
+  "CMakeFiles/camo_trace.dir/synthetic.cc.o.d"
+  "CMakeFiles/camo_trace.dir/workloads.cc.o"
+  "CMakeFiles/camo_trace.dir/workloads.cc.o.d"
+  "libcamo_trace.a"
+  "libcamo_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camo_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

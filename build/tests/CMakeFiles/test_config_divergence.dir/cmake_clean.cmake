@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_divergence.dir/config_divergence_test.cc.o"
+  "CMakeFiles/test_config_divergence.dir/config_divergence_test.cc.o.d"
+  "test_config_divergence"
+  "test_config_divergence.pdb"
+  "test_config_divergence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

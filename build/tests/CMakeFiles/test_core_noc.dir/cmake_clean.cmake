@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_noc.dir/core_noc_test.cc.o"
+  "CMakeFiles/test_core_noc.dir/core_noc_test.cc.o.d"
+  "test_core_noc"
+  "test_core_noc.pdb"
+  "test_core_noc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_regression.dir/paper_regression_test.cc.o"
+  "CMakeFiles/test_paper_regression.dir/paper_regression_test.cc.o.d"
+  "test_paper_regression"
+  "test_paper_regression.pdb"
+  "test_paper_regression[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

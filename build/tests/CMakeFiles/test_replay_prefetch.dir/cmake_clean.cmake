@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replay_prefetch.dir/replay_prefetch_test.cc.o"
+  "CMakeFiles/test_replay_prefetch.dir/replay_prefetch_test.cc.o.d"
+  "test_replay_prefetch"
+  "test_replay_prefetch.pdb"
+  "test_replay_prefetch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replay_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shaper.dir/shaper_test.cc.o"
+  "CMakeFiles/test_shaper.dir/shaper_test.cc.o.d"
+  "test_shaper"
+  "test_shaper.pdb"
+  "test_shaper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shaper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_property.dir/system_property_test.cc.o"
+  "CMakeFiles/test_system_property.dir/system_property_test.cc.o.d"
+  "test_system_property"
+  "test_system_property.pdb"
+  "test_system_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camosim.dir/camosim.cc.o"
+  "CMakeFiles/camosim.dir/camosim.cc.o.d"
+  "camosim"
+  "camosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
