@@ -29,6 +29,10 @@ CacheHierarchy::emitWriteback(Addr lineAddr, Cycle now)
 {
     outgoing_.push_back(makeRequest(lineAddr, true, now));
     stats_.inc("writebacks");
+    CAMO_TRACE_EVENT(tracer_, .at = now,
+                     .type = obs::EventType::CacheWriteback,
+                     .core = core_, .id = outgoing_.back().id,
+                     .addr = lineAddr);
 }
 
 AccessResult
@@ -72,6 +76,9 @@ CacheHierarchy::access(Addr addr, bool is_write, Cycle now)
         pendingStoreLines_.insert(line);
     outgoing_.push_back(req);
     stats_.inc("llc.misses");
+    CAMO_TRACE_EVENT(tracer_, .at = now,
+                     .type = obs::EventType::LlcMiss, .core = core_,
+                     .id = req.id, .addr = line, .arg = 0);
 
     // Optional next-line prefetch riding on the demand miss.
     if (cfg_.nextLinePrefetch) {
@@ -81,6 +88,11 @@ CacheHierarchy::access(Addr addr, bool is_write, Cycle now)
             mshr_.emplace(next, 0); // no demand access waits on it
             outgoing_.push_back(makeRequest(next, false, now));
             stats_.inc("prefetches.issued");
+            CAMO_TRACE_EVENT(tracer_, .at = now,
+                             .type = obs::EventType::LlcMiss,
+                             .core = core_,
+                             .id = outgoing_.back().id, .addr = next,
+                             .arg = 1);
         }
     }
     return {AccessKind::Miss, kNoCycle, line};

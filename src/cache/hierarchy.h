@@ -21,6 +21,7 @@
 #include "src/common/stats.h"
 #include "src/common/types.h"
 #include "src/mem/request.h"
+#include "src/obs/tracer.h"
 
 namespace camo::cache {
 
@@ -98,6 +99,9 @@ class CacheHierarchy
     const HierarchyConfig &config() const { return cfg_; }
     const StatGroup &stats() const { return stats_; }
 
+    /** Observability hook (nullptr disables emission). */
+    void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
+
   private:
     void emitWriteback(Addr lineAddr, Cycle now);
     MemRequest makeRequest(Addr addr, bool is_write, Cycle now);
@@ -115,6 +119,7 @@ class CacheHierarchy
     std::vector<MemRequest> outgoing_;
     ReqId nextId_ = 1;
     StatGroup stats_;
+    obs::Tracer *tracer_ = nullptr;
 };
 
 } // namespace camo::cache

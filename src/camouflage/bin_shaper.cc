@@ -40,6 +40,9 @@ BinShaper::tick(Cycle now)
         nextReplenish_ += cfg_.replenishPeriod;
         ++replenishments_;
         stats_.inc("replenishments");
+        CAMO_TRACE_EVENT(tracer_, .at = now,
+                         .type = obs::EventType::BinReplenish,
+                         .core = traceCore_, .arg = unusedTotal());
     }
 }
 
@@ -92,6 +95,15 @@ BinShaper::consumeFake(Cycle now)
     ++fakeIssued_;
     stats_.inc("issued.fake");
     return static_cast<int>(gap_bin);
+}
+
+std::uint32_t
+BinShaper::creditsTotal() const
+{
+    std::uint32_t total = 0;
+    for (const std::uint32_t c : credits_)
+        total += c;
+    return total;
 }
 
 std::uint32_t

@@ -25,6 +25,7 @@
 #include "src/camouflage/bin_config.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
+#include "src/obs/tracer.h"
 
 namespace camo::shaper {
 
@@ -83,6 +84,17 @@ class BinShaper
     std::uint64_t replenishments() const { return replenishments_; }
     const StatGroup &stats() const { return stats_; }
 
+    /** Live credits summed over all bins (interval bin occupancy). */
+    std::uint32_t creditsTotal() const;
+
+    /** Observability hook; `core` labels the emitted events. */
+    void
+    setTracer(obs::Tracer *tracer, CoreId core)
+    {
+        tracer_ = tracer;
+        traceCore_ = core;
+    }
+
   private:
     int eligibleRealBin(Cycle now) const;
 
@@ -95,6 +107,8 @@ class BinShaper
     std::uint64_t fakeIssued_ = 0;
     std::uint64_t replenishments_ = 0;
     StatGroup stats_;
+    obs::Tracer *tracer_ = nullptr;
+    CoreId traceCore_ = kNoCore;
 };
 
 } // namespace camo::shaper

@@ -14,6 +14,7 @@ DistributionMonitor::record(Cycle now, bool fake)
         hist_.add(now - last_);
     first_ = false;
     last_ = now;
+    ++(fake ? fakeCount_ : realCount_);
     if (logging_)
         events_.push_back({now, fake});
 }
@@ -25,6 +26,8 @@ DistributionMonitor::clear()
     first_ = true;
     last_ = 0;
     events_.clear();
+    realCount_ = 0;
+    fakeCount_ = 0;
 }
 
 } // namespace camo::shaper

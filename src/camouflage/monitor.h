@@ -40,6 +40,11 @@ class DistributionMonitor
     const std::vector<TrafficEvent> &events() const { return events_; }
     std::uint64_t count() const { return hist_.totalCount(); }
 
+    /** Events recorded with fake == false / true (always counted,
+     *  independent of event logging). */
+    std::uint64_t realCount() const { return realCount_; }
+    std::uint64_t fakeCount() const { return fakeCount_; }
+
     void clear();
 
   private:
@@ -48,6 +53,8 @@ class DistributionMonitor
     Cycle last_ = 0;
     bool logging_ = false;
     std::vector<TrafficEvent> events_;
+    std::uint64_t realCount_ = 0;
+    std::uint64_t fakeCount_ = 0;
 };
 
 } // namespace camo::shaper

@@ -22,6 +22,10 @@ RequestShaper::push(MemRequest req, Cycle now)
 {
     camo_assert(canAccept(), "push into a full shaper queue");
     pre_.record(now);
+    CAMO_TRACE_EVENT(tracer_, .at = now,
+                     .type = obs::EventType::ReqShaperEnqueue,
+                     .core = core_, .id = req.id, .addr = req.addr,
+                     .arg = queue_.size());
     queue_.push_back(std::move(req));
     stats_.inc("pushed");
 }
@@ -84,24 +88,45 @@ RequestShaper::tick(Cycle now, bool downstream_ready)
             }
             if (bins_.consumeReal(now) >= 0) {
                 randomHoldUntil_ = kNoCycle;
+                inStall_ = false;
                 MemRequest req = std::move(queue_.front());
                 queue_.pop_front();
                 req.shaperOut = now;
                 post_.record(now, /*fake=*/false);
                 stats_.inc("released.real");
+                CAMO_TRACE_EVENT(tracer_, .at = now,
+                                 .type =
+                                     obs::EventType::ReqShaperRelease,
+                                 .core = core_, .id = req.id,
+                                 .addr = req.addr,
+                                 .arg = now - req.created);
                 return req;
             }
         }
         stats_.inc("stalled.cycles");
+        if (!inStall_) {
+            inStall_ = true;
+            CAMO_TRACE_EVENT(tracer_, .at = now,
+                             .type = obs::EventType::ReqShaperStall,
+                             .core = core_, .id = queue_.front().id,
+                             .addr = queue_.front().addr,
+                             .arg = queue_.size());
+        }
         return std::nullopt;
     }
     randomHoldUntil_ = kNoCycle;
+    inStall_ = false;
 
     // Fake generation: only when no real request wants the slot.
     if (cfg_.generateFakes && bins_.consumeFake(now) >= 0) {
         post_.record(now, /*fake=*/true);
         stats_.inc("released.fake");
-        return makeFake(now);
+        MemRequest fake = makeFake(now);
+        CAMO_TRACE_EVENT(tracer_, .at = now,
+                         .type = obs::EventType::ReqShaperFake,
+                         .core = core_, .id = fake.id,
+                         .addr = fake.addr, .arg = fake.isWrite);
+        return fake;
     }
     return std::nullopt;
 }
@@ -120,12 +145,21 @@ RequestShaper::tickStrictSlot(Cycle now, bool downstream_ready)
         req.shaperOut = now;
         post_.record(now, /*fake=*/false);
         stats_.inc("released.real");
+        CAMO_TRACE_EVENT(tracer_, .at = now,
+                         .type = obs::EventType::ReqShaperRelease,
+                         .core = core_, .id = req.id, .addr = req.addr,
+                         .arg = now - req.created);
         return req;
     }
     if (cfg_.generateFakes) {
         post_.record(now, /*fake=*/true);
         stats_.inc("released.fake");
-        return makeFake(now);
+        MemRequest fake = makeFake(now);
+        CAMO_TRACE_EVENT(tracer_, .at = now,
+                         .type = obs::EventType::ReqShaperFake,
+                         .core = core_, .id = fake.id,
+                         .addr = fake.addr, .arg = fake.isWrite);
+        return fake;
     }
     stats_.inc("slots.wasted");
     return std::nullopt;

@@ -108,6 +108,14 @@ class RequestShaper
     const DistributionMonitor &postMonitor() const { return post_; }
     const StatGroup &stats() const { return stats_; }
 
+    /** Observability hook; propagates to the bin engine. */
+    void
+    setTracer(obs::Tracer *tracer)
+    {
+        tracer_ = tracer;
+        bins_.setTracer(tracer, core_);
+    }
+
   private:
     MemRequest makeFake(Cycle now);
     std::optional<MemRequest> tickStrictSlot(Cycle now,
@@ -124,6 +132,8 @@ class RequestShaper
     DistributionMonitor pre_;
     DistributionMonitor post_;
     StatGroup stats_;
+    obs::Tracer *tracer_ = nullptr;
+    bool inStall_ = false;
 };
 
 } // namespace camo::shaper

@@ -19,6 +19,10 @@ ResponseShaper::push(MemRequest resp, Cycle now)
 {
     camo_assert(canAccept(), "push into a full response queue");
     pre_.record(now, resp.isFake);
+    CAMO_TRACE_EVENT(tracer_, .at = now,
+                     .type = obs::EventType::RespShaperEnqueue,
+                     .core = core_, .id = resp.id, .addr = resp.addr,
+                     .arg = queue_.size());
     queue_.push_back(std::move(resp));
     stats_.inc("pushed");
 }
@@ -54,6 +58,10 @@ ResponseShaper::tick(Cycle now, bool downstream_ready)
             pendingBoost_ += unused * cfg_.boostScale;
             stats_.inc("warnings.sent");
             stats_.inc("warnings.tokens", unused * cfg_.boostScale);
+            CAMO_TRACE_EVENT(tracer_, .at = now,
+                             .type = obs::EventType::PriorityBoost,
+                             .core = core_,
+                             .arg = unused * cfg_.boostScale);
         }
     }
 
@@ -63,23 +71,43 @@ ResponseShaper::tick(Cycle now, bool downstream_ready)
     // Case 1 (Figure 6): pending responses are served first.
     if (!queue_.empty()) {
         if (bins_.consumeReal(now) >= 0) {
+            inStall_ = false;
             MemRequest resp = std::move(queue_.front());
             queue_.pop_front();
             resp.respShaperOut = now;
             post_.record(now, resp.isFake);
             stats_.inc("released.real");
+            CAMO_TRACE_EVENT(tracer_, .at = now,
+                             .type =
+                                 obs::EventType::RespShaperRelease,
+                             .core = core_, .id = resp.id,
+                             .addr = resp.addr,
+                             .arg = now - resp.created);
             return resp;
         }
         stats_.inc("stalled.cycles");
+        if (!inStall_) {
+            inStall_ = true;
+            CAMO_TRACE_EVENT(tracer_, .at = now,
+                             .type = obs::EventType::RespShaperStall,
+                             .core = core_, .id = queue_.front().id,
+                             .addr = queue_.front().addr,
+                             .arg = queue_.size());
+        }
         return std::nullopt;
     }
+    inStall_ = false;
 
     // Case 3: no pending or new responses, unused credits remain ->
     // fake response keeps the observed distribution fixed.
     if (cfg_.generateFakes && bins_.consumeFake(now) >= 0) {
         post_.record(now, /*fake=*/true);
         stats_.inc("released.fake");
-        return makeFakeResponse(now);
+        MemRequest fake = makeFakeResponse(now);
+        CAMO_TRACE_EVENT(tracer_, .at = now,
+                         .type = obs::EventType::RespShaperFake,
+                         .core = core_, .id = fake.id);
+        return fake;
     }
     return std::nullopt;
 }

@@ -82,6 +82,14 @@ class ResponseShaper
     const DistributionMonitor &postMonitor() const { return post_; }
     const StatGroup &stats() const { return stats_; }
 
+    /** Observability hook; propagates to the bin engine. */
+    void
+    setTracer(obs::Tracer *tracer)
+    {
+        tracer_ = tracer;
+        bins_.setTracer(tracer, core_);
+    }
+
   private:
     MemRequest makeFakeResponse(Cycle now);
 
@@ -95,6 +103,8 @@ class ResponseShaper
     DistributionMonitor pre_;
     DistributionMonitor post_;
     StatGroup stats_;
+    obs::Tracer *tracer_ = nullptr;
+    bool inStall_ = false;
 };
 
 } // namespace camo::shaper

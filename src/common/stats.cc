@@ -7,6 +7,12 @@
 
 namespace camo {
 
+double
+Scalar::stddev() const
+{
+    return std::sqrt(variance());
+}
+
 void
 StatGroup::inc(const std::string &name, std::uint64_t by)
 {
@@ -62,7 +68,7 @@ StatGroup::dump(const std::string &prefix) const
     for (const auto &[name, s] : scalars_) {
         os << prefix << name << " : count=" << s.count()
            << " mean=" << s.mean() << " min=" << s.min()
-           << " max=" << s.max() << "\n";
+           << " max=" << s.max() << " stddev=" << s.stddev() << "\n";
     }
     return os.str();
 }
@@ -74,7 +80,8 @@ geomean(const std::vector<double> &values)
         return 0.0;
     double log_sum = 0.0;
     for (double v : values) {
-        camo_assert(v > 0.0, "geomean requires positive values");
+        camo_assert(v > 0.0, "geomean requires positive values, got ",
+                    v);
         log_sum += std::log(v);
     }
     return std::exp(log_sum / static_cast<double>(values.size()));

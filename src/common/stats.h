@@ -14,7 +14,10 @@
 
 namespace camo {
 
-/** Running scalar statistic (count / sum / min / max / mean). */
+/**
+ * Running scalar statistic (count / sum / min / max / mean), with
+ * Welford's online algorithm for numerically stable variance.
+ */
 class Scalar
 {
   public:
@@ -27,13 +30,22 @@ class Scalar
             max_ = v;
         sum_ += v;
         ++count_;
+        const double delta = v - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (v - mean_);
     }
 
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    /** Population variance (0 with fewer than two samples). */
+    double variance() const
+    {
+        return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+    }
+    double stddev() const;
     void clear() { *this = Scalar(); }
 
   private:
@@ -41,6 +53,8 @@ class Scalar
     double sum_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0; ///< Welford sum of squared deviations
 };
 
 /**
@@ -65,6 +79,16 @@ class StatGroup
 
     /** Human-readable dump, one line per stat. */
     std::string dump(const std::string &prefix = "") const;
+
+    /** Iteration access (the observability registry serializes us). */
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Scalar> &scalars() const
+    {
+        return scalars_;
+    }
 
   private:
     std::map<std::string, std::uint64_t> counters_;

@@ -66,6 +66,10 @@ Core::dispatchMemOp(Cycle now)
           case cache::AccessKind::Coalesced:
             e.readyAt = kNoCycle;
             waiting_[result.lineAddr].push_back(e.seq);
+            CAMO_TRACE_EVENT(tracer_, .at = now,
+                             .type = obs::EventType::CoreMemIssue,
+                             .core = id_, .addr = result.lineAddr,
+                             .arg = op.isWrite);
             break;
           case cache::AccessKind::Blocked:
             camo_panic("unreachable");

@@ -24,6 +24,7 @@
 #include "src/cache/hierarchy.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
+#include "src/obs/tracer.h"
 #include "src/trace/trace.h"
 
 namespace camo::core {
@@ -71,6 +72,9 @@ class Core
     /** Reset retired/cycle/stall counters (epoch boundaries). */
     void clearEpochCounters();
 
+    /** Observability hook (nullptr disables emission). */
+    void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
+
     const StatGroup &stats() const { return stats_; }
 
   private:
@@ -104,6 +108,7 @@ class Core
     std::uint64_t cycles_ = 0;
     std::uint64_t memStallCycles_ = 0;
     StatGroup stats_;
+    obs::Tracer *tracer_ = nullptr;
 };
 
 } // namespace camo::core

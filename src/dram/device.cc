@@ -144,6 +144,24 @@ DramDevice::issue(Cmd cmd, const DramAddress &da, std::uint64_t now)
     cmdBusFreeAt_ = now + 1;
     stats_.inc(std::string("cmd.") + cmdName(cmd));
 
+#ifndef CAMO_OBS_NO_TRACING
+    if (tracer_ && tracer_->enabled()) {
+        obs::EventType type = obs::EventType::DramActivate;
+        switch (cmd) {
+          case Cmd::ACT: type = obs::EventType::DramActivate; break;
+          case Cmd::PRE: type = obs::EventType::DramPrecharge; break;
+          case Cmd::RD: type = obs::EventType::DramRead; break;
+          case Cmd::WR: type = obs::EventType::DramWrite; break;
+          case Cmd::REF: type = obs::EventType::DramRefresh; break;
+        }
+        CAMO_TRACE_EVENT(tracer_, .at = cpuNow_, .type = type,
+                         .addr = da.row,
+                         .arg = (static_cast<std::uint64_t>(da.rank)
+                                 << 16) |
+                                da.bank);
+    }
+#endif
+
     switch (cmd) {
       case Cmd::ACT: {
         energy_.onActivate();

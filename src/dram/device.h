@@ -27,6 +27,7 @@
 #include "src/dram/address.h"
 #include "src/dram/energy.h"
 #include "src/dram/timing.h"
+#include "src/obs/tracer.h"
 
 namespace camo::dram {
 
@@ -105,6 +106,14 @@ class DramDevice
     /** Energy accumulated by the commands issued so far. */
     const EnergyCounter &energy() const { return energy_; }
 
+    /** Observability hook (nullptr disables emission). */
+    void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
+
+    /** CPU-cycle timestamp used for emitted events. The controller
+     *  refreshes this each DRAM tick so the trace timeline stays in
+     *  one (CPU) clock domain. */
+    void setCpuTime(Cycle cpu_now) { cpuNow_ = cpu_now; }
+
   private:
     struct RankState
     {
@@ -130,6 +139,8 @@ class DramDevice
     std::uint32_t lastDataRank_ = 0;  ///< rank of the last data burst
     EnergyCounter energy_;
     StatGroup stats_;
+    obs::Tracer *tracer_ = nullptr;
+    Cycle cpuNow_ = 0;
 };
 
 } // namespace camo::dram

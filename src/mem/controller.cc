@@ -52,6 +52,13 @@ MemoryController::MemoryController(const ControllerConfig &cfg)
 
 MemoryController::~MemoryController() = default;
 
+void
+MemoryController::setTracer(obs::Tracer *tracer)
+{
+    tracer_ = tracer;
+    device_.setTracer(tracer);
+}
+
 dram::DramAddress
 MemoryController::decode(Addr addr, CoreId core) const
 {
@@ -91,6 +98,10 @@ MemoryController::enqueue(MemRequest req, Cycle now, Addr decode_addr)
                                             : cfg_.readQueueDepth;
         if (depth >= cap / 2) {
             stats_.inc("fake.dropped");
+            CAMO_TRACE_EVENT(tracer_, .at = now,
+                             .type = obs::EventType::McFakeDropped,
+                             .core = req.core, .id = req.id,
+                             .addr = req.addr, .arg = depth);
             return;
         }
     }
@@ -103,7 +114,12 @@ MemoryController::enqueue(MemRequest req, Cycle now, Addr decode_addr)
     stats_.inc(req.isWrite ? "writes.enqueued" : "reads.enqueued");
     if (req.isFake)
         stats_.inc("fake.enqueued");
-    (req.isWrite ? writeQ_ : readQ_).push_back(std::move(txn));
+    std::deque<Transaction> &q = req.isWrite ? writeQ_ : readQ_;
+    CAMO_TRACE_EVENT(tracer_, .at = now,
+                     .type = obs::EventType::McEnqueue,
+                     .core = req.core, .id = req.id, .addr = req.addr,
+                     .arg = q.size());
+    q.push_back(std::move(txn));
 }
 
 void
@@ -218,6 +234,11 @@ MemoryController::execute(const Decision &d, std::deque<Transaction> &queue,
     stats_.inc(txn.req.isWrite ? "writes.served" : "reads.served");
     stats_.sample("queue.latency.dram",
                   static_cast<double>(dram_now - txn.enqueuedDram));
+    CAMO_TRACE_EVENT(tracer_, .at = cpu_now,
+                     .type = obs::EventType::McServe,
+                     .core = txn.req.core, .id = txn.req.id,
+                     .addr = txn.req.addr,
+                     .arg = dram_now - txn.enqueuedDram);
 
     if (!txn.req.isWrite) {
         PendingResponse resp;
@@ -234,6 +255,7 @@ void
 MemoryController::dramTick(Cycle cpu_now)
 {
     const std::uint64_t dram_now = divider_.derivedTicks();
+    device_.setCpuTime(cpu_now);
 
     if (manageRefresh(dram_now))
         return;

@@ -28,6 +28,7 @@
 #include "src/dram/timing.h"
 #include "src/mem/request.h"
 #include "src/mem/schedulers.h"
+#include "src/obs/tracer.h"
 
 namespace camo::mem {
 
@@ -161,6 +162,9 @@ class MemoryController
     /** Decode with bank partitioning applied (exposed for tests). */
     dram::DramAddress decode(Addr addr, CoreId core) const;
 
+    /** Observability hook; propagates to the DRAM device. */
+    void setTracer(obs::Tracer *tracer);
+
   private:
     struct PendingResponse
     {
@@ -191,6 +195,7 @@ class MemoryController
     std::map<CoreId, std::uint32_t> priorityTokens_;
     std::optional<CoreId> highestPriorityCore_;
     StatGroup stats_;
+    obs::Tracer *tracer_ = nullptr;
 };
 
 } // namespace camo::mem

@@ -54,6 +54,14 @@ class MemorySystem
     std::size_t readQueueSize() const;
     std::size_t writeQueueSize() const;
 
+    /** Observability hook; fans out to every channel controller. */
+    void
+    setTracer(obs::Tracer *tracer)
+    {
+        for (auto &mc : channels_)
+            mc->setTracer(tracer);
+    }
+
   private:
     dram::AddressMapper mapper_; ///< top-level (channel) decode only
     std::vector<std::unique_ptr<MemoryController>> channels_;

@@ -49,6 +49,9 @@ SharedChannel::tick(Cycle now)
         f.req = std::move(ingress_[port].front());
         ingress_[port].pop_front();
         f.arrivesAt = now + cfg_.latency;
+        CAMO_TRACE_EVENT(tracer_, .at = now, .type = grantType_,
+                         .core = f.req.core, .id = f.req.id,
+                         .addr = f.req.addr, .arg = port);
         pipe_.push_back(std::move(f));
         rrNext_ = (port + 1) % ports;
         stats_.inc("granted");

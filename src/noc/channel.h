@@ -19,6 +19,7 @@
 #include "src/common/stats.h"
 #include "src/common/types.h"
 #include "src/mem/request.h"
+#include "src/obs/tracer.h"
 
 namespace camo::noc {
 
@@ -50,6 +51,16 @@ class SharedChannel
     std::size_t egressDepth() const { return egress_.size(); }
     const StatGroup &stats() const { return stats_; }
 
+    /** Observability hook. The channel does not know its direction, so
+     *  the owner supplies the grant event type (ReqChannelGrant or
+     *  RespChannelGrant). */
+    void
+    setTracer(obs::Tracer *tracer, obs::EventType grant_type)
+    {
+        tracer_ = tracer;
+        grantType_ = grant_type;
+    }
+
   private:
     struct InFlight
     {
@@ -63,6 +74,8 @@ class SharedChannel
     std::deque<InFlight> egress_;
     std::uint32_t rrNext_ = 0;
     StatGroup stats_;
+    obs::Tracer *tracer_ = nullptr;
+    obs::EventType grantType_ = obs::EventType::ReqChannelGrant;
 };
 
 } // namespace camo::noc

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Typed, cycle-stamped trace events covering the full request
+ * lifecycle: core issue → LLC miss → ReqC shaper enqueue/release/
+ * fake/stall → shared channel → MC queue → DRAM bank activity →
+ * RespC shape/accelerate → response delivery.
+ *
+ * Events are compact PODs so the tracer's ring buffer stays cheap;
+ * the `arg` field carries one type-specific payload (documented per
+ * enumerator below).
+ */
+
+#ifndef CAMO_OBS_EVENT_H
+#define CAMO_OBS_EVENT_H
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace camo::obs {
+
+/** What happened. The comment gives the meaning of Event::arg. */
+enum class EventType : std::uint8_t
+{
+    CoreMemIssue,      ///< core dispatched an LLC-bound access; arg = isWrite
+    LlcMiss,           ///< demand miss left the hierarchy; arg = 1 if prefetch
+    CacheWriteback,    ///< dirty eviction issued to memory; arg = 0
+    ReqShaperEnqueue,  ///< real request entered ReqC queue; arg = queue depth
+    ReqShaperRelease,  ///< ReqC released a real request; arg = bins gap
+    ReqShaperFake,     ///< ReqC generated a fake request; arg = 0
+    ReqShaperStall,    ///< ReqC head began stalling; arg = queue depth
+    BinReplenish,      ///< credit replenishment; arg = unused credits latched
+    ReqChannelGrant,   ///< request-channel arbiter grant; arg = port
+    RespChannelGrant,  ///< response-channel arbiter grant; arg = port
+    McEnqueue,         ///< entered an MC queue; arg = queue depth after
+    McServe,           ///< CAS issued for it; arg = DRAM-cycle queue latency
+    McFakeDropped,     ///< fake dropped under queue pressure; arg = 0
+    PriorityBoost,     ///< RespC acceleration warning; arg = tokens granted
+    DramActivate,      ///< ACT; addr = row, arg = rank<<16 | bank
+    DramPrecharge,     ///< PRE; addr = row, arg = rank<<16 | bank
+    DramRead,          ///< RD burst; addr = row, arg = rank<<16 | bank
+    DramWrite,         ///< WR burst; addr = row, arg = rank<<16 | bank
+    DramRefresh,       ///< REF; arg = rank
+    RespShaperEnqueue, ///< response entered RespC queue; arg = queue depth
+    RespShaperRelease, ///< RespC released a real response; arg = 0
+    RespShaperFake,    ///< RespC generated a fake response; arg = 0
+    RespShaperStall,   ///< RespC head began stalling; arg = queue depth
+    RespDelivered,     ///< real response reached the core; arg = total latency
+    FakeRespDropped,   ///< fake response discarded at delivery; arg = 0
+};
+
+/** Number of enumerators in EventType (for tables and tests). */
+inline constexpr std::size_t kNumEventTypes = 25;
+
+/** Stable lower-snake name used in every export format. */
+const char *eventTypeName(EventType type);
+
+/** One trace record. */
+struct Event
+{
+    Cycle at = 0;             ///< CPU cycle of the event
+    EventType type = EventType::CoreMemIssue;
+    CoreId core = kNoCore;    ///< owning core (kNoCore if none)
+    ReqId id = 0;             ///< transaction id (0 if none)
+    Addr addr = kNoAddr;      ///< address / row (kNoAddr if none)
+    std::uint64_t arg = 0;    ///< type-specific payload (see EventType)
+};
+
+} // namespace camo::obs
+
+#endif // CAMO_OBS_EVENT_H

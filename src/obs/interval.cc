@@ -1,0 +1,68 @@
+#include "src/obs/interval.h"
+
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace camo::obs {
+
+IntervalCollector::IntervalCollector(Cycle period,
+                                     std::vector<std::string> columns)
+    : period_(period), nextAt_(period), columns_(std::move(columns))
+{
+    camo_assert(period_ >= 1, "interval period must be positive");
+    camo_assert(!columns_.empty(), "interval needs at least one column");
+}
+
+void
+IntervalCollector::addRow(Cycle now, std::vector<double> values)
+{
+    camo_assert(values.size() == columns_.size(),
+                "interval row has ", values.size(), " values for ",
+                columns_.size(), " columns");
+    rows_.push_back({now, std::move(values)});
+    // Arm relative to `now` so a late snapshot (e.g. after a config
+    // phase that ran the clock forward) does not fire a burst of
+    // catch-up rows.
+    nextAt_ = now + period_;
+}
+
+std::string
+IntervalCollector::toCsv() const
+{
+    std::ostringstream os;
+    os << "cycle";
+    for (const auto &c : columns_)
+        os << ',' << c;
+    os << '\n';
+    for (const Row &row : rows_) {
+        os << row.at;
+        for (const double v : row.values)
+            os << ',' << json::formatNumber(v);
+        os << '\n';
+    }
+    return os.str();
+}
+
+json::Value
+IntervalCollector::toJson() const
+{
+    json::Value root = json::Value::makeObject();
+    root["period"] = json::Value(period_);
+    json::Value cols = json::Value::makeArray();
+    for (const auto &c : columns_)
+        cols.push(json::Value(c));
+    root["columns"] = std::move(cols);
+    json::Value rows = json::Value::makeArray();
+    for (const Row &row : rows_) {
+        json::Value r = json::Value::makeArray();
+        r.push(json::Value(row.at));
+        for (const double v : row.values)
+            r.push(json::Value(v));
+        rows.push(std::move(r));
+    }
+    root["rows"] = std::move(rows);
+    return root;
+}
+
+} // namespace camo::obs

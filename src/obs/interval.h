@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Interval metrics: fixed-period snapshots of live system health
+ * (per-core IPC, queue depths, fake-vs-real traffic, bin occupancy)
+ * collected into a time-series exportable as CSV or JSON.
+ *
+ * The collector is layout-agnostic: the owner declares the column
+ * names once and appends one row of doubles per interval. System
+ * drives it from tick(); anything else (tests, benches) can too.
+ */
+
+#ifndef CAMO_OBS_INTERVAL_H
+#define CAMO_OBS_INTERVAL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/obs/json.h"
+
+namespace camo::obs {
+
+/** Fixed-period time-series of named metrics. */
+class IntervalCollector
+{
+  public:
+    struct Row
+    {
+        Cycle at = 0; ///< cycle the interval ended
+        std::vector<double> values;
+    };
+
+    /**
+     * @param period snapshot every `period` cycles (>= 1)
+     * @param columns metric name per value column
+     */
+    IntervalCollector(Cycle period, std::vector<std::string> columns);
+
+    Cycle period() const { return period_; }
+    const std::vector<std::string> &columns() const { return columns_; }
+
+    /** Has the current interval elapsed at cycle `now`? */
+    bool due(Cycle now) const { return now >= nextAt_; }
+
+    /**
+     * Append a snapshot and arm the next interval.
+     * @pre values.size() == columns().size()
+     */
+    void addRow(Cycle now, std::vector<double> values);
+
+    const std::vector<Row> &rows() const { return rows_; }
+
+    /** "cycle,col0,col1,..." header plus one line per row. */
+    std::string toCsv() const;
+
+    /** {"period": N, "columns": [...], "rows": [[cycle, ...], ...]}. */
+    json::Value toJson() const;
+
+  private:
+    Cycle period_;
+    Cycle nextAt_;
+    std::vector<std::string> columns_;
+    std::vector<Row> rows_;
+};
+
+} // namespace camo::obs
+
+#endif // CAMO_OBS_INTERVAL_H

@@ -1,0 +1,110 @@
+#include "src/obs/registry.h"
+
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace camo::obs {
+
+void
+StatRegistry::add(const std::string &path, const StatGroup *group)
+{
+    camo_assert(!path.empty(), "stat path cannot be empty");
+    camo_assert(group != nullptr, "stat group cannot be null");
+    for (auto &[p, g] : groups_) {
+        if (p == path) {
+            g = group;
+            return;
+        }
+    }
+    groups_.emplace_back(path, group);
+}
+
+const StatGroup *
+StatRegistry::find(const std::string &path) const
+{
+    for (const auto &[p, g] : groups_) {
+        if (p == path)
+            return g;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+StatRegistry::paths() const
+{
+    std::vector<std::string> out;
+    out.reserve(groups_.size());
+    for (const auto &[p, g] : groups_)
+        out.push_back(p);
+    return out;
+}
+
+std::map<std::string, double>
+StatRegistry::flat() const
+{
+    std::map<std::string, double> out;
+    for (const auto &[path, group] : groups_) {
+        for (const auto &[name, v] : group->counters())
+            out[path + "." + name] = static_cast<double>(v);
+        for (const auto &[name, s] : group->scalars()) {
+            const std::string base = path + "." + name;
+            out[base + ".count"] = static_cast<double>(s.count());
+            out[base + ".mean"] = s.mean();
+            out[base + ".min"] = s.min();
+            out[base + ".max"] = s.max();
+            out[base + ".stddev"] = s.stddev();
+        }
+    }
+    return out;
+}
+
+json::Value
+StatRegistry::toJson() const
+{
+    json::Value root = json::Value::makeObject();
+    for (const auto &[path, group] : groups_) {
+        // Walk/create the nested node for each dotted segment.
+        json::Value *node = &root;
+        std::size_t start = 0;
+        while (start <= path.size()) {
+            const auto dot = path.find('.', start);
+            const std::string seg =
+                dot == std::string::npos
+                    ? path.substr(start)
+                    : path.substr(start, dot - start);
+            node = &(*node)[seg];
+            if (dot == std::string::npos)
+                break;
+            start = dot + 1;
+        }
+
+        json::Value &counters = (*node)["counters"];
+        counters = json::Value::makeObject();
+        for (const auto &[name, v] : group->counters())
+            counters[name] = json::Value(v);
+        json::Value &scalars = (*node)["scalars"];
+        scalars = json::Value::makeObject();
+        for (const auto &[name, s] : group->scalars()) {
+            json::Value &entry = scalars[name];
+            entry["count"] = json::Value(s.count());
+            entry["sum"] = json::Value(s.sum());
+            entry["mean"] = json::Value(s.mean());
+            entry["min"] = json::Value(s.min());
+            entry["max"] = json::Value(s.max());
+            entry["stddev"] = json::Value(s.stddev());
+        }
+    }
+    return root;
+}
+
+std::string
+StatRegistry::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[path, group] : groups_)
+        os << group->dump(path + ".");
+    return os.str();
+}
+
+} // namespace camo::obs

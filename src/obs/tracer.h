@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Low-overhead, ring-buffered event tracer.
+ *
+ * Components hold a `Tracer *` (nullptr or disabled by default) and
+ * emit through CAMO_TRACE_EVENT, which costs one pointer test and one
+ * predictable branch when tracing is off — and compiles away entirely
+ * under -DCAMO_OBS_NO_TRACING. With a sink attached, the ring drains
+ * to it whenever it fills and on flush(); without one the ring keeps
+ * the most recent `capacity` events (oldest dropped, counted).
+ *
+ * Sinks: JSONL (one object per line, the canonical analysis format),
+ * CSV (loads directly into pandas/gnuplot for the Fig. 9/10 latency
+ * timelines), and a compact fixed-width binary format.
+ */
+
+#ifndef CAMO_OBS_TRACER_H
+#define CAMO_OBS_TRACER_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "src/obs/event.h"
+
+namespace camo::obs {
+
+/** Destination for drained trace events. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    /** Append `n` events (in emission order). */
+    virtual void write(const Event *events, std::size_t n) = 0;
+    /** Final records/trailers; called once by Tracer::flush(). */
+    virtual void finish() {}
+};
+
+/** One JSON object per line (JSONL). */
+class JsonlTraceSink : public TraceSink
+{
+  public:
+    /** @param os stream the caller keeps alive past the tracer. */
+    explicit JsonlTraceSink(std::ostream &os) : os_(os) {}
+    void write(const Event *events, std::size_t n) override;
+
+  private:
+    std::ostream &os_;
+};
+
+/** Header + one comma-separated row per event. */
+class CsvTraceSink : public TraceSink
+{
+  public:
+    explicit CsvTraceSink(std::ostream &os) : os_(os) {}
+    void write(const Event *events, std::size_t n) override;
+
+  private:
+    std::ostream &os_;
+    bool wroteHeader_ = false;
+};
+
+/** Compact binary: "CAMOTRC1" magic then fixed 37-byte LE records. */
+class BinaryTraceSink : public TraceSink
+{
+  public:
+    explicit BinaryTraceSink(std::ostream &os) : os_(os) {}
+    void write(const Event *events, std::size_t n) override;
+
+  private:
+    std::ostream &os_;
+    bool wroteMagic_ = false;
+};
+
+/** Parse a BinaryTraceSink stream back into events (for tools/tests). */
+std::vector<Event> readBinaryTrace(std::istream &is);
+
+/** Render one event as a single-line JSON object (no newline). */
+std::string eventToJson(const Event &e);
+
+/** The ring buffer + drain engine. */
+class Tracer
+{
+  public:
+    explicit Tracer(std::size_t capacity = 1 << 16);
+    ~Tracer();
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** Attach the drain destination (flushes any buffered events). */
+    void setSink(std::unique_ptr<TraceSink> sink);
+
+    void setEnabled(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+
+    /** Record one event. Near-free when disabled. */
+    void
+    emit(const Event &e)
+    {
+        if (!enabled_)
+            return;
+        ++emitted_;
+        if (size_ == buf_.size()) {
+            if (sink_) {
+                drainToSink();
+            } else {
+                // No sink: ring semantics, overwrite the oldest.
+                head_ = (head_ + 1) % buf_.size();
+                --size_;
+                ++dropped_;
+            }
+        }
+        buf_[(head_ + size_) % buf_.size()] = e;
+        ++size_;
+    }
+
+    /** Drain buffered events to the sink (and finish() it). */
+    void flush();
+
+    /** Buffered events, oldest first (mainly for sink-less use). */
+    std::vector<Event> snapshot() const;
+
+    std::uint64_t emitted() const { return emitted_; }
+    std::uint64_t dropped() const { return dropped_; }
+    std::size_t buffered() const { return size_; }
+    std::size_t capacity() const { return buf_.size(); }
+
+  private:
+    void drainToSink();
+
+    std::vector<Event> buf_;
+    std::size_t head_ = 0; ///< index of the oldest buffered event
+    std::size_t size_ = 0;
+    bool enabled_ = false;
+    std::unique_ptr<TraceSink> sink_;
+    std::uint64_t emitted_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace camo::obs
+
+/**
+ * Emission macro used at every instrumentation point. `tracer` is a
+ * `camo::obs::Tracer *` (may be null); the remaining arguments are
+ * the Event designated-initializer payload.
+ */
+#ifndef CAMO_OBS_NO_TRACING
+#define CAMO_TRACE_EVENT(tracer, ...) \
+    do { \
+        ::camo::obs::Tracer *camo_tr_ = (tracer); \
+        if (camo_tr_ && camo_tr_->enabled()) \
+            camo_tr_->emit(::camo::obs::Event{__VA_ARGS__}); \
+    } while (0)
+#else
+#define CAMO_TRACE_EVENT(tracer, ...) \
+    do { \
+    } while (0)
+#endif
+
+#endif // CAMO_OBS_TRACER_H

@@ -42,6 +42,12 @@ struct System::PerCore
     std::uint64_t servedReads = 0;
     std::uint64_t latencySum = 0;
 
+    /** Previous-interval snapshots for delta-based interval metrics. */
+    std::uint64_t ivRetired = 0;
+    std::uint64_t ivCycles = 0;
+    std::uint64_t ivBusReal = 0;
+    std::uint64_t ivBusFake = 0;
+
     PerCore(const std::vector<Cycle> &edges)
         : intrinsicMon(edges), busMon(edges), respMon(edges)
     {
@@ -85,11 +91,17 @@ System::System(const SystemConfig &cfg,
         break;
     }
 
+    tracer_ = std::make_unique<obs::Tracer>();
     mem_ = std::make_unique<mem::MemorySystem>(cfg_.mc);
+    mem_->setTracer(tracer_.get());
     reqChannel_ =
         std::make_unique<noc::SharedChannel>(cfg_.numCores, cfg_.noc);
+    reqChannel_->setTracer(tracer_.get(),
+                           obs::EventType::ReqChannelGrant);
     respChannel_ =
         std::make_unique<noc::SharedChannel>(cfg_.numCores, cfg_.noc);
+    respChannel_->setTracer(tracer_.get(),
+                            obs::EventType::RespChannelGrant);
 
     const bool wants_req = cfg_.mitigation == Mitigation::ReqC ||
                            cfg_.mitigation == Mitigation::BDC ||
@@ -104,8 +116,10 @@ System::System(const SystemConfig &cfg,
         pc->trace = trace::makeWorkload(workloads[i],
                                         cfg_.seed * 7919 + i, base);
         pc->cache = std::make_unique<cache::CacheHierarchy>(i, cfg_.cache);
+        pc->cache->setTracer(tracer_.get());
         pc->core = std::make_unique<core::Core>(i, cfg_.core, *pc->trace,
                                                 *pc->cache);
+        pc->core->setTracer(tracer_.get());
 
         if (wants_req && coreIsShaped(i)) {
             shaper::RequestShaperConfig rc;
@@ -127,6 +141,7 @@ System::System(const SystemConfig &cfg,
             rc.fakeAddrBase = base + (1ULL << 39);
             pc->reqShaper = std::make_unique<shaper::RequestShaper>(
                 i, rc, cfg_.seed * 104729 + i);
+            pc->reqShaper->setTracer(tracer_.get());
         }
         if (wants_resp && coreIsShaped(i)) {
             shaper::ResponseShaperConfig rc;
@@ -136,6 +151,7 @@ System::System(const SystemConfig &cfg,
             rc.generateFakes = cfg_.fakeTraffic;
             pc->respShaper =
                 std::make_unique<shaper::ResponseShaper>(i, rc);
+            pc->respShaper->setTracer(tracer_.get());
         }
         if (cfg_.recordTraffic) {
             pc->intrinsicMon.setLogging(true);
@@ -371,9 +387,16 @@ System::deliverResponses()
 
     if (resp.isFake) {
         stats_.inc("responses.fake.dropped");
+        CAMO_TRACE_EVENT(tracer_.get(), .at = now_,
+                         .type = obs::EventType::FakeRespDropped,
+                         .core = resp.core, .id = resp.id);
         return; // pure bus activity; no core state waits on it
     }
 
+    CAMO_TRACE_EVENT(tracer_.get(), .at = now_,
+                     .type = obs::EventType::RespDelivered,
+                     .core = resp.core, .id = resp.id,
+                     .addr = resp.addr, .arg = resp.totalLatency());
     ++pc.servedReads;
     pc.latencySum += resp.totalLatency();
     if (cfg_.recordLatencies)
@@ -382,6 +405,89 @@ System::deliverResponses()
     pc.core->onFill(resp.addr, usable);
     // Fills can displace dirty lines: collect the writebacks.
     drainCacheOutgoing(pc);
+}
+
+void
+System::registerStats(obs::StatRegistry &reg) const
+{
+    reg.add("system", &stats_);
+    for (std::uint32_t i = 0; i < cores_.size(); ++i) {
+        const PerCore &pc = *cores_[i];
+        const std::string prefix = "core" + std::to_string(i);
+        reg.add(prefix, &pc.core->stats());
+        reg.add(prefix + ".cache", &pc.cache->stats());
+        if (pc.reqShaper) {
+            reg.add("shaper.req." + prefix, &pc.reqShaper->stats());
+            reg.add("shaper.req." + prefix + ".bins",
+                    &pc.reqShaper->bins().stats());
+        }
+        if (pc.respShaper) {
+            reg.add("shaper.resp." + prefix, &pc.respShaper->stats());
+            reg.add("shaper.resp." + prefix + ".bins",
+                    &pc.respShaper->bins().stats());
+        }
+    }
+    reg.add("noc.req", &reqChannel_->stats());
+    reg.add("noc.resp", &respChannel_->stats());
+    for (std::uint32_t c = 0; c < mem_->numChannels(); ++c) {
+        const std::string prefix = "mc.ch" + std::to_string(c);
+        reg.add(prefix, &mem_->channel(c).stats());
+        reg.add(prefix + ".dram", &mem_->channel(c).device().stats());
+    }
+}
+
+void
+System::enableIntervalStats(Cycle period)
+{
+    std::vector<std::string> cols{"mc.readq", "mc.writeq"};
+    for (std::uint32_t i = 0; i < cores_.size(); ++i) {
+        const std::string prefix = "core" + std::to_string(i);
+        cols.push_back(prefix + ".ipc");
+        cols.push_back(prefix + ".bus.real");
+        cols.push_back(prefix + ".bus.fake");
+        cols.push_back(prefix + ".req_credits");
+        cols.push_back(prefix + ".resp_credits");
+    }
+    interval_ =
+        std::make_unique<obs::IntervalCollector>(period, std::move(cols));
+    for (auto &pc : cores_) {
+        pc->ivRetired = pc->core->retired();
+        pc->ivCycles = pc->core->cycles();
+        pc->ivBusReal = pc->busMon.realCount();
+        pc->ivBusFake = pc->busMon.fakeCount();
+    }
+}
+
+void
+System::sampleInterval()
+{
+    std::vector<double> row;
+    row.reserve(interval_->columns().size());
+    row.push_back(static_cast<double>(mem_->readQueueSize()));
+    row.push_back(static_cast<double>(mem_->writeQueueSize()));
+    for (auto &pc : cores_) {
+        const std::uint64_t retired = pc->core->retired();
+        const std::uint64_t cycles = pc->core->cycles();
+        const std::uint64_t dc = cycles - pc->ivCycles;
+        row.push_back(dc ? static_cast<double>(retired - pc->ivRetired) /
+                               static_cast<double>(dc)
+                         : 0.0);
+        const std::uint64_t real = pc->busMon.realCount();
+        const std::uint64_t fake = pc->busMon.fakeCount();
+        row.push_back(static_cast<double>(real - pc->ivBusReal));
+        row.push_back(static_cast<double>(fake - pc->ivBusFake));
+        row.push_back(pc->reqShaper
+                          ? pc->reqShaper->bins().creditsTotal()
+                          : 0.0);
+        row.push_back(pc->respShaper
+                          ? pc->respShaper->bins().creditsTotal()
+                          : 0.0);
+        pc->ivRetired = retired;
+        pc->ivCycles = cycles;
+        pc->ivBusReal = real;
+        pc->ivBusFake = fake;
+    }
+    interval_->addRow(now_, std::move(row));
 }
 
 void
@@ -412,6 +518,9 @@ System::tick()
 
     respChannel_->tick(now_);
     deliverResponses();
+
+    if (interval_ && interval_->due(now_))
+        sampleInterval();
 }
 
 void

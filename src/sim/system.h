@@ -30,6 +30,9 @@
 #include "src/core/core.h"
 #include "src/mem/memory_system.h"
 #include "src/noc/channel.h"
+#include "src/obs/interval.h"
+#include "src/obs/registry.h"
+#include "src/obs/tracer.h"
 #include "src/security/covert_receiver.h"
 #include "src/trace/trace.h"
 
@@ -163,6 +166,33 @@ class System
     const SystemConfig &config() const { return cfg_; }
     const StatGroup &stats() const { return stats_; }
 
+    /**
+     * The system-wide event tracer. Constructed disabled (near-zero
+     * cost); callers enable it and attach a sink to record:
+     *   sys.tracer().setSink(...); sys.tracer().setEnabled(true);
+     */
+    obs::Tracer &tracer() { return *tracer_; }
+    const obs::Tracer &tracer() const { return *tracer_; }
+
+    /**
+     * Register every component's stat group under a dotted path:
+     * core{i}, core{i}.cache, shaper.req.core{i} (+.bins),
+     * shaper.resp.core{i} (+.bins), noc.req, noc.resp, mc.ch{c},
+     * mc.ch{c}.dram, system. The registry borrows the groups; it must
+     * not outlive this System.
+     */
+    void registerStats(obs::StatRegistry &reg) const;
+
+    /** Start interval metrics: one snapshot row every `period`
+     *  cycles (queue depths, per-core IPC, real/fake bus traffic,
+     *  shaper credit occupancy). */
+    void enableIntervalStats(Cycle period);
+    /** nullptr until enableIntervalStats() is called. */
+    const obs::IntervalCollector *intervalStats() const
+    {
+        return interval_.get();
+    }
+
   private:
     struct PerCore;
 
@@ -171,6 +201,7 @@ class System
     void routeMcResponses();
     void feedResponsePath(PerCore &pc);
     void deliverResponses();
+    void sampleInterval();
     bool coreIsShaped(std::uint32_t i) const;
 
     SystemConfig cfg_;
@@ -181,6 +212,8 @@ class System
     std::unique_ptr<noc::SharedChannel> respChannel_;
     std::unique_ptr<mem::MemorySystem> mem_;
     StatGroup stats_;
+    std::unique_ptr<obs::Tracer> tracer_;
+    std::unique_ptr<obs::IntervalCollector> interval_;
 };
 
 } // namespace camo::sim

@@ -274,6 +274,108 @@ TEST(Stats, GeomeanBasics)
     EXPECT_NEAR(geomean({3.0}), 3.0, 1e-12);
 }
 
+TEST(StatsDeathTest, GeomeanReportsOffendingValue)
+{
+    EXPECT_DEATH(geomean({2.0, -1.5}), "-1.5");
+    EXPECT_DEATH(geomean({0.0}), "positive");
+}
+
+TEST(Stats, ScalarWelfordVariance)
+{
+    Scalar s;
+    for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.sample(v);
+    // Textbook population variance of this set is 4.
+    EXPECT_NEAR(s.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(Stats, ScalarVarianceNeedsTwoSamples)
+{
+    Scalar s;
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    s.sample(3.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, ScalarClearResetsEverything)
+{
+    Scalar s;
+    s.sample(1.0);
+    s.sample(9.0);
+    s.clear();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    // And it samples correctly again afterwards.
+    s.sample(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+}
+
+TEST(Stats, MissingNameLookupsAreInert)
+{
+    StatGroup g;
+    // Lookups for unregistered names return zero values and must not
+    // create entries as a side effect.
+    EXPECT_EQ(g.counter("ghost"), 0u);
+    EXPECT_EQ(g.scalar("ghost").count(), 0u);
+    EXPECT_FALSE(g.hasCounter("ghost"));
+    EXPECT_FALSE(g.hasScalar("ghost"));
+    EXPECT_TRUE(g.counters().empty());
+    EXPECT_TRUE(g.scalars().empty());
+}
+
+TEST(Stats, DumpFormatsScalarFields)
+{
+    StatGroup g;
+    g.sample("lat", 2.0);
+    g.sample("lat", 4.0);
+    const auto s = g.dump("mc.");
+    EXPECT_NE(s.find("mc.lat"), std::string::npos);
+    EXPECT_NE(s.find("count=2"), std::string::npos);
+    EXPECT_NE(s.find("mean=3"), std::string::npos);
+    EXPECT_NE(s.find("min=2"), std::string::npos);
+    EXPECT_NE(s.find("max=4"), std::string::npos);
+    EXPECT_NE(s.find("stddev=1"), std::string::npos);
+}
+
+TEST(Histogram, PercentileFindsBinLowerEdge)
+{
+    Histogram h({0, 10, 100, 1000});
+    h.add(5, 50);    // bin [0, 10)
+    h.add(50, 40);   // bin [10, 100)
+    h.add(500, 10);  // bin [100, 1000)
+    EXPECT_EQ(h.percentile(0.25), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_EQ(h.percentile(0.51), 10u);
+    EXPECT_EQ(h.percentile(0.9), 10u);
+    EXPECT_EQ(h.percentile(0.95), 100u);
+    EXPECT_EQ(h.percentile(1.0), 100u);
+}
+
+TEST(Histogram, PercentileOfEmptyIsZero)
+{
+    Histogram h({0, 10});
+    EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(Histogram, ToJsonListsEdgesCountsTotal)
+{
+    Histogram h({0, 10});
+    h.add(3, 2);
+    h.add(20);
+    const auto s = h.toJson();
+    EXPECT_NE(s.find("\"edges\":[0,10]"), std::string::npos);
+    EXPECT_NE(s.find("\"counts\":[2,1]"), std::string::npos);
+    EXPECT_NE(s.find("\"total\":3"), std::string::npos);
+}
+
 // -------------------------------------------------------- ClockDivider
 
 TEST(ClockDivider, ExactRatioLongRun)

@@ -10,15 +10,21 @@
  *   camosim --workloads=probe,apache,apache,apache --mitigation=respc \
  *           --shape-cores=0 --cycles=2000000 --csv
  *   camosim --workloads=bzip,astar,astar,astar --mitigation=bdc --ga
+ *   camosim --workloads=mcf,astar,astar,astar --mitigation=bdc \
+ *           --trace=t.jsonl --stats-json=s.json --interval-stats=10000
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/obs/registry.h"
+#include "src/obs/tracer.h"
 #include "src/sim/presets.h"
 #include "src/sim/runner.h"
 #include "src/trace/workloads.h"
@@ -42,6 +48,13 @@ struct Options
     std::size_t gaGenerations = 8;
     std::size_t gaPopulation = 14;
     std::vector<bool> shapeCores; // empty = all
+
+    // Observability outputs.
+    std::string traceFile;
+    std::string traceFormat = "jsonl";
+    std::string statsJsonFile;
+    Cycle intervalStats = 0;
+    std::string intervalCsvFile;
 };
 
 [[noreturn]] void
@@ -60,6 +73,11 @@ usage(const char *argv0)
         "  --shape-cores=i,j,...   shape only the listed cores\n"
         "  --ga [--ga-gens=N --ga-pop=N]  tune bins online first\n"
         "  --csv                   machine-readable output\n"
+        "  --trace=FILE            cycle-stamped event trace\n"
+        "  --trace-format=F        jsonl (default) | csv | bin\n"
+        "  --stats-json=FILE       hierarchical stats tree as JSON\n"
+        "  --interval-stats=N      snapshot metrics every N cycles\n"
+        "  --interval-csv=FILE     write the interval series as CSV\n"
         "workloads: ",
         argv0);
     for (const auto &n : trace::workloadNames())
@@ -146,6 +164,16 @@ parseArgs(int argc, char **argv)
             opt.gaPopulation = std::strtoul(v, nullptr, 10);
         } else if (arg == "--csv") {
             opt.csv = true;
+        } else if (const char *v = value("--trace")) {
+            opt.traceFile = v;
+        } else if (const char *v = value("--trace-format")) {
+            opt.traceFormat = v;
+        } else if (const char *v = value("--stats-json")) {
+            opt.statsJsonFile = v;
+        } else if (const char *v = value("--interval-stats")) {
+            opt.intervalStats = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = value("--interval-csv")) {
+            opt.intervalCsvFile = v;
         } else {
             usage(argv[0]);
         }
@@ -154,7 +182,57 @@ parseArgs(int argc, char **argv)
         if (!trace::isKnownWorkload(w))
             camo_fatal("unknown workload: ", w);
     }
+    if (opt.traceFormat != "jsonl" && opt.traceFormat != "csv" &&
+        opt.traceFormat != "bin") {
+        camo_fatal("unknown trace format: ", opt.traceFormat,
+                   " (expected jsonl, csv, or bin)");
+    }
+    if (!opt.intervalCsvFile.empty() && opt.intervalStats == 0)
+        camo_fatal("--interval-csv needs --interval-stats=N");
     return opt;
+}
+
+std::unique_ptr<obs::TraceSink>
+makeTraceSink(const std::string &format, std::ostream &os)
+{
+    if (format == "csv")
+        return std::make_unique<obs::CsvTraceSink>(os);
+    if (format == "bin")
+        return std::make_unique<obs::BinaryTraceSink>(os);
+    return std::make_unique<obs::JsonlTraceSink>(os);
+}
+
+/** Stats-tree JSON: run metadata + the registry tree (+ tracer and
+ *  interval summaries when those features are on). */
+void
+writeStatsJson(const Options &opt, sim::System &system)
+{
+    obs::StatRegistry reg;
+    system.registerStats(reg);
+
+    obs::json::Value root = obs::json::Value::makeObject();
+    root["mitigation"] =
+        obs::json::Value(sim::mitigationName(opt.mitigation));
+    root["cycles"] = obs::json::Value(system.now());
+    root["seed"] = obs::json::Value(opt.seed);
+    obs::json::Value wl = obs::json::Value::makeArray();
+    for (const auto &w : opt.workloads)
+        wl.push(obs::json::Value(w));
+    root["workloads"] = std::move(wl);
+    root["stats"] = reg.toJson();
+    if (!opt.traceFile.empty()) {
+        obs::json::Value t = obs::json::Value::makeObject();
+        t["emitted"] = obs::json::Value(system.tracer().emitted());
+        t["dropped"] = obs::json::Value(system.tracer().dropped());
+        root["tracer"] = std::move(t);
+    }
+    if (const obs::IntervalCollector *iv = system.intervalStats())
+        root["intervals"] = iv->toJson();
+
+    std::ofstream os(opt.statsJsonFile);
+    if (!os)
+        camo_fatal("cannot open stats file: ", opt.statsJsonFile);
+    os << root.dump(2) << "\n";
 }
 
 } // namespace
@@ -197,8 +275,35 @@ main(int argc, char **argv)
         }
     }
 
-    const auto m = sim::runConfig(cfg, opt.workloads, opt.cycles,
-                                  opt.warmup);
+    sim::System system(cfg, opt.workloads);
+
+    std::ofstream trace_os;
+    if (!opt.traceFile.empty()) {
+        trace_os.open(opt.traceFile, opt.traceFormat == "bin"
+                                         ? std::ios::out | std::ios::binary
+                                         : std::ios::out);
+        if (!trace_os)
+            camo_fatal("cannot open trace file: ", opt.traceFile);
+        system.tracer().setSink(
+            makeTraceSink(opt.traceFormat, trace_os));
+        system.tracer().setEnabled(true);
+    }
+    if (opt.intervalStats > 0)
+        system.enableIntervalStats(opt.intervalStats);
+
+    const auto m = sim::runAndMeasure(system, opt.cycles, opt.warmup);
+
+    if (!opt.traceFile.empty())
+        system.tracer().flush();
+    if (!opt.intervalCsvFile.empty()) {
+        std::ofstream os(opt.intervalCsvFile);
+        if (!os)
+            camo_fatal("cannot open interval file: ",
+                       opt.intervalCsvFile);
+        os << system.intervalStats()->toCsv();
+    }
+    if (!opt.statsJsonFile.empty())
+        writeStatsJson(opt, system);
 
     if (opt.csv) {
         std::printf("core,workload,ipc,retired,served_reads,"
