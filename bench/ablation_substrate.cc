@@ -12,7 +12,9 @@
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "bench/sweep.h"
 #include "src/sim/presets.h"
 #include "src/sim/runner.h"
 
@@ -23,15 +25,6 @@ namespace {
 constexpr Cycle kRunCycles = 400000;
 constexpr Cycle kWarmup = 40000;
 
-double
-throughputOf(const sim::SystemConfig &cfg, const char *adv,
-             const char *victim)
-{
-    return sim::runConfig(cfg, sim::adversaryMix(adv, victim),
-                          kRunCycles, kWarmup)
-        .throughput();
-}
-
 } // namespace
 
 int
@@ -41,57 +34,69 @@ main()
     std::printf("# Substrate ablations (throughput = sum of IPC; mix "
                 "in row labels)\n\n");
 
-    {
-        std::printf("-- address mapping, w(libqt, mcf) --\n");
-        sim::SystemConfig a = sim::paperConfig();
-        a.mc.mapping = dram::MappingScheme::RowRankBankCol;
-        sim::SystemConfig b = sim::paperConfig();
-        b.mc.mapping = dram::MappingScheme::RowColRankBank;
-        std::printf("row:rank:bank:col (row locality) %8.3f\n",
-                    throughputOf(a, "libqt", "mcf"));
-        std::printf("row:col:rank:bank (bank parallel) %7.3f\n\n",
-                    throughputOf(b, "libqt", "mcf"));
+    // Every ablation point is an independent runConfig; queue them
+    // all, sweep once, print from the in-order results.
+    std::vector<bench::SimJob> jobs;
+    auto queue = [&](sim::SystemConfig cfg, const char *adv,
+                     const char *victim) {
+        jobs.push_back({std::move(cfg), sim::adversaryMix(adv, victim),
+                        kRunCycles, kWarmup});
+    };
+
+    sim::SystemConfig map_a = sim::paperConfig();
+    map_a.mc.mapping = dram::MappingScheme::RowRankBankCol;
+    queue(map_a, "libqt", "mcf"); // 0
+    sim::SystemConfig map_b = sim::paperConfig();
+    map_b.mc.mapping = dram::MappingScheme::RowColRankBank;
+    queue(map_b, "libqt", "mcf"); // 1
+
+    for (const auto policy :
+         {mem::PagePolicy::Open, mem::PagePolicy::Closed}) {
+        sim::SystemConfig cfg = sim::paperConfig();
+        cfg.mc.pagePolicy = policy;
+        queue(cfg, "libqt", "libqt"); // 2, 4
+        queue(cfg, "mcf", "mcf");     // 3, 5
     }
 
-    {
-        std::printf("-- page policy, streaming w(libqt, libqt) vs "
-                    "random w(mcf, mcf) --\n");
-        for (const auto policy : {mem::PagePolicy::Open,
-                                  mem::PagePolicy::Closed}) {
-            sim::SystemConfig cfg = sim::paperConfig();
-            cfg.mc.pagePolicy = policy;
-            std::printf("%-8s streaming %7.3f  random %7.3f\n",
-                        policy == mem::PagePolicy::Open ? "open"
-                                                        : "closed",
-                        throughputOf(cfg, "libqt", "libqt"),
-                        throughputOf(cfg, "mcf", "mcf"));
-        }
-        std::printf("\n");
+    for (const std::uint32_t channels : {1u, 2u}) {
+        sim::SystemConfig cfg = sim::paperConfig();
+        cfg.mc.org.channels = channels;
+        queue(cfg, "mcf", "mcf"); // 6, 7
     }
 
-    {
-        std::printf("-- channel count, bandwidth-bound w(mcf, mcf) "
-                    "--\n");
-        for (const std::uint32_t channels : {1u, 2u}) {
-            sim::SystemConfig cfg = sim::paperConfig();
-            cfg.mc.org.channels = channels;
-            std::printf("%u channel(s) %8.3f\n", channels,
-                        throughputOf(cfg, "mcf", "mcf"));
-        }
-        std::printf("\n");
+    for (const auto kind :
+         {mem::SchedulerKind::FrFcfs, mem::SchedulerKind::Fcfs}) {
+        sim::SystemConfig cfg = sim::paperConfig();
+        cfg.mc.scheduler = kind;
+        queue(cfg, "libqt", "hmmer"); // 8, 9
     }
 
-    {
-        std::printf("-- scheduler, row-friendly w(libqt, hmmer) --\n");
-        for (const auto kind : {mem::SchedulerKind::FrFcfs,
-                                mem::SchedulerKind::Fcfs}) {
-            sim::SystemConfig cfg = sim::paperConfig();
-            cfg.mc.scheduler = kind;
-            std::printf("%-8s %8.3f\n",
-                        mem::schedulerKindName(kind),
-                        throughputOf(cfg, "libqt", "hmmer"));
-        }
-    }
+    const auto m = bench::sweep(jobs);
+    auto tput = [&](std::size_t i) { return m[i].throughput(); };
+
+    std::printf("-- address mapping, w(libqt, mcf) --\n");
+    std::printf("row:rank:bank:col (row locality) %8.3f\n", tput(0));
+    std::printf("row:col:rank:bank (bank parallel) %7.3f\n\n", tput(1));
+
+    std::printf("-- page policy, streaming w(libqt, libqt) vs "
+                "random w(mcf, mcf) --\n");
+    std::printf("%-8s streaming %7.3f  random %7.3f\n", "open", tput(2),
+                tput(3));
+    std::printf("%-8s streaming %7.3f  random %7.3f\n", "closed",
+                tput(4), tput(5));
+    std::printf("\n");
+
+    std::printf("-- channel count, bandwidth-bound w(mcf, mcf) --\n");
+    std::printf("1 channel(s) %8.3f\n", tput(6));
+    std::printf("2 channel(s) %8.3f\n\n", tput(7));
+
+    std::printf("-- scheduler, row-friendly w(libqt, hmmer) --\n");
+    std::printf("%-8s %8.3f\n",
+                mem::schedulerKindName(mem::SchedulerKind::FrFcfs),
+                tput(8));
+    std::printf("%-8s %8.3f\n",
+                mem::schedulerKindName(mem::SchedulerKind::Fcfs),
+                tput(9));
     std::printf("\n# expectations: bank-parallel mapping and FR-FCFS "
                 "win; closed page costs streaming throughput;\n"
                 "# a second channel relieves mcf's bandwidth bound\n");

@@ -11,7 +11,9 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 
+#include "src/sim/parallel.h"
 #include "src/sim/presets.h"
 #include "src/sim/runner.h"
 
@@ -40,22 +42,37 @@ main(int argc, char **argv)
     sim::SystemConfig cfg = sim::paperConfig();
     cfg.mitigation = sim::Mitigation::BDC;
 
-    // Hand-written static configuration.
-    const auto static_m = sim::runConfig(cfg, mix, kRunCycles, 30000);
-
-    // One-shot GA, then a static run (the paper's "GA at the
-    // beginning of the program" deployment).
-    const auto tuned = sim::runOnlineGa(cfg, mix, ga_cfg);
-    sim::SystemConfig tuned_cfg = cfg;
-    tuned_cfg.reqBinsPerCore = tuned.reqBinsPerCore;
-    tuned_cfg.respBinsPerCore = tuned.respBinsPerCore;
-    const auto oneshot_m =
-        sim::runConfig(tuned_cfg, mix, kRunCycles, 30000);
-
-    // Adaptive runtime.
-    sim::AdaptiveConfig ad;
-    ad.ga = ga_cfg;
-    const auto adaptive = sim::runAdaptive(cfg, mix, kRunCycles, ad);
+    // The three deployment modes share nothing, so they run as three
+    // parallel jobs: the hand-written static configuration, the
+    // one-shot GA then a static run (the paper's "GA at the beginning
+    // of the program" deployment), and the adaptive runtime.
+    struct ModeResult
+    {
+        sim::RunMetrics m;
+        sim::OnlineGaResult tuned;   // one-shot GA mode only
+        sim::AdaptiveResult adaptive;// adaptive mode only
+    };
+    const auto modes = sim::parallelMap(3, 0, [&](std::size_t i) {
+        ModeResult r;
+        if (i == 0) {
+            r.m = sim::runConfig(cfg, mix, kRunCycles, 30000);
+        } else if (i == 1) {
+            r.tuned = sim::runOnlineGa(cfg, mix, ga_cfg);
+            sim::SystemConfig tuned_cfg = cfg;
+            tuned_cfg.reqBinsPerCore = r.tuned.reqBinsPerCore;
+            tuned_cfg.respBinsPerCore = r.tuned.respBinsPerCore;
+            r.m = sim::runConfig(tuned_cfg, mix, kRunCycles, 30000);
+        } else {
+            sim::AdaptiveConfig ad;
+            ad.ga = ga_cfg;
+            r.adaptive = sim::runAdaptive(cfg, mix, kRunCycles, ad);
+        }
+        return r;
+    });
+    const auto &static_m = modes[0].m;
+    const auto &tuned = modes[1].tuned;
+    const auto &oneshot_m = modes[1].m;
+    const auto &adaptive = modes[2].adaptive;
 
     std::printf("%-22s %12s %14s %14s\n", "mode", "throughput",
                 "reconfigs", "leak bound");

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/sim/parallel.h"
 #include "src/sim/presets.h"
 #include "src/sim/runner.h"
 #include "src/trace/workloads.h"
@@ -52,25 +53,43 @@ runCase(const char *title, const std::string &run_victim,
                 "throughput slowdown");
     std::vector<double> adv_slow, tput_slow;
 
-    for (const std::string &adv : trace::workloadNames()) {
-        const auto mix = sim::adversaryMix(adv, run_victim);
+    // Each adversary needs three chained simulations (the target-mix
+    // distribution pre-run, the baseline, and the shaped run);
+    // adversaries are independent of one another, so each chain is
+    // one job of the parallel map.
+    struct CasePoint
+    {
+        double advSlowdown = 0.0;
+        double tputSlowdown = 0.0;
+    };
+    const auto names = trace::workloadNames();
+    const auto points = sim::parallelMap(
+        names.size(), 0, [&](std::size_t i) {
+            const std::string &adv = names[i];
+            const auto mix = sim::adversaryMix(adv, run_victim);
 
-        sim::SystemConfig base_cfg = sim::paperConfig();
-        const auto base =
-            sim::runConfig(base_cfg, mix, kMeasureCycles, kWarmup);
+            sim::SystemConfig base_cfg = sim::paperConfig();
+            const auto base = sim::runConfig(base_cfg, mix,
+                                             kMeasureCycles, kWarmup);
 
-        sim::SystemConfig shaped_cfg = sim::paperConfig();
-        shaped_cfg.mitigation = sim::Mitigation::RespC;
-        shaped_cfg.shapeCore = {true, false, false, false};
-        shaped_cfg.respBins = responseBinsOfMix(adv, target_victim);
-        const auto shaped =
-            sim::runConfig(shaped_cfg, mix, kMeasureCycles, kWarmup);
+            sim::SystemConfig shaped_cfg = sim::paperConfig();
+            shaped_cfg.mitigation = sim::Mitigation::RespC;
+            shaped_cfg.shapeCore = {true, false, false, false};
+            shaped_cfg.respBins = responseBinsOfMix(adv, target_victim);
+            const auto shaped = sim::runConfig(
+                shaped_cfg, mix, kMeasureCycles, kWarmup);
 
-        const double a = base.ipc[0] / shaped.ipc[0];
-        const double t = base.throughput() / shaped.throughput();
-        adv_slow.push_back(a);
-        tput_slow.push_back(t);
-        std::printf("%-10s %18.3f %18.3f\n", adv.c_str(), a, t);
+            CasePoint p;
+            p.advSlowdown = base.ipc[0] / shaped.ipc[0];
+            p.tputSlowdown = base.throughput() / shaped.throughput();
+            return p;
+        });
+
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        adv_slow.push_back(points[i].advSlowdown);
+        tput_slow.push_back(points[i].tputSlowdown);
+        std::printf("%-10s %18.3f %18.3f\n", names[i].c_str(),
+                    points[i].advSlowdown, points[i].tputSlowdown);
     }
     std::printf("%-10s %18.3f %18.3f\n", "GEOMEAN", geomean(adv_slow),
                 geomean(tput_slow));

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/sweep.h"
 #include "src/common/stats.h"
 #include "src/sim/presets.h"
 #include "src/sim/runner.h"
@@ -76,27 +77,33 @@ main(int argc, char **argv)
 
     std::printf("%-10s %10s %10s %9s\n", "workload", "CS IPC",
                 "ReqC IPC", "speedup");
-    std::vector<double> speedups;
-    for (const std::string &name : trace::workloadNames()) {
+    // One CS + one ReqC run per workload, fanned across the pool.
+    const auto names = trace::workloadNames();
+    std::vector<bench::SimJob> jobs;
+    for (const std::string &name : names) {
         sim::SystemConfig cs = sim::paperConfig();
         cs.numCores = 1;
         cs.mitigation = sim::Mitigation::CS;
         cs.csInterval = g_cs_interval;
         cs.fakeTraffic = false; // isolate the shaping policy itself
-        const auto cs_m =
-            sim::runConfig(cs, {name}, kMeasureCycles, kWarmup);
+        jobs.push_back({cs, {name}, kMeasureCycles, kWarmup});
 
         sim::SystemConfig rc = sim::paperConfig();
         rc.numCores = 1;
         rc.mitigation = sim::Mitigation::ReqC;
         rc.reqBins = reqc;
         rc.fakeTraffic = false;
-        const auto rc_m =
-            sim::runConfig(rc, {name}, kMeasureCycles, kWarmup);
+        jobs.push_back({rc, {name}, kMeasureCycles, kWarmup});
+    }
+    const auto metrics = bench::sweep(jobs);
 
+    std::vector<double> speedups;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &cs_m = metrics[2 * i];
+        const auto &rc_m = metrics[2 * i + 1];
         const double speedup = rc_m.ipc[0] / cs_m.ipc[0];
         speedups.push_back(speedup);
-        std::printf("%-10s %10.3f %10.3f %9.3f\n", name.c_str(),
+        std::printf("%-10s %10.3f %10.3f %9.3f\n", names[i].c_str(),
                     cs_m.ipc[0], rc_m.ipc[0], speedup);
     }
     std::printf("%-10s %10s %10s %9.3f   (paper: 1.12)\n", "GEOMEAN",

@@ -19,7 +19,9 @@
 #include <string>
 #include <vector>
 
+#include "bench/sweep.h"
 #include "src/common/stats.h"
+#include "src/sim/parallel.h"
 #include "src/sim/presets.h"
 #include "src/sim/runner.h"
 #include "src/trace/workloads.h"
@@ -67,39 +69,45 @@ main(int argc, char **argv)
                     "BDC");
         std::vector<double> tp_all, fs_all, bdc_all;
 
-        for (const std::string &adv : trace::workloadNames()) {
+        // Baseline/TP/FS are plain runConfig jobs; the BDC column
+        // chains a (serial, live-system) online GA into its measured
+        // run, so each adversary's whole chain is one parallel job.
+        const auto names = trace::workloadNames();
+        std::vector<bench::SimJob> jobs;
+        for (const std::string &adv : names) {
             const auto mix = sim::adversaryMix(adv, victim);
-
             sim::SystemConfig base = sim::paperConfig();
-            const auto base_m =
-                sim::runConfig(base, mix, kMeasureCycles, kWarmup);
-
+            jobs.push_back({base, mix, kMeasureCycles, kWarmup});
             sim::SystemConfig tp = sim::paperConfig();
             tp.mitigation = sim::Mitigation::TP;
-            const auto tp_m =
-                sim::runConfig(tp, mix, kMeasureCycles, kWarmup);
-
+            jobs.push_back({tp, mix, kMeasureCycles, kWarmup});
             sim::SystemConfig fs = sim::paperConfig();
             fs.mitigation = sim::Mitigation::FS;
-            const auto fs_m =
-                sim::runConfig(fs, mix, kMeasureCycles, kWarmup);
+            jobs.push_back({fs, mix, kMeasureCycles, kWarmup});
+        }
+        const auto static_m = bench::sweep(jobs);
+        const auto bdc_m = sim::parallelMap(
+            names.size(), 0, [&](std::size_t i) {
+                const auto mix = sim::adversaryMix(names[i], victim);
+                sim::SystemConfig bdc = sim::paperConfig();
+                bdc.mitigation = sim::Mitigation::BDC;
+                const auto tuned = sim::runOnlineGa(bdc, mix, ga_cfg);
+                bdc.reqBinsPerCore = tuned.reqBinsPerCore;
+                bdc.respBinsPerCore = tuned.respBinsPerCore;
+                return sim::runConfig(bdc, mix, kMeasureCycles,
+                                      kWarmup);
+            });
 
-            sim::SystemConfig bdc = sim::paperConfig();
-            bdc.mitigation = sim::Mitigation::BDC;
-            const auto tuned = sim::runOnlineGa(bdc, mix, ga_cfg);
-            bdc.reqBinsPerCore = tuned.reqBinsPerCore;
-            bdc.respBinsPerCore = tuned.respBinsPerCore;
-            const auto bdc_m =
-                sim::runConfig(bdc, mix, kMeasureCycles, kWarmup);
-
-            const double tp_s = avgSlowdown(base_m, tp_m);
-            const double fs_s = avgSlowdown(base_m, fs_m);
-            const double bdc_s = avgSlowdown(base_m, bdc_m);
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const auto &base_m = static_m[3 * i];
+            const double tp_s = avgSlowdown(base_m, static_m[3 * i + 1]);
+            const double fs_s = avgSlowdown(base_m, static_m[3 * i + 2]);
+            const double bdc_s = avgSlowdown(base_m, bdc_m[i]);
             tp_all.push_back(tp_s);
             fs_all.push_back(fs_s);
             bdc_all.push_back(bdc_s);
-            std::printf("%-10s %8.3f %8.3f %8.3f\n", adv.c_str(), tp_s,
-                        fs_s, bdc_s);
+            std::printf("%-10s %8.3f %8.3f %8.3f\n", names[i].c_str(),
+                        tp_s, fs_s, bdc_s);
         }
         std::printf("%-10s %8.3f %8.3f %8.3f\n", "GEOMEAN",
                     geomean(tp_all), geomean(fs_all), geomean(bdc_all));

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/security/mutual_information.h"
+#include "src/sim/parallel.h"
 #include "src/sim/presets.h"
 #include "src/sim/runner.h"
 
@@ -83,29 +84,31 @@ main()
                 "window=%llu cycles\n\n",
                 static_cast<unsigned long long>(kMiWindow));
 
-    std::vector<Point> points;
+    // Collect every point's configuration, then evaluate them all in
+    // parallel (each evaluate() owns its System).
+    std::vector<std::pair<std::string, sim::SystemConfig>> cases;
 
     {
         sim::SystemConfig cfg = sim::paperConfig();
-        points.push_back(evaluate("no-shaping", cfg));
+        cases.emplace_back("no-shaping", cfg);
     }
     {
         sim::SystemConfig cfg = sim::paperConfig();
         cfg.mitigation = sim::Mitigation::TP;
-        points.push_back(evaluate("TP", cfg));
+        cases.emplace_back("TP", cfg);
     }
     {
         sim::SystemConfig cfg = sim::paperConfig();
         cfg.mitigation = sim::Mitigation::FS;
-        points.push_back(evaluate("FS", cfg));
+        cases.emplace_back("FS", cfg);
     }
     for (const Cycle interval : {90u, 150u, 240u}) {
         sim::SystemConfig cfg = sim::paperConfig();
         cfg.mitigation = sim::Mitigation::CS;
         cfg.csInterval = interval;
         cfg.shapeCore = {false, true, true, true}; // protect victims
-        points.push_back(
-            evaluate("CS interval=" + std::to_string(interval), cfg));
+        cases.emplace_back("CS interval=" + std::to_string(interval),
+                           cfg);
     }
     // The sweep stops at 3x: with paper-faithful (indistinguishable)
     // fake traffic, every unused credit becomes a real DRAM access,
@@ -120,8 +123,13 @@ main()
         cfg.shapeCore = {false, true, true, true};
         char label[48];
         std::snprintf(label, sizeof label, "Camouflage x%.1f", scale);
-        points.push_back(evaluate(label, cfg));
+        cases.emplace_back(label, cfg);
     }
+
+    const std::vector<Point> points = sim::parallelMap(
+        cases.size(), 0, [&](std::size_t i) {
+            return evaluate(cases[i].first, cases[i].second);
+        });
 
     std::printf("%-22s %12s %14s\n", "scheme", "throughput",
                 "leakage(bits)");

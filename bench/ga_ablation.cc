@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench/sweep.h"
 #include "src/sim/presets.h"
 #include "src/sim/runner.h"
 
@@ -56,16 +57,24 @@ main(int argc, char **argv)
                 "leak bound (E x log2 R): %.1f bits\n",
                 static_cast<unsigned long long>(tuned.configPhaseCycles),
                 tuned.configPhaseLeakBoundBits);
-    // RUN_PHASE comparison.
+    // Offline comparator: same genome layout and MISE fitness, but
+    // each child evaluated in a fresh seed-derived system, fanned
+    // across the worker pool (src/sim/parallel.h).
+    const auto offline = sim::runOfflineGa(cfg, mix, ga_cfg);
+    std::printf("\noffline GA (parallel, fresh system per child): "
+                "best fitness %.4f over %zu generations\n",
+                offline.bestFitness, offline.generationBest.size());
+
+    // RUN_PHASE comparison, all four configurations swept in parallel.
     sim::SystemConfig ga_run = cfg;
     ga_run.reqBinsPerCore = tuned.reqBinsPerCore;
     ga_run.respBinsPerCore = tuned.respBinsPerCore;
-    const auto ga_m = sim::runConfig(ga_run, mix, kMeasureCycles,
-                                     kWarmup);
+
+    sim::SystemConfig offline_run = cfg;
+    offline_run.reqBinsPerCore = offline.reqBinsPerCore;
+    offline_run.respBinsPerCore = offline.respBinsPerCore;
 
     sim::SystemConfig desired_run = cfg;
-    const auto desired_m =
-        sim::runConfig(desired_run, mix, kMeasureCycles, kWarmup);
 
     // Naive comparator: the same total budget spread uniformly over
     // the bins (no workload awareness), still BDC so the comparison
@@ -78,12 +87,18 @@ main(int argc, char **argv)
         c = std::max(1u, per_bin);
     uniform_run.reqBins = uniform;
     uniform_run.respBins = uniform;
-    const auto uniform_m =
-        sim::runConfig(uniform_run, mix, kMeasureCycles, kWarmup);
 
-    std::printf("\nRUN_PHASE throughput: GA config %.3f | DESIRED "
-                "%.3f | uniform same-budget %.3f\n", ga_m.throughput(),
-                desired_m.throughput(), uniform_m.throughput());
+    const auto runs = bench::sweep({
+        {ga_run, mix, kMeasureCycles, kWarmup},
+        {offline_run, mix, kMeasureCycles, kWarmup},
+        {desired_run, mix, kMeasureCycles, kWarmup},
+        {uniform_run, mix, kMeasureCycles, kWarmup},
+    });
+
+    std::printf("\nRUN_PHASE throughput: GA config %.3f | offline GA "
+                "%.3f | DESIRED %.3f | uniform same-budget %.3f\n",
+                runs[0].throughput(), runs[1].throughput(),
+                runs[2].throughput(), runs[3].throughput());
     std::printf("# expectation: GA >= hand-written configurations\n");
     return 0;
 }

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Simulator performance microbenchmark. Measures:
+ *
+ *  1. Single-thread simulation speed (CPU-cycles simulated per
+ *     wall-clock second) with the idle-cycle fast-forward on vs off,
+ *     per mitigation -- and asserts the two modes produce identical
+ *     RunMetrics, since the fast-forward is contractually bit-exact.
+ *  2. Wall-clock of a representative bench sweep at jobs=1 vs
+ *     jobs=N (the parallel experiment engine), again asserting the
+ *     results match exactly.
+ *
+ * Emits BENCH_ticks.json (override the path with argv[1]; argv[2]
+ * scales the per-run cycle count).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/sweep.h"
+#include "src/common/logging.h"
+#include "src/obs/json.h"
+#include "src/sim/parallel.h"
+#include "src/sim/presets.h"
+#include "src/sim/runner.h"
+
+using namespace camo;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+bool
+sameMetrics(const sim::RunMetrics &a, const sim::RunMetrics &b)
+{
+    return a.cycles == b.cycles && a.ipc == b.ipc &&
+           a.retired == b.retired && a.servedReads == b.servedReads &&
+           a.avgReadLatency == b.avgReadLatency && a.alpha == b.alpha;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_ticks.json";
+    const Cycle cycles =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 400000;
+
+    obs::json::Value root = obs::json::Value::makeObject();
+    root["cycles_per_run"] = obs::json::Value(cycles);
+
+    // --- 1. tick-loop speed, fast-forward off vs on -------------
+    const auto mix = sim::adversaryMix("mcf", "astar");
+    obs::json::Value single = obs::json::Value::makeArray();
+    std::printf("%-12s %14s %14s %9s\n", "mitigation",
+                "ticks/s (loop)", "ticks/s (ff)", "speedup");
+    for (const auto mit :
+         {sim::Mitigation::None, sim::Mitigation::CS,
+          sim::Mitigation::BDC, sim::Mitigation::TP}) {
+        sim::SystemConfig cfg = sim::paperConfig();
+        cfg.mitigation = mit;
+
+        cfg.fastForward = false;
+        auto t0 = std::chrono::steady_clock::now();
+        const auto plain = sim::runConfig(cfg, mix, cycles);
+        const double s_plain = secondsSince(t0);
+
+        cfg.fastForward = true;
+        t0 = std::chrono::steady_clock::now();
+        const auto fast = sim::runConfig(cfg, mix, cycles);
+        const double s_fast = secondsSince(t0);
+
+        camo_assert(sameMetrics(plain, fast),
+                    "fast-forward diverged for mitigation ",
+                    sim::mitigationName(mit));
+
+        const double tps_plain = static_cast<double>(cycles) / s_plain;
+        const double tps_fast = static_cast<double>(cycles) / s_fast;
+        std::printf("%-12s %14.0f %14.0f %8.2fx\n",
+                    sim::mitigationName(mit), tps_plain, tps_fast,
+                    tps_fast / tps_plain);
+
+        obs::json::Value row = obs::json::Value::makeObject();
+        row["mitigation"] =
+            obs::json::Value(sim::mitigationName(mit));
+        row["ticks_per_sec_loop"] = obs::json::Value(tps_plain);
+        row["ticks_per_sec_fastforward"] = obs::json::Value(tps_fast);
+        row["speedup"] = obs::json::Value(tps_fast / tps_plain);
+        single.push(std::move(row));
+    }
+    root["single_thread"] = std::move(single);
+
+    // --- 2. sweep wall-clock, jobs=1 vs jobs=N ------------------
+    std::vector<bench::SimJob> jobs;
+    for (const char *adv : {"mcf", "libqt", "bzip", "apache"}) {
+        for (const auto mit :
+             {sim::Mitigation::None, sim::Mitigation::BDC}) {
+            sim::SystemConfig cfg = sim::paperConfig();
+            cfg.mitigation = mit;
+            jobs.push_back(
+                {cfg, sim::adversaryMix(adv, "astar"), cycles, 0});
+        }
+    }
+    const unsigned fan = sim::defaultJobs();
+
+    auto t0 = std::chrono::steady_clock::now();
+    const auto serial = bench::sweep(jobs, 1);
+    const double s_serial = secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    const auto parallel = bench::sweep(jobs, fan);
+    const double s_parallel = secondsSince(t0);
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        camo_assert(sameMetrics(serial[i], parallel[i]),
+                    "parallel sweep diverged at job ", i);
+    }
+
+    std::printf("\nsweep of %zu sims: jobs=1 %.2fs, jobs=%u %.2fs "
+                "(%.2fx)\n",
+                jobs.size(), s_serial, fan, s_parallel,
+                s_serial / s_parallel);
+
+    obs::json::Value sweep = obs::json::Value::makeObject();
+    sweep["num_sims"] = obs::json::Value(
+        static_cast<std::uint64_t>(jobs.size()));
+    sweep["jobs"] = obs::json::Value(
+        static_cast<std::uint64_t>(fan));
+    sweep["wall_clock_jobs1_sec"] = obs::json::Value(s_serial);
+    sweep["wall_clock_jobsN_sec"] = obs::json::Value(s_parallel);
+    sweep["speedup"] = obs::json::Value(s_serial / s_parallel);
+    sweep["results_identical"] = obs::json::Value(true);
+    root["sweep"] = std::move(sweep);
+
+    std::ofstream os(out_path);
+    if (!os)
+        camo_fatal("cannot open ", out_path);
+    os << root.dump(2) << "\n";
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

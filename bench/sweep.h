@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Shared sweep helper for the bench drivers: collect the independent
+ * runConfig() calls of a figure into a job list, fan them across the
+ * worker pool, then print from the in-order results.
+ *
+ * Worker count comes from the CAMO_JOBS environment variable (or the
+ * machine's core count when unset); CAMO_JOBS=1 recovers the
+ * sequential loop. Results are byte-identical either way -- see the
+ * determinism contract in src/sim/parallel.h.
+ */
+
+#ifndef CAMO_BENCH_SWEEP_H
+#define CAMO_BENCH_SWEEP_H
+
+#include <vector>
+
+#include "src/sim/parallel.h"
+
+namespace camo::bench {
+
+using sim::SimJob;
+
+/** Run every job (in parallel), results in submission order. */
+inline std::vector<sim::RunMetrics>
+sweep(const std::vector<SimJob> &jobs, unsigned num_jobs = 0)
+{
+    return sim::runConfigsParallel(jobs, num_jobs);
+}
+
+} // namespace camo::bench
+
+#endif // CAMO_BENCH_SWEEP_H

@@ -66,6 +66,14 @@ class CacheArray
     /** Remove a line if present; @return whether it was dirty. */
     bool invalidate(Addr addr);
 
+    /** Batch-account `n` repeated missing lookups (idle-skip replay
+     *  of an MSHR-blocked access retried every cycle). */
+    void
+    noteRetriedMisses(std::uint64_t n, bool is_write)
+    {
+        stats_.inc(is_write ? "misses.write" : "misses.read", n);
+    }
+
     const CacheConfig &config() const { return cfg_; }
     const StatGroup &stats() const { return stats_; }
 

@@ -131,4 +131,13 @@ CacheHierarchy::popOutgoing()
     return out;
 }
 
+void
+CacheHierarchy::noteBlockedRetries(std::uint64_t n, bool is_write)
+{
+    stats_.inc(is_write ? "accesses.write" : "accesses.read", n);
+    stats_.inc("mshr.blocked", n);
+    l1_.noteRetriedMisses(n, is_write);
+    l2_.noteRetriedMisses(n, /*is_write=*/false); // L2 probes as reads
+}
+
 } // namespace camo::cache

@@ -84,6 +84,16 @@ class CacheHierarchy
     /** Drain memory-bound requests produced since the last call. */
     std::vector<MemRequest> popOutgoing();
 
+    /** In-place access to the pending outgoing requests; pair with
+     *  clearOutgoing() to drain without reallocating per miss. */
+    std::vector<MemRequest> &outgoing() { return outgoing_; }
+    void clearOutgoing() { outgoing_.clear(); }
+
+    /** Batch-account `n` cycles of an MSHR-blocked access being
+     *  retried (idle-skip replay: each retry re-misses L1 and L2 and
+     *  records a blocked access here). */
+    void noteBlockedRetries(std::uint64_t n, bool is_write);
+
     std::uint32_t mshrsInUse() const
     {
         return static_cast<std::uint32_t>(mshr_.size());

@@ -97,6 +97,40 @@ BinShaper::consumeFake(Cycle now)
     return static_cast<int>(gap_bin);
 }
 
+Cycle
+BinShaper::nextRealEligible(Cycle from) const
+{
+    // Credited bin i becomes eligible once the gap reaches its lower
+    // edge, i.e. at cycle lastIssue_ + edges[i].
+    Cycle best = kNoCycle;
+    for (std::size_t i = 0; i < credits_.size(); ++i) {
+        if (credits_[i] == 0)
+            continue;
+        const Cycle at = std::max(from, lastIssue_ + cfg_.edges[i]);
+        best = std::min(best, at);
+    }
+    return best;
+}
+
+Cycle
+BinShaper::nextFakeEligible(Cycle from) const
+{
+    // A fake charges exactly the bin matching the current gap, so bin
+    // i is usable only while the gap lies in [edges[i], edges[i+1]).
+    Cycle best = kNoCycle;
+    for (std::size_t i = 0; i < unused_.size(); ++i) {
+        if (unused_[i] == 0)
+            continue;
+        const Cycle at = std::max(from, lastIssue_ + cfg_.edges[i]);
+        if (i + 1 < cfg_.edges.size() &&
+            at >= lastIssue_ + cfg_.edges[i + 1]) {
+            continue; // the gap already outgrew this bin
+        }
+        best = std::min(best, at);
+    }
+    return best;
+}
+
 std::uint32_t
 BinShaper::creditsTotal() const
 {

@@ -60,6 +60,24 @@ class BinShaper
     /** Is a fake issue possible right now? */
     bool canIssueFake(Cycle now) const;
 
+    /** Next replenishment boundary (tick() mutates state there). */
+    Cycle nextReplenish() const { return nextReplenish_; }
+
+    /**
+     * Earliest cycle >= `from` at which canIssueReal() could hold,
+     * assuming no issue or replenishment happens before it (the caller
+     * bounds the answer by nextReplenish()). kNoCycle when no bin has
+     * credits.
+     */
+    Cycle nextRealEligible(Cycle from) const;
+
+    /**
+     * Earliest cycle >= `from` at which canIssueFake() could hold
+     * under the same assumptions. kNoCycle when no unused credit can
+     * match any reachable gap.
+     */
+    Cycle nextFakeEligible(Cycle from) const;
+
     /** Inter-arrival gap if something issued at `now`. */
     Cycle gapAt(Cycle now) const { return now - lastIssue_; }
 

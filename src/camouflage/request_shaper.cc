@@ -1,5 +1,7 @@
 #include "src/camouflage/request_shaper.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 
 namespace camo::shaper {
@@ -129,6 +131,45 @@ RequestShaper::tick(Cycle now, bool downstream_ready)
         return fake;
     }
     return std::nullopt;
+}
+
+Cycle
+RequestShaper::nextEventCycle(Cycle from) const
+{
+    if (cfg_.strictSlotInterval > 0) {
+        // Strict-slot mode acts only on slot boundaries (and never
+        // ticks the bin engine).
+        const Cycle i = cfg_.strictSlotInterval;
+        return ((from + i - 1) / i) * i;
+    }
+    Cycle ev = bins_.nextReplenish();
+    if (!queue_.empty()) {
+        if (randomHoldUntil_ != kNoCycle) {
+            // Holding an eligible head for random slack: nothing
+            // happens (not even stall accounting) until it expires.
+            ev = std::min(ev, std::max(from, randomHoldUntil_));
+        } else if (!inStall_) {
+            // Next tick either releases the head or emits the
+            // one-shot stall event; it must execute.
+            return from;
+        } else {
+            ev = std::min(ev, bins_.nextRealEligible(from));
+        }
+    } else if (cfg_.generateFakes) {
+        ev = std::min(ev, bins_.nextFakeEligible(from));
+    }
+    return ev;
+}
+
+void
+RequestShaper::skipIdleCycles(Cycle n)
+{
+    if (cfg_.strictSlotInterval > 0)
+        return; // off-slot cycles are pure no-ops
+    // A credit-starved head accrues stall accounting every cycle (the
+    // one-shot stall event already fired: inStall_ is set).
+    if (!queue_.empty() && inStall_ && randomHoldUntil_ == kNoCycle)
+        stats_.inc("stalled.cycles", n);
 }
 
 std::optional<MemRequest>

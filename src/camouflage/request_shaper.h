@@ -93,6 +93,20 @@ class RequestShaper
 
     void reconfigure(const BinConfig &bins) { bins_.reconfigure(bins); }
 
+    /**
+     * Earliest cycle >= `from` at which tick() could do observable
+     * work (release, enter a stall, replenish, generate a fake),
+     * assuming no push() and a ready downstream until then. Cycles
+     * before it are idle and may be batched via skipIdleCycles().
+     */
+    Cycle nextEventCycle(Cycle from) const;
+
+    /**
+     * Account `n` skipped idle cycles exactly as `n` tick() calls in
+     * the current (provably idle) state would.
+     */
+    void skipIdleCycles(Cycle n);
+
     /** Runtime fake-generation toggle (the online GA disables fakes
      *  during highest-priority-mode measurement epochs). */
     void setGenerateFakes(bool on) { cfg_.generateFakes = on; }

@@ -1,5 +1,7 @@
 #include "src/camouflage/response_shaper.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 
 namespace camo::shaper {
@@ -110,6 +112,27 @@ ResponseShaper::tick(Cycle now, bool downstream_ready)
         return fake;
     }
     return std::nullopt;
+}
+
+Cycle
+ResponseShaper::nextEventCycle(Cycle from) const
+{
+    Cycle ev = bins_.nextReplenish();
+    if (!queue_.empty()) {
+        if (!inStall_)
+            return from; // releases or emits the stall event
+        ev = std::min(ev, bins_.nextRealEligible(from));
+    } else if (cfg_.generateFakes) {
+        ev = std::min(ev, bins_.nextFakeEligible(from));
+    }
+    return ev;
+}
+
+void
+ResponseShaper::skipIdleCycles(Cycle n)
+{
+    if (!queue_.empty() && inStall_)
+        stats_.inc("stalled.cycles", n);
 }
 
 std::uint32_t

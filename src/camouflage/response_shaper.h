@@ -70,6 +70,19 @@ class ResponseShaper
 
     void reconfigure(const BinConfig &bins) { bins_.reconfigure(bins); }
 
+    /** Boost tokens awaiting pickup by takePriorityWarning(). */
+    bool hasPendingBoost() const { return pendingBoost_ > 0; }
+
+    /**
+     * Earliest cycle >= `from` at which tick() could do observable
+     * work, assuming no push() and a ready downstream until then (see
+     * RequestShaper::nextEventCycle).
+     */
+    Cycle nextEventCycle(Cycle from) const;
+
+    /** Account `n` skipped idle cycles (stall accounting only). */
+    void skipIdleCycles(Cycle n);
+
     /** Runtime fake-generation toggle. */
     void setGenerateFakes(bool on) { cfg_.generateFakes = on; }
     bool generateFakes() const { return cfg_.generateFakes; }

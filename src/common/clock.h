@@ -50,6 +50,33 @@ class ClockDivider
 
     std::uint64_t derivedTicks() const { return derivedTicks_; }
 
+    /**
+     * Source ticks until the derived domain fires for the `m`-th time
+     * from now (m >= 1). tick() called that many times returns true on
+     * the last call.
+     */
+    std::uint64_t
+    ticksUntilFire(std::uint64_t m = 1) const
+    {
+        // Need phase_ + k*den_ >= m*num_  =>  k = ceil((m*num_ -
+        // phase_) / den_). phase_ < num_ always, so the argument is
+        // positive for m >= 1.
+        const std::uint64_t needed = m * num_ - phase_;
+        return (needed + den_ - 1) / den_;
+    }
+
+    /**
+     * Advance `n` source ticks at once, exactly as `n` tick() calls
+     * would (including any derived-domain fires within the span).
+     */
+    void
+    skip(std::uint64_t n)
+    {
+        phase_ += n * den_;
+        derivedTicks_ += phase_ / num_;
+        phase_ %= num_;
+    }
+
   private:
     std::uint64_t num_;
     std::uint64_t den_;

@@ -1,5 +1,7 @@
 #include "src/core/core.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 
 namespace camo::core {
@@ -46,8 +48,10 @@ Core::dispatchMemOp(Cycle now)
 
     if (result.kind == cache::AccessKind::Blocked) {
         stats_.inc("dispatch.blocked");
+        dispatchBlocked_ = true;
         return false; // retry next cycle; dispatch stalls
     }
+    dispatchBlocked_ = false;
 
     Entry e;
     e.seq = nextSeq_++;
@@ -127,9 +131,44 @@ Core::tick(Cycle now)
     dispatch(now);
 }
 
+Cycle
+Core::nextEventCycle(Cycle from) const
+{
+    Cycle ev = kNoCycle;
+    if (!window_.empty() && window_.front().readyAt != kNoCycle)
+        ev = std::max(from, window_.front().readyAt); // head retires
+    if (window_.size() < cfg_.windowSize) {
+        // Dispatch makes progress once any busy-wait elapses — unless
+        // it is stuck retrying an MSHR-blocked access, which only a
+        // fill (an external event) can unblock.
+        if (!(pendingMemOp_ && dispatchBlocked_))
+            ev = std::min(ev, std::max(from, waitUntil_));
+    }
+    return ev;
+}
+
+void
+Core::skipIdleCycles(Cycle n)
+{
+    cycles_ += n;
+    // Retirement stalled on a memory-waiting head every skipped cycle.
+    if (!window_.empty() && window_.front().isLoad) {
+        memStallCycles_ += n;
+        stats_.inc("stall.memory", n);
+    }
+    // An MSHR-blocked dispatch retries (and re-misses the caches)
+    // every cycle; replay that accounting in batch.
+    if (pendingMemOp_ && dispatchBlocked_ &&
+        window_.size() < cfg_.windowSize) {
+        stats_.inc("dispatch.blocked", n);
+        cache_.noteBlockedRetries(n, pendingMemOp_->isWrite);
+    }
+}
+
 void
 Core::onFill(Addr line, Cycle completes_at)
 {
+    dispatchBlocked_ = false; // an MSHR freed; retries can succeed
     auto it = waiting_.find(line);
     if (it == waiting_.end())
         return; // store-miss fill: nothing blocked on it

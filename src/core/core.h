@@ -72,6 +72,18 @@ class Core
     /** Reset retired/cycle/stall counters (epoch boundaries). */
     void clearEpochCounters();
 
+    /**
+     * Earliest cycle >= `from` at which tick() could make progress
+     * (retire an entry, dispatch, fetch trace items). kNoCycle when
+     * only an external event (an LLC fill) can unblock the core.
+     * Cycles before it are idle; account them via skipIdleCycles().
+     */
+    Cycle nextEventCycle(Cycle from) const;
+
+    /** Account `n` skipped idle cycles exactly as `n` tick() calls in
+     *  the current (provably idle) state would. */
+    void skipIdleCycles(Cycle n);
+
     /** Observability hook (nullptr disables emission). */
     void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
 
@@ -103,6 +115,9 @@ class Core
     std::uint64_t pendingGap_ = 0;
     std::optional<trace::TraceItem> pendingMemOp_;
     Cycle waitUntil_ = 0; ///< busy-wait deadline (wall-clock pacing)
+    /** The last dispatch attempt hit MSHR back-pressure; retries are
+     *  futile (and batchable) until a fill arrives. */
+    bool dispatchBlocked_ = false;
 
     std::uint64_t retired_ = 0;
     std::uint64_t cycles_ = 0;

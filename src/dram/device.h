@@ -99,6 +99,27 @@ class DramDevice
      */
     std::uint64_t refreshDebt(std::uint32_t rank, std::uint64_t now) const;
 
+    /** First DRAM cycle at which refreshDue(rank, cycle) turns true
+     *  (given no further REF issues). */
+    std::uint64_t
+    nextRefreshDue(std::uint32_t rank) const
+    {
+        return (ranks_[rank].refreshesDone + 1) * timing_.tREFI;
+    }
+
+    /** Any bank in any rank holding a row open? */
+    bool
+    anyRowOpen() const
+    {
+        for (const RankState &rs : ranks_) {
+            for (const BankState &b : rs.banks) {
+                if (b.open)
+                    return true;
+            }
+        }
+        return false;
+    }
+
     const BankState &bank(std::uint32_t rank, std::uint32_t b) const;
     const DramTiming &timing() const { return timing_; }
     const DramOrganization &organization() const { return org_; }

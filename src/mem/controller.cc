@@ -48,6 +48,12 @@ MemoryController::MemoryController(const ControllerConfig &cfg)
     camo_assert(cfg_.writeDrainLow < cfg_.writeDrainHigh &&
                     cfg_.writeDrainHigh <= cfg_.writeQueueDepth,
                 "bad write drain watermarks");
+    const std::size_t cap = cfg_.readQueueDepth + cfg_.writeQueueDepth;
+    poolBoosted_.reserve(cap);
+    poolNormal_.reserve(cap);
+    poolFake_.reserve(cap);
+    indexMapScratch_.reserve(cap);
+    poolScratch_.reserve(cap);
 }
 
 MemoryController::~MemoryController() = default;
@@ -173,7 +179,12 @@ MemoryController::buildPool(std::deque<Transaction> &queue, SchedView &view,
     // Order: highest-priority-mode core first, then token-boosted
     // cores, then normal traffic, then Camouflage fakes (strictly
     // lowest priority); stable (age order) within each class.
-    std::vector<std::size_t> boosted, normal, fake;
+    std::vector<std::size_t> &boosted = poolBoosted_;
+    std::vector<std::size_t> &normal = poolNormal_;
+    std::vector<std::size_t> &fake = poolFake_;
+    boosted.clear();
+    normal.clear();
+    fake.clear();
     for (std::size_t i = 0; i < queue.size(); ++i) {
         const Transaction &txn = queue[i];
         const CoreId core = txn.req.core;
@@ -281,13 +292,18 @@ MemoryController::dramTick(Cycle cpu_now)
         view.now = dram_now;
         view.device = &device_;
         view.isWritePool = is_write;
-        std::vector<std::size_t> index_map;
-        buildPool(queue, view, index_map);
+        // Loan the member scratch to the view so the pool keeps its
+        // capacity across DRAM ticks instead of reallocating.
+        poolScratch_.clear();
+        view.pool = std::move(poolScratch_);
+        indexMapScratch_.clear();
+        buildPool(queue, view, indexMapScratch_);
         Decision d;
-        if (!sched_->pick(view, d))
-            return false;
-        execute(d, queue, index_map, cpu_now, dram_now);
-        return true;
+        const bool picked = sched_->pick(view, d);
+        if (picked)
+            execute(d, queue, indexMapScratch_, cpu_now, dram_now);
+        poolScratch_ = std::move(view.pool);
+        return picked;
     };
 
     bool issued;
@@ -337,26 +353,62 @@ MemoryController::closeIdleRows(std::uint64_t dram_now)
     return false;
 }
 
-std::vector<MemRequest>
-MemoryController::popResponses(Cycle now)
+void
+MemoryController::drainResponses(Cycle now, std::vector<MemRequest> &out)
 {
-    std::vector<MemRequest> done;
+    const std::size_t start = out.size();
     auto it = responses_.begin();
     while (it != responses_.end()) {
         if (it->readyCpu <= now) {
-            done.push_back(it->req);
+            out.push_back(std::move(it->req));
             it = responses_.erase(it);
         } else {
             ++it;
         }
     }
     // Deterministic delivery order: by readiness then id.
-    std::sort(done.begin(), done.end(),
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(start), out.end(),
               [](const MemRequest &a, const MemRequest &b) {
                   return a.mcDone != b.mcDone ? a.mcDone < b.mcDone
                                               : a.id < b.id;
               });
+}
+
+std::vector<MemRequest>
+MemoryController::popResponses(Cycle now)
+{
+    std::vector<MemRequest> done;
+    drainResponses(now, done);
     return done;
+}
+
+Cycle
+MemoryController::nextEventCycle(Cycle now, Cycle from) const
+{
+    Cycle ev = kNoCycle;
+
+    // Queued transactions (or write-drain hysteresis that must settle,
+    // or closed-page row management) act on every DRAM-domain tick.
+    bool busy = !readQ_.empty() || !writeQ_.empty() || drainingWrites_;
+    if (!busy && cfg_.pagePolicy == PagePolicy::Closed &&
+        device_.anyRowOpen()) {
+        busy = true;
+    }
+    if (busy)
+        ev = now + divider_.ticksUntilFire(1);
+
+    for (const PendingResponse &r : responses_)
+        ev = std::min(ev, std::max(from, r.readyCpu));
+
+    // Refresh: the DRAM tick at which the next refresh falls due.
+    const std::uint64_t dram_now = divider_.derivedTicks();
+    for (std::uint32_t rank = 0; rank < cfg_.org.ranksPerChannel;
+         ++rank) {
+        const std::uint64_t due = device_.nextRefreshDue(rank);
+        const std::uint64_t k = due > dram_now ? due - dram_now : 1;
+        ev = std::min(ev, now + divider_.ticksUntilFire(k));
+    }
+    return ev;
 }
 
 void

@@ -137,6 +137,26 @@ class MemoryController
     /** Read responses that completed at or before CPU cycle `now`. */
     std::vector<MemRequest> popResponses(Cycle now);
 
+    /** Append completed responses to `out` (allocation-free variant
+     *  of popResponses; same selection and ordering). */
+    void drainResponses(Cycle now, std::vector<MemRequest> &out);
+
+    /**
+     * Earliest CPU cycle >= `from` at which the controller could do
+     * observable work: the next DRAM-domain tick while transactions
+     * are queued (or write-drain state must settle, or closed-page
+     * management has rows to precharge), the earliest pending response
+     * completion, and the next refresh falling due. kNoCycle when
+     * fully quiescent. `now` is the current CPU cycle (`from` == now
+     * + 1 in the System tick loop).
+     */
+    Cycle nextEventCycle(Cycle now, Cycle from) const;
+
+    /** Account `n` skipped idle CPU cycles: advance the DRAM clock
+     *  crossing exactly as `n` tick() calls on an idle controller
+     *  would (idle DRAM ticks mutate nothing else). */
+    void skipIdleCycles(Cycle n) { divider_.skip(n); }
+
     /**
      * RespC acceleration hook: grant `tokens` high-priority CAS slots
      * to `core` (paper: priority proportional to unused credits).
@@ -192,6 +212,14 @@ class MemoryController
     std::deque<Transaction> writeQ_;
     bool drainingWrites_ = false;
     std::vector<PendingResponse> responses_;
+    /** Scratch buffers reused across dramTick calls (buildPool runs
+     *  every DRAM cycle; rebuilding these from scratch dominated the
+     *  busy-path profile). */
+    std::vector<std::size_t> poolBoosted_;
+    std::vector<std::size_t> poolNormal_;
+    std::vector<std::size_t> poolFake_;
+    std::vector<std::size_t> indexMapScratch_;
+    std::vector<const Transaction *> poolScratch_;
     std::map<CoreId, std::uint32_t> priorityTokens_;
     std::optional<CoreId> highestPriorityCore_;
     StatGroup stats_;

@@ -48,20 +48,39 @@ MemorySystem::tick(Cycle now)
         mc->tick(now);
 }
 
+void
+MemorySystem::drainResponses(Cycle now, std::vector<MemRequest> &out)
+{
+    const std::size_t start = out.size();
+    for (auto &mc : channels_)
+        mc->drainResponses(now, out);
+    if (channels_.size() > 1) {
+        // Re-sort the merged range (each channel's slice is already
+        // ordered; cross-channel order must match too).
+        std::sort(out.begin() + static_cast<std::ptrdiff_t>(start),
+                  out.end(),
+                  [](const MemRequest &a, const MemRequest &b) {
+                      return a.mcDone != b.mcDone ? a.mcDone < b.mcDone
+                                                  : a.id < b.id;
+                  });
+    }
+}
+
 std::vector<MemRequest>
 MemorySystem::popResponses(Cycle now)
 {
     std::vector<MemRequest> all;
-    for (auto &mc : channels_) {
-        for (auto &resp : mc->popResponses(now))
-            all.push_back(std::move(resp));
-    }
-    std::sort(all.begin(), all.end(),
-              [](const MemRequest &a, const MemRequest &b) {
-                  return a.mcDone != b.mcDone ? a.mcDone < b.mcDone
-                                              : a.id < b.id;
-              });
+    drainResponses(now, all);
     return all;
+}
+
+Cycle
+MemorySystem::nextEventCycle(Cycle now, Cycle from) const
+{
+    Cycle ev = kNoCycle;
+    for (const auto &mc : channels_)
+        ev = std::min(ev, mc->nextEventCycle(now, from));
+    return ev;
 }
 
 void

@@ -40,6 +40,22 @@ class MemorySystem
     void tick(Cycle now);
     std::vector<MemRequest> popResponses(Cycle now);
 
+    /** Append completed responses from every channel to `out`
+     *  (allocation-free popResponses; same merged ordering). */
+    void drainResponses(Cycle now, std::vector<MemRequest> &out);
+
+    /** Earliest CPU cycle >= `from` any channel could act at (see
+     *  MemoryController::nextEventCycle). */
+    Cycle nextEventCycle(Cycle now, Cycle from) const;
+
+    /** Account `n` skipped idle CPU cycles on every channel. */
+    void
+    skipIdleCycles(Cycle n)
+    {
+        for (auto &mc : channels_)
+            mc->skipIdleCycles(n);
+    }
+
     void boostPriority(CoreId core, std::uint32_t tokens);
     void setHighestPriorityCore(std::optional<CoreId> core);
 

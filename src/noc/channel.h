@@ -12,6 +12,7 @@
 #ifndef CAMO_NOC_CHANNEL_H
 #define CAMO_NOC_CHANNEL_H
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -46,6 +47,26 @@ class SharedChannel
     bool hasEgress(Cycle now) const;
     const MemRequest &egressFront() const;
     MemRequest popEgress();
+
+    /**
+     * Earliest cycle >= `from` at which the channel (or its consumer)
+     * could do work: immediately while ingress or egress holds flits,
+     * at the head-of-pipe arrival otherwise, kNoCycle when empty.
+     * Idle cycles have no per-cycle accounting, so no skip hook.
+     */
+    Cycle
+    nextEventCycle(Cycle from) const
+    {
+        for (const auto &q : ingress_) {
+            if (!q.empty())
+                return from; // a grant happens every cycle
+        }
+        if (!egress_.empty())
+            return from; // the consumer drains one flit per cycle
+        if (!pipe_.empty())
+            return std::max(from, pipe_.front().arrivesAt);
+        return kNoCycle;
+    }
 
     std::size_t ingressDepth(std::uint32_t port) const;
     std::size_t egressDepth() const { return egress_.size(); }

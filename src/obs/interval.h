@@ -43,6 +43,9 @@ class IntervalCollector
     /** Has the current interval elapsed at cycle `now`? */
     bool due(Cycle now) const { return now >= nextAt_; }
 
+    /** Cycle the current interval elapses (next sample boundary). */
+    Cycle nextAt() const { return nextAt_; }
+
     /**
      * Append a snapshot and arm the next interval.
      * @pre values.size() == columns().size()

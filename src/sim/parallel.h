@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Parallel experiment engine: a fixed-size worker pool plus batch
+ * wrappers that fan *independent* simulations across threads.
+ *
+ * Determinism contract: every job owns its System (PR 1 made a System
+ * self-contained: its own RNGs, tracer, stats), and every RNG seed is
+ * derived from the job's *index* via deriveSeed() -- never from a
+ * shared RNG or from thread scheduling. Results land in a pre-sized
+ * vector at the job's submission index. Together these make parallel
+ * output byte-identical to sequential: runConfigsParallel(jobs=N)
+ * equals runConfigsParallel(jobs=1) equals a plain runConfig() loop.
+ */
+
+#ifndef CAMO_SIM_PARALLEL_H
+#define CAMO_SIM_PARALLEL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/ga/genetic.h"
+#include "src/sim/runner.h"
+#include "src/sim/system.h"
+
+namespace camo::sim {
+
+/**
+ * Worker count used when a caller passes jobs == 0: the CAMO_JOBS
+ * environment variable if set to a positive integer, otherwise
+ * std::thread::hardware_concurrency() (at least 1).
+ */
+unsigned defaultJobs();
+
+/**
+ * Derive an independent RNG seed from (base, stream, index) with a
+ * splitmix64-style mix. Pure function of its arguments, so a job's
+ * seed depends only on *which* job it is -- not on evaluation order,
+ * thread count, or any shared RNG state. Never returns 0.
+ *
+ * @param base   experiment master seed (SystemConfig::seed)
+ * @param stream independent sequence id (e.g. GA generation + 1)
+ * @param index  job index within the stream (e.g. GA child index)
+ */
+std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t stream,
+                         std::uint64_t index);
+
+/**
+ * Fixed-size pool of worker threads executing indexed jobs.
+ *
+ * The pool holds jobs-1 threads; the calling thread participates in
+ * forEachIndex(), so `jobs` simulations run concurrently. With
+ * jobs <= 1 no threads are spawned and everything runs inline on the
+ * caller (identical results -- see the determinism contract above).
+ */
+class WorkerPool
+{
+  public:
+    /** @param jobs concurrent workers (0 = defaultJobs()). */
+    explicit WorkerPool(unsigned jobs = 0);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Run fn(0) .. fn(n-1) across the pool; blocks until all n calls
+     * return. Indices are claimed dynamically, so `fn` must not
+     * depend on which thread runs which index (jobs built per the
+     * determinism contract never do). The first exception thrown by
+     * any call is rethrown here after the batch drains.
+     */
+    void forEachIndex(std::size_t n,
+                      const std::function<void(std::size_t)> &fn);
+
+  private:
+    void workerLoop();
+    /** Claim + run one index of batch `epoch`; false when none left
+     *  (or the batch changed under a stale worker). */
+    bool runOne(const std::function<void(std::size_t)> &fn,
+                std::uint64_t epoch);
+
+    unsigned jobs_;
+    std::vector<std::thread> threads_;
+
+    std::mutex m_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    const std::function<void(std::size_t)> *task_ = nullptr;
+    std::uint64_t epoch_ = 0; ///< batch id, guards stale claims
+    std::size_t next_ = 0;    ///< next unclaimed index
+    std::size_t total_ = 0;   ///< batch size
+    std::size_t pending_ = 0; ///< claimed-or-unclaimed not yet finished
+    std::exception_ptr error_;
+    bool stop_ = false;
+};
+
+/**
+ * Map fn over [0, n) with `jobs` concurrent workers; out[i] = fn(i)
+ * in submission order regardless of completion order.
+ */
+template <typename Fn>
+auto
+parallelMap(std::size_t n, unsigned jobs, Fn &&fn)
+    -> std::vector<decltype(fn(std::size_t{0}))>
+{
+    std::vector<decltype(fn(std::size_t{0}))> out(n);
+    WorkerPool pool(jobs);
+    pool.forEachIndex(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+}
+
+/** One independent simulation of a batch. */
+struct SimJob
+{
+    SystemConfig cfg;
+    std::vector<std::string> workloads;
+    Cycle cycles = 0;
+    Cycle warmup = 0;
+};
+
+/**
+ * runConfig() for every job, fanned across `jobs` threads (0 =
+ * defaultJobs()). results[i] is job i's metrics; byte-identical to
+ * calling runConfig sequentially in job order.
+ */
+std::vector<RunMetrics>
+runConfigsParallel(const std::vector<SimJob> &batch, unsigned jobs = 0);
+
+/**
+ * Evaluate one GA generation offline: each child genome runs in a
+ * fresh System seeded deriveSeed(cfg.seed, generation + 1, child),
+ * with the genome decoded into per-core bin configurations exactly as
+ * tuneOnline() does. Fitness is -average MISE slowdown against the
+ * supplied per-core alone service rates.
+ *
+ * @param alone_rate per-core alone (highest-priority) service rate
+ * @return fitness per child, index-aligned with `children`
+ */
+std::vector<double> evaluateGenerationParallel(
+    const SystemConfig &cfg, const std::vector<std::string> &workloads,
+    const std::vector<ga::Genome> &children, std::uint64_t generation,
+    const std::vector<double> &alone_rate, Cycle epoch_cycles,
+    unsigned jobs = 0);
+
+} // namespace camo::sim
+
+#endif // CAMO_SIM_PARALLEL_H

@@ -7,8 +7,44 @@
 #include "src/common/logging.h"
 #include "src/ga/mise.h"
 #include "src/security/leakage_bound.h"
+#include "src/sim/parallel.h"
 
 namespace camo::sim {
+
+namespace {
+
+/**
+ * Seed candidates 0/1 with the naive baselines so the GA never
+ * regresses below them (elitism keeps them alive): a half-budget
+ * uniform spread (fakes fill unused credits, so frugal is usually
+ * closer to the optimum than the cap) and a front-loaded (bursty)
+ * full-budget ramp.
+ */
+void
+seedBaselineCandidates(ga::GeneticOptimizer &optimizer,
+                       std::size_t genome_len, std::size_t bins)
+{
+    const ga::GaConfig &gc = optimizer.config();
+    const auto per_bin = static_cast<std::uint32_t>(std::max<std::uint64_t>(
+        1, gc.maxTotalCredits / (2 * bins)));
+    ga::Genome uniform(genome_len, per_bin);
+    optimizer.seedCandidate(0, std::move(uniform));
+    ga::Genome ramp(genome_len, 0);
+    for (std::size_t seg = 0; seg < genome_len / bins; ++seg) {
+        std::uint32_t remaining = gc.maxTotalCredits;
+        for (std::size_t i = 0; i < bins && remaining > 0; ++i) {
+            const auto c =
+                std::min(gc.maxGeneValue,
+                         std::max<std::uint32_t>(1, remaining / 2));
+            ramp[seg * bins + i] = c;
+            remaining -= c;
+        }
+    }
+    if (gc.populationSize > 1)
+        optimizer.seedCandidate(1, std::move(ramp));
+}
+
+} // namespace
 
 double
 RunMetrics::throughput() const
@@ -125,6 +161,27 @@ binsFromMonitor(const shaper::DistributionMonitor &monitor,
     return cfg;
 }
 
+shaper::BinConfig
+gaReqBinsOf(const SystemConfig &cfg, const ga::Genome &g,
+            std::size_t core)
+{
+    const std::size_t bins = cfg.reqBins.numBins();
+    const std::size_t slices =
+        cfg.mitigation == Mitigation::BDC ? 2 : 1;
+    return ga::genomeToBinConfig(g, core * slices * bins, cfg.reqBins);
+}
+
+shaper::BinConfig
+gaRespBinsOf(const SystemConfig &cfg, const ga::Genome &g,
+             std::size_t core)
+{
+    if (cfg.mitigation != Mitigation::BDC)
+        return cfg.respBins;
+    const std::size_t bins = cfg.reqBins.numBins();
+    return ga::genomeToBinConfig(g, core * 2 * bins + bins,
+                                 cfg.respBins);
+}
+
 OnlineGaResult
 runOnlineGa(const SystemConfig &cfg,
             const std::vector<std::string> &workloads,
@@ -155,39 +212,14 @@ tuneOnline(System &system, const SystemConfig &cfg,
     ga_cfg_seg.budgetSegmentLen = bins;
     ga::GeneticOptimizer optimizer(ga_cfg_seg, genome_len,
                                    cfg.seed + 17);
-    // Seed the naive baselines so the GA never regresses below them:
-    // a half-budget uniform spread (fakes fill unused credits, so
-    // frugal is usually closer to the optimum than the cap) and a
-    // front-loaded (bursty) full-budget ramp.
-    {
-        const auto per_bin = static_cast<std::uint32_t>(std::max<std::uint64_t>(
-            1, ga_cfg_seg.maxTotalCredits / (2 * bins)));
-        ga::Genome uniform(genome_len, per_bin);
-        optimizer.seedCandidate(0, std::move(uniform));
-        ga::Genome ramp(genome_len, 0);
-        for (std::size_t seg = 0; seg < genome_len / bins; ++seg) {
-            std::uint32_t remaining = ga_cfg_seg.maxTotalCredits;
-            for (std::size_t i = 0; i < bins && remaining > 0; ++i) {
-                const auto c = std::min(
-                    ga_cfg_seg.maxGeneValue,
-                    std::max<std::uint32_t>(1, remaining / 2));
-                ramp[seg * bins + i] = c;
-                remaining -= c;
-            }
-        }
-        if (ga_cfg_seg.populationSize > 1)
-            optimizer.seedCandidate(1, std::move(ramp));
-    }
+    seedBaselineCandidates(optimizer, genome_len, bins);
 
     // Decode a genome into per-core request/response configurations.
     auto req_of = [&](const ga::Genome &g, std::size_t core) {
-        return ga::genomeToBinConfig(g, core * slices * bins,
-                                     cfg.reqBins);
+        return gaReqBinsOf(cfg, g, core);
     };
     auto resp_of = [&](const ga::Genome &g, std::size_t core) {
-        return both ? ga::genomeToBinConfig(
-                          g, core * slices * bins + bins, cfg.respBins)
-                    : cfg.respBins;
+        return gaRespBinsOf(cfg, g, core);
     };
     auto apply = [&](const ga::Genome &g) {
         for (std::uint32_t c = 0; c < cores; ++c)
@@ -268,6 +300,88 @@ tuneOnline(System &system, const SystemConfig &cfg,
     return result;
 }
 
+OnlineGaResult
+runOfflineGa(const SystemConfig &cfg,
+             const std::vector<std::string> &workloads,
+             const ga::GaConfig &ga_cfg, Cycle epoch_cycles,
+             unsigned jobs)
+{
+    camo_assert(cfg.mitigation == Mitigation::BDC ||
+                    cfg.mitigation == Mitigation::ReqC ||
+                    cfg.mitigation == Mitigation::RespC,
+                "offline GA needs a Camouflage mitigation");
+    const std::size_t bins = cfg.reqBins.numBins();
+    const bool both = cfg.mitigation == Mitigation::BDC;
+    const std::size_t slices = both ? 2 : 1;
+    const std::size_t cores = cfg.numCores;
+    const std::size_t genome_len = cores * slices * bins;
+
+    ga::GaConfig ga_cfg_seg = ga_cfg;
+    ga_cfg_seg.budgetSegmentLen = bins;
+    ga::GeneticOptimizer optimizer(ga_cfg_seg, genome_len,
+                                   cfg.seed + 17);
+    seedBaselineCandidates(optimizer, genome_len, bins);
+
+    // Alone service rates, one fresh highest-priority system per
+    // core (stream 0 of the seed space; generations use stream
+    // gen + 1). Fresh systems restart from cycle 0 every epoch, so
+    // unlike the live online loop there is no phase drift to track
+    // and one up-front measurement serves every generation.
+    SystemConfig alone_cfg = cfg;
+    shaper::BinConfig open = cfg.reqBins;
+    for (auto &c : open.credits)
+        c = shaper::kMaxCreditsPerBin;
+    alone_cfg.reqBins = open;
+    alone_cfg.respBins = open;
+    alone_cfg.reqBinsPerCore.clear();
+    alone_cfg.respBinsPerCore.clear();
+    alone_cfg.fakeTraffic = false;
+    const std::vector<double> alone_rate =
+        parallelMap(cores, jobs, [&](std::size_t c) {
+            SystemConfig one = alone_cfg;
+            one.seed = deriveSeed(cfg.seed, 0, c);
+            System system(one, workloads);
+            system.memory().setHighestPriorityCore(
+                static_cast<CoreId>(c));
+            system.run(epoch_cycles);
+            return static_cast<double>(
+                       system.servedReads(
+                           static_cast<std::uint32_t>(c))) /
+                   static_cast<double>(epoch_cycles);
+        });
+
+    OnlineGaResult result;
+    for (std::size_t gen = 0; gen < ga_cfg.generations; ++gen) {
+        const std::vector<double> fitness = evaluateGenerationParallel(
+            cfg, workloads, optimizer.population(), gen, alone_rate,
+            epoch_cycles, jobs);
+        double generation_best = -1e300;
+        for (std::size_t child = 0; child < fitness.size(); ++child) {
+            optimizer.setFitness(child, fitness[child]);
+            generation_best = std::max(generation_best, fitness[child]);
+        }
+        result.generationBest.push_back(generation_best);
+        if (gen + 1 < ga_cfg.generations)
+            optimizer.nextGeneration();
+    }
+
+    const ga::Genome &best = optimizer.bestOfCurrentGeneration();
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        result.reqBinsPerCore.push_back(gaReqBinsOf(cfg, best, c));
+        result.respBinsPerCore.push_back(gaRespBinsOf(cfg, best, c));
+    }
+    result.reqBins = result.reqBinsPerCore.front();
+    result.respBins = result.respBinsPerCore.front();
+    result.bestFitness = optimizer.bestFitnessOfCurrentGeneration();
+    // Total cycles *simulated* across every throwaway system (the
+    // online field reports the live system's clock instead).
+    result.configPhaseCycles =
+        static_cast<std::uint64_t>(
+            cores + ga_cfg.generations * optimizer.population().size()) *
+        epoch_cycles;
+    result.configPhaseLeakBoundBits = 0.0; // searched before deployment
+    return result;
+}
 
 AdaptiveResult
 runAdaptive(const SystemConfig &cfg,

@@ -102,6 +102,20 @@ struct OnlineGaResult
 };
 
 /**
+ * Decode core `core`'s request-bin slice of a GA genome. Genome
+ * layout: for each core, its request bins then (BDC only) its
+ * response bins. Shared by the online and offline GA paths so a
+ * genome means the same configuration in both.
+ */
+shaper::BinConfig gaReqBinsOf(const SystemConfig &cfg,
+                              const ga::Genome &g, std::size_t core);
+
+/** Decode core `core`'s response-bin slice (cfg.respBins verbatim
+ *  when the mitigation shapes only requests). */
+shaper::BinConfig gaRespBinsOf(const SystemConfig &cfg,
+                               const ga::Genome &g, std::size_t core);
+
+/**
  * The paper's Figure 8 online GA (CONFIG_PHASE): per generation,
  * first measure each core's alone service rate in highest-priority
  * mode, then evaluate each child bin-configuration for one epoch and
@@ -123,6 +137,28 @@ OnlineGaResult runOnlineGa(const SystemConfig &cfg,
 OnlineGaResult tuneOnline(System &system, const SystemConfig &cfg,
                           const ga::GaConfig &ga_cfg,
                           Cycle epoch_cycles);
+
+/**
+ * Offline GA configuration search: same genome layout, seeding, and
+ * MISE fitness as tuneOnline(), but every child is evaluated in a
+ * *fresh* System whose seed derives from (cfg.seed, generation,
+ * child index) -- see deriveSeed() in parallel.h. Evaluations are
+ * therefore independent and order-free, so they fan across `jobs`
+ * worker threads (0 = defaultJobs()) with results identical to
+ * jobs == 1. Alone rates are measured once up front (fresh systems
+ * have no phase drift to track, unlike the live online loop).
+ *
+ * configPhaseLeakBoundBits is 0: offline search happens before
+ * deployment, so an observer of the running system sees no
+ * reconfiguration sequence to learn from.
+ *
+ * @pre cfg.mitigation is BDC, ReqC, or RespC (needs shapers).
+ */
+OnlineGaResult runOfflineGa(const SystemConfig &cfg,
+                            const std::vector<std::string> &workloads,
+                            const ga::GaConfig &ga_cfg,
+                            Cycle epoch_cycles = 20000,
+                            unsigned jobs = 0);
 
 /** Configuration of the adaptive RUN_PHASE (paper Figure 8 + SIV-C). */
 struct AdaptiveConfig

@@ -1,5 +1,7 @@
 #include "src/sim/system.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 #include "src/trace/workloads.h"
 
@@ -297,10 +299,14 @@ System::setFakeTraffic(bool on)
 void
 System::drainCacheOutgoing(PerCore &pc)
 {
-    for (MemRequest &req : pc.cache->popOutgoing()) {
+    std::vector<MemRequest> &out = pc.cache->outgoing();
+    if (out.empty())
+        return;
+    for (MemRequest &req : out) {
         pc.intrinsicMon.record(now_);
         pc.missBuffer.push_back(std::move(req));
     }
+    pc.cache->clearOutgoing();
 }
 
 void
@@ -336,7 +342,9 @@ System::feedRequestPath(PerCore &pc)
 void
 System::routeMcResponses()
 {
-    for (MemRequest &resp : mem_->popResponses(now_)) {
+    respScratch_.clear();
+    mem_->drainResponses(now_, respScratch_);
+    for (MemRequest &resp : respScratch_) {
         const std::uint32_t c = resp.core;
         camo_assert(c < cores_.size(), "response for unknown core");
         cores_[c]->respBuffer.push_back(std::move(resp));
@@ -523,11 +531,79 @@ System::tick()
         sampleInterval();
 }
 
+Cycle
+System::nextEventCycle() const
+{
+    const Cycle from = now_ + 1;
+    Cycle ev = kNoCycle;
+
+    for (const auto &pc : cores_) {
+        ev = std::min(ev, pc->core->nextEventCycle(from));
+        // Buffered misses/responses move the moment the next stage
+        // can take them (every cycle while it can).
+        if (!pc->missBuffer.empty() &&
+            (!pc->reqShaper || pc->reqShaper->canAccept())) {
+            return from;
+        }
+        if (!pc->respBuffer.empty() &&
+            (!pc->respShaper || pc->respShaper->canAccept())) {
+            return from;
+        }
+        if (pc->reqShaper)
+            ev = std::min(ev, pc->reqShaper->nextEventCycle(from));
+        if (pc->respShaper) {
+            // Accumulated priority warnings are forwarded to the
+            // scheduler on the next tick.
+            if (pc->respShaper->hasPendingBoost())
+                return from;
+            ev = std::min(ev, pc->respShaper->nextEventCycle(from));
+        }
+        if (ev <= from)
+            return from;
+    }
+
+    ev = std::min(ev, reqChannel_->nextEventCycle(from));
+    ev = std::min(ev, respChannel_->nextEventCycle(from));
+    ev = std::min(ev, mem_->nextEventCycle(now_, from));
+    if (interval_)
+        ev = std::min(ev, std::max(from, interval_->nextAt()));
+    return ev;
+}
+
+void
+System::skipIdleCycles(Cycle n)
+{
+    for (auto &pc : cores_) {
+        pc->core->skipIdleCycles(n);
+        if (pc->reqShaper)
+            pc->reqShaper->skipIdleCycles(n);
+        if (pc->respShaper)
+            pc->respShaper->skipIdleCycles(n);
+    }
+    mem_->skipIdleCycles(n);
+    now_ += n;
+}
+
 void
 System::run(Cycle cycles)
 {
-    for (Cycle i = 0; i < cycles; ++i)
+    const Cycle end = now_ + cycles;
+    if (!cfg_.fastForward) {
+        while (now_ < end)
+            tick();
+        return;
+    }
+    while (now_ < end) {
         tick();
+        if (now_ >= end)
+            break;
+        // Everything before the next event is provably idle: jump
+        // there, batch-applying the skipped ticks' accounting, and
+        // execute the event tick on the next loop iteration.
+        const Cycle ev = std::min(nextEventCycle(), end);
+        if (ev > now_ + 1)
+            skipIdleCycles(ev - now_ - 1);
+    }
 }
 
 } // namespace camo::sim

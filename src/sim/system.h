@@ -86,6 +86,15 @@ struct SystemConfig
     std::uint64_t seed = 1;
     bool recordLatencies = false; ///< per-core latency logs
     bool recordTraffic = false;   ///< full traffic event logs
+
+    /**
+     * Idle-cycle fast-forward in run(): when every component reports
+     * no work before cycle E, jump straight to E, batch-applying the
+     * per-cycle accounting the skipped ticks would have produced.
+     * Bit-exact with the per-cycle loop (tests pin this); disable to
+     * force the plain loop when debugging.
+     */
+    bool fastForward = true;
 };
 
 /** The simulated machine. */
@@ -105,8 +114,16 @@ class System
 
     /** Advance one CPU cycle. */
     void tick();
-    /** Advance `cycles` CPU cycles. */
+    /** Advance `cycles` CPU cycles (fast-forwarding provably-idle
+     *  stretches when cfg.fastForward is set). */
     void run(Cycle cycles);
+
+    /**
+     * Earliest cycle > now() at which any component could do
+     * observable work (kNoCycle if none can without new input).
+     * Cycles strictly before it are provably idle.
+     */
+    Cycle nextEventCycle() const;
 
     Cycle now() const { return now_; }
     std::uint32_t numCores() const
@@ -203,9 +220,13 @@ class System
     void deliverResponses();
     void sampleInterval();
     bool coreIsShaped(std::uint32_t i) const;
+    /** Jump over `n` provably-idle cycles (see nextEventCycle). */
+    void skipIdleCycles(Cycle n);
 
     SystemConfig cfg_;
     Cycle now_ = 0;
+    /** Reused each tick by routeMcResponses (allocation-free drain). */
+    std::vector<MemRequest> respScratch_;
 
     std::vector<std::unique_ptr<PerCore>> cores_;
     std::unique_ptr<noc::SharedChannel> reqChannel_;

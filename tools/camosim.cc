@@ -25,6 +25,7 @@
 #include "src/common/logging.h"
 #include "src/obs/registry.h"
 #include "src/obs/tracer.h"
+#include "src/sim/parallel.h"
 #include "src/sim/presets.h"
 #include "src/sim/runner.h"
 #include "src/trace/workloads.h"
@@ -45,9 +46,13 @@ struct Options
     bool randomizeTiming = false;
     bool csv = false;
     bool runGa = false;
+    bool gaOffline = false;
     std::size_t gaGenerations = 8;
     std::size_t gaPopulation = 14;
     std::vector<bool> shapeCores; // empty = all
+    unsigned jobs = 0;            // 0 = defaultJobs()
+    std::uint32_t sweepSeeds = 0; // 0 = single run
+    bool fastForward = true;
 
     // Observability outputs.
     std::string traceFile;
@@ -72,6 +77,14 @@ usage(const char *argv0)
         "  --randomize-timing      SIV-B4 random slack\n"
         "  --shape-cores=i,j,...   shape only the listed cores\n"
         "  --ga [--ga-gens=N --ga-pop=N]  tune bins online first\n"
+        "  --ga-offline            tune offline instead: fresh system\n"
+        "                          per child, evaluated across --jobs\n"
+        "  --jobs=N                worker threads for parallel phases\n"
+        "                          (default: CAMO_JOBS env or core count)\n"
+        "  --sweep-seeds=K         run seeds seed..seed+K-1 in parallel\n"
+        "                          and print one row per seed\n"
+        "  --no-fast-forward       force the per-cycle loop (debugging;\n"
+        "                          results are identical either way)\n"
         "  --csv                   machine-readable output\n"
         "  --trace=FILE            cycle-stamped event trace\n"
         "  --trace-format=F        jsonl (default) | csv | bin\n"
@@ -158,6 +171,17 @@ parseArgs(int argc, char **argv)
             }
         } else if (arg == "--ga") {
             opt.runGa = true;
+        } else if (arg == "--ga-offline") {
+            opt.runGa = true;
+            opt.gaOffline = true;
+        } else if (const char *v = value("--jobs")) {
+            opt.jobs = static_cast<unsigned>(
+                std::strtoul(v, nullptr, 10));
+        } else if (const char *v = value("--sweep-seeds")) {
+            opt.sweepSeeds = static_cast<std::uint32_t>(
+                std::strtoul(v, nullptr, 10));
+        } else if (arg == "--no-fast-forward") {
+            opt.fastForward = false;
         } else if (const char *v = value("--ga-gens")) {
             opt.gaGenerations = std::strtoul(v, nullptr, 10);
         } else if (const char *v = value("--ga-pop")) {
@@ -250,6 +274,7 @@ main(int argc, char **argv)
     cfg.fakeTraffic = opt.fakeTraffic;
     cfg.randomizeTiming = opt.randomizeTiming;
     cfg.shapeCore = opt.shapeCores;
+    cfg.fastForward = opt.fastForward;
 
     if (opt.runGa) {
         if (opt.mitigation != sim::Mitigation::BDC &&
@@ -261,10 +286,15 @@ main(int argc, char **argv)
         ga_cfg.generations = opt.gaGenerations;
         ga_cfg.populationSize = opt.gaPopulation;
         if (!opt.csv)
-            std::printf("# tuning bins online (%zu gens x %zu "
-                        "children)...\n", ga_cfg.generations,
-                        ga_cfg.populationSize);
-        const auto tuned = sim::runOnlineGa(cfg, opt.workloads, ga_cfg);
+            std::printf("# tuning bins %s (%zu gens x %zu "
+                        "children)...\n",
+                        opt.gaOffline ? "offline" : "online",
+                        ga_cfg.generations, ga_cfg.populationSize);
+        const auto tuned =
+            opt.gaOffline
+                ? sim::runOfflineGa(cfg, opt.workloads, ga_cfg, 20000,
+                                    opt.jobs)
+                : sim::runOnlineGa(cfg, opt.workloads, ga_cfg);
         cfg.reqBinsPerCore = tuned.reqBinsPerCore;
         cfg.respBinsPerCore = tuned.respBinsPerCore;
         if (!opt.csv) {
@@ -273,6 +303,45 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(
                             tuned.configPhaseCycles));
         }
+    }
+
+    if (opt.sweepSeeds > 0) {
+        // Replica sweep: same configuration under K consecutive
+        // seeds, fanned across the worker pool. Observability
+        // outputs are single-run features and are ignored here.
+        std::vector<sim::SimJob> batch;
+        for (std::uint32_t k = 0; k < opt.sweepSeeds; ++k) {
+            sim::SystemConfig c = cfg;
+            c.seed = opt.seed + k;
+            batch.push_back({c, opt.workloads, opt.cycles, opt.warmup});
+        }
+        const auto runs = sim::runConfigsParallel(batch, opt.jobs);
+        if (opt.csv) {
+            std::printf("seed,throughput\n");
+            for (std::uint32_t k = 0; k < opt.sweepSeeds; ++k)
+                std::printf("%llu,%.4f\n",
+                            static_cast<unsigned long long>(opt.seed + k),
+                            runs[k].throughput());
+            return 0;
+        }
+        std::printf("%s", sim::tableIiBanner().c_str());
+        std::printf("# mitigation: %s, %u seeds from %llu, %llu cycles "
+                    "(+%llu warmup)\n\n",
+                    sim::mitigationName(opt.mitigation), opt.sweepSeeds,
+                    static_cast<unsigned long long>(opt.seed),
+                    static_cast<unsigned long long>(opt.cycles),
+                    static_cast<unsigned long long>(opt.warmup));
+        std::printf("%8s %12s\n", "seed", "throughput");
+        double total = 0.0;
+        for (std::uint32_t k = 0; k < opt.sweepSeeds; ++k) {
+            total += runs[k].throughput();
+            std::printf("%8llu %12.3f\n",
+                        static_cast<unsigned long long>(opt.seed + k),
+                        runs[k].throughput());
+        }
+        std::printf("\nmean throughput: %.3f\n",
+                    total / static_cast<double>(opt.sweepSeeds));
+        return 0;
     }
 
     sim::System system(cfg, opt.workloads);
