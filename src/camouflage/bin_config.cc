@@ -4,6 +4,20 @@
 #include <sstream>
 
 #include "src/common/logging.h"
+#include "src/hard/error.h"
+
+namespace {
+
+template <typename... Args>
+[[noreturn]] void
+configError(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    throw camo::hard::ConfigError(os.str());
+}
+
+} // namespace
 
 namespace camo::shaper {
 
@@ -45,25 +59,40 @@ BinConfig::minDrainCycles() const
 }
 
 void
-BinConfig::validate() const
+BinConfig::validate(ValidatePolicy policy) const
 {
-    if (edges.empty() || edges.size() != credits.size())
-        camo_fatal("bin config needs matching edges/credits arrays");
-    if (edges[0] != 0)
-        camo_fatal("edges[0] must be 0, got ", edges[0]);
-    for (std::size_t i = 1; i < edges.size(); ++i) {
-        if (edges[i] <= edges[i - 1])
-            camo_fatal("bin edges must be strictly increasing");
+    if (edges.empty() || edges.size() != credits.size()) {
+        configError("bin config needs matching non-empty edges/credits "
+                    "arrays (got ", edges.size(), " edges, ",
+                    credits.size(), " credit counts)");
     }
-    for (const std::uint32_t c : credits) {
-        if (c > kMaxCreditsPerBin)
-            camo_fatal("credit count ", c, " exceeds the 10-bit "
-                       "hardware register (", kMaxCreditsPerBin, ")");
+    if (edges[0] != 0)
+        configError("edges[0] must be 0, got ", edges[0]);
+    for (std::size_t i = 1; i < edges.size(); ++i) {
+        if (edges[i] <= edges[i - 1]) {
+            configError("bin edges must be strictly increasing "
+                        "(edges[", i, "] = ", edges[i],
+                        " <= edges[", i - 1, "] = ", edges[i - 1], ")");
+        }
+    }
+    for (std::size_t i = 0; i < credits.size(); ++i) {
+        if (credits[i] > kMaxCreditsPerBin) {
+            configError("credit count ", credits[i], " in bin ", i,
+                        " exceeds the 10-bit hardware register (",
+                        kMaxCreditsPerBin, ")");
+        }
     }
     if (replenishPeriod == 0)
-        camo_fatal("replenish period must be positive");
+        configError("replenish period must be positive");
     if (totalCredits() == 0)
-        camo_fatal("bin config grants no credits: nothing could issue");
+        configError("bin config grants no credits: nothing could issue");
+    if (policy == ValidatePolicy::Drainable &&
+        minDrainCycles() > replenishPeriod) {
+        configError("credit set cannot drain within its period "
+                    "(minDrain=", minDrainCycles(), " > period=",
+                    replenishPeriod, "); widen the period or shrink "
+                    "the edges/credits");
+    }
 }
 
 std::string
@@ -103,9 +132,13 @@ BinConfig::geometric(std::vector<std::uint32_t> credits, Cycle base,
 BinConfig
 BinConfig::constantRate(Cycle interval, Cycle replenish_period)
 {
-    camo_assert(interval >= 1, "constant-rate interval must be >= 1");
-    camo_assert(replenish_period >= interval,
-                "period shorter than the constant interval");
+    if (interval < 1)
+        configError("constant-rate interval must be >= 1");
+    if (replenish_period < interval) {
+        configError("replenish period ", replenish_period,
+                    " is shorter than the constant interval ",
+                    interval);
+    }
     BinConfig cfg;
     cfg.replenishPeriod = replenish_period;
     // Bin 0 covers [0, interval) and gets no credits; bin 1 covers
@@ -128,11 +161,29 @@ BinConfig::desired(Cycle base, double ratio, Cycle replenish_period)
         credits[i] = static_cast<std::uint32_t>(kDefaultBins - i);
     BinConfig cfg =
         geometric(std::move(credits), base, ratio, replenish_period);
-    camo_assert(cfg.minDrainCycles() <= cfg.replenishPeriod,
-                "DESIRED config cannot drain within its period "
-                "(minDrain=", cfg.minDrainCycles(), " period=",
-                cfg.replenishPeriod, "); widen the period or shrink "
-                "the edges");
+    // The DESIRED schedule must be able to exercise its long-gap
+    // bins; Drainable rejects parameter choices that cannot.
+    cfg.validate(ValidatePolicy::Drainable);
+    return cfg;
+}
+
+BinConfig
+BinConfig::failSecure(const BinConfig &from)
+{
+    from.validate();
+    BinConfig cfg;
+    cfg.edges = from.edges;
+    cfg.replenishPeriod = from.replenishPeriod;
+    cfg.credits.assign(from.edges.size(), 0);
+    const Cycle slot = std::max<Cycle>(1, from.edges.back());
+    const auto budget = static_cast<std::uint32_t>(std::min<Cycle>(
+        std::max<Cycle>(1, from.replenishPeriod / slot),
+        kMaxCreditsPerBin));
+    cfg.credits.back() = budget;
+    // Drainable whenever the largest edge fits in the period; when it
+    // does not (budget clamped to 1) releases simply space out past
+    // the period, which is still fail-secure.
+    cfg.validate();
     return cfg;
 }
 

@@ -20,6 +20,21 @@
 
 namespace camo::shaper {
 
+/**
+ * How strict BinConfig::validate() is. Basic checks structural
+ * invariants only; Drainable additionally requires that the full
+ * credit set can be emitted within one replenishment period
+ * (minDrainCycles() <= replenishPeriod). Drainable is for
+ * hypervisor/CLI boundaries; the GA legitimately explores
+ * non-drainable credit sets (its repair step bounds only the total),
+ * so library paths default to Basic.
+ */
+enum class ValidatePolicy
+{
+    Basic,
+    Drainable,
+};
+
 /** Number of hardware bins in the paper's design. */
 inline constexpr std::size_t kDefaultBins = 10;
 
@@ -59,8 +74,9 @@ struct BinConfig
      */
     Cycle minDrainCycles() const;
 
-    /** Validate invariants; camo_fatal on user error. */
-    void validate() const;
+    /** Validate invariants; throws hard::ConfigError (naming the
+     *  offending value) on user error. */
+    void validate(ValidatePolicy policy = ValidatePolicy::Basic) const;
 
     std::string toString() const;
 
@@ -88,6 +104,19 @@ struct BinConfig
      */
     static BinConfig desired(Cycle base = 20, double ratio = 1.7,
                              Cycle replenish_period = 10000);
+
+    /**
+     * The fail-secure degradation of `from` (hardening layer): same
+     * edges and period — a shaper's reconfigure() cannot change the
+     * hardware bin count — but all credits moved to a minimal budget
+     * in the largest-gap bin. The result is the most conservative
+     * constant-rate schedule the bin set can express: every release
+     * at least edges.back() apart, drainable by construction, and
+     * carrying strictly less timing information than any schedule it
+     * replaces (stall-only; fake generation is left untouched, never
+     * suppressed).
+     */
+    static BinConfig failSecure(const BinConfig &from);
 };
 
 } // namespace camo::shaper

@@ -140,6 +140,26 @@ BinShaper::creditsTotal() const
     return total;
 }
 
+void
+BinShaper::injectLiveCredits(std::uint32_t value)
+{
+    std::fill(credits_.begin(), credits_.end(), value);
+}
+
+void
+BinShaper::injectUnusedCredits(std::uint32_t value)
+{
+    std::fill(unused_.begin(), unused_.end(), value);
+}
+
+void
+BinShaper::injectStarvation()
+{
+    std::fill(credits_.begin(), credits_.end(), 0u);
+    std::fill(unused_.begin(), unused_.end(), 0u);
+    nextReplenish_ = kNoCycle;
+}
+
 std::uint32_t
 BinShaper::unusedTotal() const
 {

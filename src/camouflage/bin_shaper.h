@@ -105,6 +105,22 @@ class BinShaper
     /** Live credits summed over all bins (interval bin occupancy). */
     std::uint32_t creditsTotal() const;
 
+    /**
+     * Fault-injection hooks (hardening layer): overwrite every live
+     * credit register / unused-credit register with `value`. Models
+     * bit-rot in the credit state the conservation checker must
+     * catch.
+     */
+    void injectLiveCredits(std::uint32_t value);
+    void injectUnusedCredits(std::uint32_t value);
+
+    /**
+     * Fault-injection hook: zero all credit state and stick the
+     * replenishment counter (models a dead replenishment timer). The
+     * shaper can never issue again — the watchdog's job to detect.
+     */
+    void injectStarvation();
+
     /** Observability hook; `core` labels the emitted events. */
     void
     setTracer(obs::Tracer *tracer, CoreId core)

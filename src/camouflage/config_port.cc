@@ -1,6 +1,9 @@
 #include "src/camouflage/config_port.h"
 
+#include <sstream>
+
 #include "src/common/logging.h"
+#include "src/hard/error.h"
 
 namespace camo::shaper {
 
@@ -68,8 +71,10 @@ void
 checkFits(std::uint64_t value, std::uint32_t bits, const char *what)
 {
     if (bits < 64 && value >= (1ULL << bits)) {
-        camo_fatal(what, " value ", value, " does not fit in the ",
-                   bits, "-bit hardware register");
+        std::ostringstream os;
+        os << what << " value " << value << " does not fit in the "
+           << bits << "-bit hardware register";
+        throw camo::hard::ConfigError(os.str());
     }
 }
 

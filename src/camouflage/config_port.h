@@ -51,12 +51,14 @@ struct RegisterFile
 
 /**
  * Encode a configuration into the register image.
- * camo_fatal (user error) if any field exceeds its register width.
+ * Throws hard::ConfigError if any field exceeds its register width.
  */
 RegisterFile encodeConfig(const BinConfig &cfg,
                           const RegisterWidths &widths = {});
 
-/** Decode a register image back into a configuration. */
+/** Decode a register image back into a configuration; the decoded
+ *  image is validated, so a corrupted/malformed image throws
+ *  hard::ConfigError instead of programming garbage. */
 BinConfig decodeConfig(const RegisterFile &regs);
 
 /**

@@ -114,6 +114,8 @@ class RequestShaper
 
     std::size_t queueDepth() const { return queue_.size(); }
     const BinShaper &bins() const { return bins_; }
+    /** Mutable credit engine (fault-injection hooks only). */
+    BinShaper &binsMut() { return bins_; }
     /** Intrinsic (pre-shaper) stream monitor. */
     DistributionMonitor &preMonitor() { return pre_; }
     /** Shaped (post-shaper) stream monitor. */

@@ -89,6 +89,8 @@ class ResponseShaper
 
     std::size_t queueDepth() const { return queue_.size(); }
     const BinShaper &bins() const { return bins_; }
+    /** Mutable credit engine (fault-injection hooks only). */
+    BinShaper &binsMut() { return bins_; }
     DistributionMonitor &preMonitor() { return pre_; }
     DistributionMonitor &postMonitor() { return post_; }
     const DistributionMonitor &preMonitor() const { return pre_; }

@@ -138,6 +138,8 @@ DramDevice::issue(Cmd cmd, const DramAddress &da, std::uint64_t now)
 {
     camo_assert(canIssue(cmd, da, now), "illegal ", cmdName(cmd),
                 " to ", da.toString(), " at DRAM cycle ", now);
+    if (observer_)
+        observer_->onCommand(cmd, da, now);
     RankState &rs = ranks_[da.rank];
     BankState &bs = bankMut(da.rank, da.bank);
     IssueResult result;

@@ -54,6 +54,21 @@ struct BankState
     std::uint64_t nextPre = 0;  ///< earliest PRE (tRAS / tWR / tRTP)
 };
 
+/**
+ * Observer notified of every command the device executes, in issue
+ * order. The hardening layer's protocol checker taps this to
+ * re-derive the timing rules independently of the device's own
+ * bookkeeping (an observer may throw; the command has not yet been
+ * applied when it is notified).
+ */
+class CommandObserver
+{
+  public:
+    virtual ~CommandObserver() = default;
+    virtual void onCommand(Cmd cmd, const DramAddress &da,
+                           std::uint64_t now) = 0;
+};
+
 /** Result of issuing a column command. */
 struct IssueResult
 {
@@ -130,6 +145,13 @@ class DramDevice
     /** Observability hook (nullptr disables emission). */
     void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
 
+    /** Hardening hook: observer called on every issued command
+     *  (nullptr disables). */
+    void setCommandObserver(CommandObserver *observer)
+    {
+        observer_ = observer;
+    }
+
     /** CPU-cycle timestamp used for emitted events. The controller
      *  refreshes this each DRAM tick so the trace timeline stays in
      *  one (CPU) clock domain. */
@@ -161,6 +183,7 @@ class DramDevice
     EnergyCounter energy_;
     StatGroup stats_;
     obs::Tracer *tracer_ = nullptr;
+    CommandObserver *observer_ = nullptr;
     Cycle cpuNow_ = 0;
 };
 

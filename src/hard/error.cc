@@ -1,0 +1,17 @@
+#include "src/hard/error.h"
+
+namespace camo::hard {
+
+const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::Config: return "config";
+      case ErrorKind::Invariant: return "invariant";
+      case ErrorKind::Watchdog: return "watchdog";
+      case ErrorKind::Transient: return "transient";
+    }
+    return "?";
+}
+
+} // namespace camo::hard

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Structured error hierarchy for the fail-secure hardening layer.
+ *
+ * Library code validating *user-supplied* configuration throws
+ * ConfigError instead of exiting the process, so one bad config in a
+ * parallel sweep fails one job (propagating through parallelMap's
+ * first-exception path) instead of killing every worker. Runtime
+ * checkers throw InvariantViolation, the watchdog WatchdogTimeout,
+ * and injected worker faults TransientFault (the only kind the
+ * parallel engine retries).
+ *
+ * camo_panic / camo_assert remain aborts: they flag simulator bugs,
+ * not recoverable conditions.
+ */
+
+#ifndef CAMO_HARD_ERROR_H
+#define CAMO_HARD_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace camo::hard {
+
+/** Coarse classification, also the basis of camosim's exit codes. */
+enum class ErrorKind
+{
+    Config,    ///< invalid user-supplied configuration
+    Invariant, ///< a runtime checker caught an inconsistency
+    Watchdog,  ///< no forward progress within the watchdog window
+    Transient, ///< a retryable per-job fault (injected or real)
+};
+
+const char *errorKindName(ErrorKind kind);
+
+/** Base of every recoverable simulator error. */
+class CamoError : public std::runtime_error
+{
+  public:
+    CamoError(ErrorKind kind, const std::string &msg)
+        : std::runtime_error(msg), kind_(kind)
+    {
+    }
+
+    ErrorKind kind() const { return kind_; }
+
+  private:
+    ErrorKind kind_;
+};
+
+/** A user-supplied configuration value is invalid. The message names
+ *  the offending value. */
+class ConfigError : public CamoError
+{
+  public:
+    explicit ConfigError(const std::string &msg)
+        : CamoError(ErrorKind::Config, msg)
+    {
+    }
+};
+
+/**
+ * A runtime invariant checker fired. `diagnostic()` optionally
+ * carries the structured dump (stats tree + trace tail + queue
+ * occupancy) captured at the point of failure.
+ */
+class InvariantViolation : public CamoError
+{
+  public:
+    explicit InvariantViolation(const std::string &msg,
+                                std::string diagnostic = {})
+        : CamoError(ErrorKind::Invariant, msg),
+          diagnostic_(std::move(diagnostic))
+    {
+    }
+
+    const std::string &diagnostic() const { return diagnostic_; }
+
+  private:
+    std::string diagnostic_;
+};
+
+/** The watchdog detected a no-forward-progress window. */
+class WatchdogTimeout : public CamoError
+{
+  public:
+    explicit WatchdogTimeout(const std::string &msg,
+                             std::string diagnostic = {})
+        : CamoError(ErrorKind::Watchdog, msg),
+          diagnostic_(std::move(diagnostic))
+    {
+    }
+
+    const std::string &diagnostic() const { return diagnostic_; }
+
+  private:
+    std::string diagnostic_;
+};
+
+/** A per-job fault worth retrying with a re-derived seed. */
+class TransientFault : public CamoError
+{
+  public:
+    explicit TransientFault(const std::string &msg)
+        : CamoError(ErrorKind::Transient, msg)
+    {
+    }
+};
+
+} // namespace camo::hard
+
+#endif // CAMO_HARD_ERROR_H

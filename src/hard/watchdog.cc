@@ -1,0 +1,63 @@
+#include "src/hard/watchdog.h"
+
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace camo::hard {
+
+Watchdog::Watchdog(const WatchdogConfig &cfg) : cfg_(cfg)
+{
+    camo_assert(cfg_.window > 0, "watchdog window must be positive");
+    pollPeriod_ = cfg_.pollPeriod > 0
+                      ? cfg_.pollPeriod
+                      : std::max<Cycle>(1, cfg_.window / 8);
+}
+
+std::optional<std::string>
+Watchdog::poll(Cycle now, const std::vector<CoreProgress> &cores,
+               Cycle next_event)
+{
+    if (cores_.size() < cores.size())
+        cores_.resize(cores.size());
+
+    // A hard deadlock is reported immediately: with no future event
+    // and pending work, the fast-forward path would silently skip to
+    // the end of the run instead of hanging.
+    if (next_event == kNoCycle) {
+        for (std::size_t i = 0; i < cores.size(); ++i) {
+            if (cores[i].pending) {
+                std::ostringstream os;
+                os << "deadlock: core " << i
+                   << " has pending work at cycle " << now
+                   << " but no component reports a future event";
+                return os.str();
+            }
+        }
+    }
+
+    if (now < nextPoll_)
+        return std::nullopt;
+    nextPoll_ = now + pollPeriod_;
+
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        PerCore &pc = cores_[i];
+        if (!pc.seen || cores[i].progress != pc.progress) {
+            pc.progress = cores[i].progress;
+            pc.lastChange = now;
+            pc.seen = true;
+            continue;
+        }
+        if (cores[i].pending && now - pc.lastChange >= cfg_.window) {
+            std::ostringstream os;
+            os << "no forward progress: core " << i
+               << " has pending work but made no progress in "
+               << (now - pc.lastChange) << " cycles (window "
+               << cfg_.window << ", cycle " << now << ")";
+            return os.str();
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace camo::hard

@@ -185,6 +185,13 @@ class MemoryController
     /** Observability hook; propagates to the DRAM device. */
     void setTracer(obs::Tracer *tracer);
 
+    /** Hardening hook: observer for every DRAM command this
+     *  channel's device issues (the protocol checker). */
+    void setCommandObserver(dram::CommandObserver *observer)
+    {
+        device_.setCommandObserver(observer);
+    }
+
   private:
     struct PendingResponse
     {

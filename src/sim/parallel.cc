@@ -139,13 +139,25 @@ WorkerPool::forEachIndex(std::size_t n,
 }
 
 std::vector<RunMetrics>
-runConfigsParallel(const std::vector<SimJob> &batch, unsigned jobs)
+runConfigsParallel(const std::vector<SimJob> &batch, unsigned jobs,
+                   hard::FaultInjector *injector)
 {
-    return parallelMap(batch.size(), jobs, [&](std::size_t i) {
-        const SimJob &job = batch[i];
-        return runConfig(job.cfg, job.workloads, job.cycles,
-                         job.warmup);
-    });
+    return parallelMapRetry(
+        batch.size(), jobs, kDefaultWorkerAttempts,
+        [&](std::size_t i, unsigned attempt) {
+            if (injector)
+                injector->maybeWorkerFault(i, attempt);
+            SimJob job = batch[i];
+            if (attempt > 0) {
+                // A fresh RNG stream per attempt: replaying the exact
+                // sequence that faulted would reproduce a genuinely
+                // seed-dependent failure instead of recovering.
+                job.cfg.seed = deriveSeed(job.cfg.seed,
+                                          kRetrySeedStream, attempt);
+            }
+            return runConfig(job.cfg, job.workloads, job.cycles,
+                             job.warmup);
+        });
 }
 
 std::vector<double>

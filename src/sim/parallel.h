@@ -23,10 +23,20 @@
 #include <vector>
 
 #include "src/ga/genetic.h"
+#include "src/hard/error.h"
+#include "src/hard/fault_injection.h"
 #include "src/sim/runner.h"
 #include "src/sim/system.h"
 
 namespace camo::sim {
+
+/** Attempts per job before a TransientFault becomes permanent. */
+inline constexpr unsigned kDefaultWorkerAttempts = 3;
+
+/** Seed stream id for per-attempt seed re-derivation (see
+ *  parallelMapRetry): retried attempts must not replay the RNG
+ *  sequence that just faulted. */
+inline constexpr std::uint64_t kRetrySeedStream = 0xFA117;
 
 /**
  * Worker count used when a caller passes jobs == 0: the CAMO_JOBS
@@ -115,6 +125,41 @@ parallelMap(std::size_t n, unsigned jobs, Fn &&fn)
     return out;
 }
 
+/**
+ * parallelMap with structured recovery: fn(i, attempt) is retried on
+ * hard::TransientFault up to `attempts` times per job (attempt = 0,
+ * 1, ...). Every other exception — ConfigError, InvariantViolation,
+ * WatchdogTimeout, std::exception — propagates immediately through
+ * forEachIndex's first-exception path; only faults declared transient
+ * are worth re-running. The attempt number is passed to fn so it can
+ * re-derive seeds (deriveSeed(seed, kRetrySeedStream, attempt)):
+ * retrying a genuinely nondeterministic fault with the exact same RNG
+ * sequence would just replay it. Deterministic: the retry decision
+ * depends only on what fn(i, attempt) throws, never on thread timing.
+ */
+template <typename Fn>
+auto
+parallelMapRetry(std::size_t n, unsigned jobs, unsigned attempts,
+                 Fn &&fn) -> std::vector<decltype(fn(std::size_t{0},
+                                                     unsigned{0}))>
+{
+    std::vector<decltype(fn(std::size_t{0}, unsigned{0}))> out(n);
+    WorkerPool pool(jobs);
+    const unsigned tries = attempts == 0 ? 1 : attempts;
+    pool.forEachIndex(n, [&](std::size_t i) {
+        for (unsigned attempt = 0;; ++attempt) {
+            try {
+                out[i] = fn(i, attempt);
+                return;
+            } catch (const hard::TransientFault &) {
+                if (attempt + 1 >= tries)
+                    throw;
+            }
+        }
+    });
+    return out;
+}
+
 /** One independent simulation of a batch. */
 struct SimJob
 {
@@ -128,9 +173,16 @@ struct SimJob
  * runConfig() for every job, fanned across `jobs` threads (0 =
  * defaultJobs()). results[i] is job i's metrics; byte-identical to
  * calling runConfig sequentially in job order.
+ *
+ * With `injector` attached, every attempt first consults
+ * FaultInjector::maybeWorkerFault(i, attempt); a TransientFault
+ * retries the job (up to kDefaultWorkerAttempts) with its seed
+ * re-derived per attempt, so a transient worker death costs one job
+ * re-run instead of the whole batch.
  */
 std::vector<RunMetrics>
-runConfigsParallel(const std::vector<SimJob> &batch, unsigned jobs = 0);
+runConfigsParallel(const std::vector<SimJob> &batch, unsigned jobs = 0,
+                   hard::FaultInjector *injector = nullptr);
 
 /**
  * Evaluate one GA generation offline: each child genome runs in a

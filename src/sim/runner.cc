@@ -6,6 +6,7 @@
 
 #include "src/common/logging.h"
 #include "src/ga/mise.h"
+#include "src/hard/error.h"
 #include "src/security/leakage_bound.h"
 #include "src/sim/parallel.h"
 
@@ -136,8 +137,17 @@ shaper::BinConfig
 binsFromMonitor(const shaper::DistributionMonitor &monitor,
                 Cycle observed_cycles, Cycle period, double headroom)
 {
-    camo_assert(observed_cycles > 0 && period > 0, "bad cycle counts");
-    camo_assert(headroom > 0.0, "headroom must be positive");
+    if (observed_cycles == 0 || period == 0) {
+        throw hard::ConfigError(
+            detail::fmt("binsFromMonitor needs positive cycle counts "
+                        "(observed_cycles=",
+                        observed_cycles, ", period=", period, ")"));
+    }
+    if (headroom <= 0.0) {
+        throw hard::ConfigError(detail::fmt(
+            "binsFromMonitor headroom must be positive, got ",
+            headroom));
+    }
     const Histogram &hist = monitor.histogram();
 
     shaper::BinConfig cfg;
@@ -195,10 +205,14 @@ OnlineGaResult
 tuneOnline(System &system, const SystemConfig &cfg,
            const ga::GaConfig &ga_cfg, Cycle epoch_cycles)
 {
-    camo_assert(cfg.mitigation == Mitigation::BDC ||
-                    cfg.mitigation == Mitigation::ReqC ||
-                    cfg.mitigation == Mitigation::RespC,
-                "online GA needs a Camouflage mitigation");
+    if (cfg.mitigation != Mitigation::BDC &&
+        cfg.mitigation != Mitigation::ReqC &&
+        cfg.mitigation != Mitigation::RespC) {
+        throw hard::ConfigError(
+            detail::fmt("online GA needs a Camouflage mitigation "
+                        "(ReqC, RespC, or BDC), got ",
+                        mitigationName(cfg.mitigation)));
+    }
     const bool both = cfg.mitigation == Mitigation::BDC;
     const std::size_t bins = cfg.reqBins.numBins();
     const std::size_t slices = both ? 2 : 1;
@@ -306,10 +320,14 @@ runOfflineGa(const SystemConfig &cfg,
              const ga::GaConfig &ga_cfg, Cycle epoch_cycles,
              unsigned jobs)
 {
-    camo_assert(cfg.mitigation == Mitigation::BDC ||
-                    cfg.mitigation == Mitigation::ReqC ||
-                    cfg.mitigation == Mitigation::RespC,
-                "offline GA needs a Camouflage mitigation");
+    if (cfg.mitigation != Mitigation::BDC &&
+        cfg.mitigation != Mitigation::ReqC &&
+        cfg.mitigation != Mitigation::RespC) {
+        throw hard::ConfigError(
+            detail::fmt("offline GA needs a Camouflage mitigation "
+                        "(ReqC, RespC, or BDC), got ",
+                        mitigationName(cfg.mitigation)));
+    }
     const std::size_t bins = cfg.reqBins.numBins();
     const bool both = cfg.mitigation == Mitigation::BDC;
     const std::size_t slices = both ? 2 : 1;

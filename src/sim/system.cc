@@ -1,8 +1,12 @@
 #include "src/sim/system.h"
 
 #include <algorithm>
+#include <iostream>
+#include <sstream>
 
+#include "src/camouflage/config_port.h"
 #include "src/common/logging.h"
+#include "src/hard/error.h"
 #include "src/trace/workloads.h"
 
 namespace camo::sim {
@@ -44,6 +48,13 @@ struct System::PerCore
     std::uint64_t servedReads = 0;
     std::uint64_t latencySum = 0;
 
+    /** Real reads on the wire (issued, response not yet delivered).
+     *  Always maintained (cheap counter); the watchdog's pending-work
+     *  signal. */
+    std::uint64_t inflightReads = 0;
+    /** Shapers swapped to the fail-secure schedule. */
+    bool degraded = false;
+
     /** Previous-interval snapshots for delta-based interval metrics. */
     std::uint64_t ivRetired = 0;
     std::uint64_t ivCycles = 0;
@@ -58,21 +69,34 @@ struct System::PerCore
 
 System::System(const SystemConfig &cfg,
                const std::vector<std::string> &workloads)
-    : cfg_(cfg)
+    : cfg_(cfg), diagStream_(&std::cerr)
 {
-    camo_assert(cfg_.numCores >= 1, "need at least one core");
-    if (workloads.size() != cfg_.numCores)
-        camo_fatal("expected ", cfg_.numCores, " workloads, got ",
-                   workloads.size());
-    if (!cfg_.shapeCore.empty() && cfg_.shapeCore.size() != cfg_.numCores)
-        camo_fatal("shapeCore mask must match numCores");
+    if (cfg_.numCores < 1)
+        throw hard::ConfigError("numCores must be >= 1, got 0");
+    if (workloads.size() != cfg_.numCores) {
+        throw hard::ConfigError(
+            detail::fmt("expected ", cfg_.numCores, " workloads, got ",
+                        workloads.size()));
+    }
+    if (!cfg_.shapeCore.empty() &&
+        cfg_.shapeCore.size() != cfg_.numCores) {
+        throw hard::ConfigError(
+            detail::fmt("shapeCore mask has ", cfg_.shapeCore.size(),
+                        " entries but numCores is ", cfg_.numCores));
+    }
     if (!cfg_.reqBinsPerCore.empty() &&
         cfg_.reqBinsPerCore.size() != cfg_.numCores) {
-        camo_fatal("reqBinsPerCore must match numCores");
+        throw hard::ConfigError(
+            detail::fmt("reqBinsPerCore has ",
+                        cfg_.reqBinsPerCore.size(),
+                        " entries but numCores is ", cfg_.numCores));
     }
     if (!cfg_.respBinsPerCore.empty() &&
         cfg_.respBinsPerCore.size() != cfg_.numCores) {
-        camo_fatal("respBinsPerCore must match numCores");
+        throw hard::ConfigError(
+            detail::fmt("respBinsPerCore has ",
+                        cfg_.respBinsPerCore.size(),
+                        " entries but numCores is ", cfg_.numCores));
     }
 
     // Baseline scheduler selection per mitigation.
@@ -314,7 +338,35 @@ System::feedRequestPath(PerCore &pc)
 {
     const std::uint32_t port = pc.core->id();
 
+    if (injector_) {
+        // Shaper-bypass fault: a real request jumps straight onto the
+        // shared channel. Preconditions are checked before consulting
+        // the injector so the one-shot only latches when it can fire.
+        if (!pc.missBuffer.empty() && reqChannel_->canAccept(port) &&
+            injector_->leakRequestDue(port, now_)) {
+            MemRequest req = std::move(pc.missBuffer.front());
+            pc.missBuffer.pop_front();
+            req.shaperOut = now_;
+            pushToReqChannel(pc, std::move(req), false);
+        }
+        // Forced fake: a fake issued outside the shaper's schedule.
+        if (reqChannel_->canAccept(port) &&
+            injector_->forceFakeDue(port, now_)) {
+            MemRequest fake;
+            fake.id = (static_cast<ReqId>(port) << 48) |
+                      (1ULL << 46) | ++forcedFakes_;
+            fake.core = port;
+            fake.isFake = true;
+            fake.addr = (static_cast<Addr>(port) << 40) | (1ULL << 38);
+            fake.created = now_;
+            fake.shaperOut = now_;
+            pushToReqChannel(pc, std::move(fake), false);
+        }
+    }
+
     if (pc.reqShaper) {
+        if (injector_ && injector_->reqShaperWedged(port, now_))
+            return; // the shaper's clock is gated off: nothing moves
         // Miss buffer -> shaper queue.
         while (!pc.missBuffer.empty() && pc.reqShaper->canAccept()) {
             pc.reqShaper->push(std::move(pc.missBuffer.front()), now_);
@@ -322,10 +374,8 @@ System::feedRequestPath(PerCore &pc)
         }
         // Shaper -> shared request channel.
         const bool ready = reqChannel_->canAccept(port);
-        if (auto released = pc.reqShaper->tick(now_, ready)) {
-            pc.busMon.record(now_, released->isFake);
-            reqChannel_->push(port, std::move(*released));
-        }
+        if (auto released = pc.reqShaper->tick(now_, ready))
+            pushToReqChannel(pc, std::move(*released), true);
         return;
     }
 
@@ -334,19 +384,51 @@ System::feedRequestPath(PerCore &pc)
         MemRequest req = std::move(pc.missBuffer.front());
         pc.missBuffer.pop_front();
         req.shaperOut = now_;
-        pc.busMon.record(now_, req.isFake);
-        reqChannel_->push(port, std::move(req));
+        pushToReqChannel(pc, std::move(req), false);
     }
 }
 
 void
 System::routeMcResponses()
 {
+    // Injected-delay buffer: release entries that have come due.
+    if (!delayedResp_.empty()) {
+        for (auto it = delayedResp_.begin(); it != delayedResp_.end();) {
+            if (it->releaseAt <= now_) {
+                const std::uint32_t c = it->resp.core;
+                camo_assert(c < cores_.size(),
+                            "response for unknown core");
+                cores_[c]->respBuffer.push_back(std::move(it->resp));
+                it = delayedResp_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
     respScratch_.clear();
     mem_->drainResponses(now_, respScratch_);
     for (MemRequest &resp : respScratch_) {
         const std::uint32_t c = resp.core;
         camo_assert(c < cores_.size(), "response for unknown core");
+        if (injector_) {
+            Cycle delay = 0;
+            switch (injector_->onResponse(now_, resp, &delay)) {
+              case hard::FaultInjector::RespAction::Drop:
+                stats_.inc("hard.resp_dropped");
+                continue;
+              case hard::FaultInjector::RespAction::Delay:
+                stats_.inc("hard.resp_delayed");
+                delayedResp_.push_back({now_ + delay, std::move(resp)});
+                continue;
+              case hard::FaultInjector::RespAction::Duplicate:
+                stats_.inc("hard.resp_duplicated");
+                cores_[c]->respBuffer.push_back(resp); // extra copy
+                break;
+              case hard::FaultInjector::RespAction::Pass:
+                break;
+            }
+        }
         cores_[c]->respBuffer.push_back(std::move(resp));
     }
 }
@@ -357,6 +439,8 @@ System::feedResponsePath(PerCore &pc)
     const std::uint32_t port = pc.core->id();
 
     if (pc.respShaper) {
+        if (injector_ && injector_->respShaperWedged(port, now_))
+            return; // wedged: responses pile up behind it
         while (!pc.respBuffer.empty() && pc.respShaper->canAccept()) {
             pc.respShaper->push(std::move(pc.respBuffer.front()), now_);
             pc.respBuffer.pop_front();
@@ -368,7 +452,7 @@ System::feedResponsePath(PerCore &pc)
         }
         const bool ready = respChannel_->canAccept(port);
         if (auto released = pc.respShaper->tick(now_, ready))
-            respChannel_->push(port, std::move(*released));
+            pushToRespChannel(pc, std::move(*released), true);
         return;
     }
 
@@ -376,7 +460,7 @@ System::feedResponsePath(PerCore &pc)
         MemRequest resp = std::move(pc.respBuffer.front());
         pc.respBuffer.pop_front();
         resp.respShaperOut = now_;
-        respChannel_->push(port, std::move(resp));
+        pushToRespChannel(pc, std::move(resp), false);
     }
 }
 
@@ -400,6 +484,14 @@ System::deliverResponses()
                          .core = resp.core, .id = resp.id);
         return; // pure bus activity; no core state waits on it
     }
+
+    // Lifecycle retire runs BEFORE the cache fill: a duplicate
+    // response must be reported as such, not as the MSHR-bookkeeping
+    // panic it would trigger downstream.
+    if (checkers_ && checkers_->config().lifecycle && !resp.isWrite)
+        checkers_->lifecycle().onRetire(resp.id, resp.core, now_);
+    if (pc.inflightReads > 0)
+        --pc.inflightReads;
 
     CAMO_TRACE_EVENT(tracer_.get(), .at = now_,
                      .type = obs::EventType::RespDelivered,
@@ -498,10 +590,330 @@ System::sampleInterval()
     interval_->addRow(now_, std::move(row));
 }
 
+hard::ShaperContract
+System::contractOf(const shaper::BinConfig &cfg)
+{
+    hard::ShaperContract c;
+    c.edges = cfg.edges;
+    c.credits = cfg.credits;
+    c.replenishPeriod = cfg.replenishPeriod;
+    return c;
+}
+
+void
+System::enableCheckers(const hard::CheckerConfig &cfg)
+{
+    checkers_ = std::make_unique<hard::CheckerSet>(cfg);
+    if (cfg.protocol) {
+        for (std::uint32_t c = 0; c < mem_->numChannels(); ++c) {
+            mem::MemoryController &mc = mem_->channel(c);
+            mem_->channel(c).setCommandObserver(
+                checkers_->addProtocolChecker(mc.config().org,
+                                              mc.config().timing));
+        }
+    }
+    if (cfg.conservation) {
+        for (std::uint32_t i = 0; i < cores_.size(); ++i) {
+            const PerCore &pc = *cores_[i];
+            if (pc.reqShaper) {
+                checkers_->reqConservation().setContract(
+                    i, contractOf(pc.reqShaper->bins().config()));
+            }
+            if (pc.respShaper) {
+                checkers_->respConservation().setContract(
+                    i, contractOf(pc.respShaper->bins().config()));
+            }
+        }
+    }
+}
+
+void
+System::enableWatchdog(const hard::WatchdogConfig &cfg)
+{
+    watchdog_ = std::make_unique<hard::Watchdog>(cfg);
+}
+
+obs::json::Value
+System::diagnosticJson(const std::string &reason) const
+{
+    auto root = obs::json::Value::makeObject();
+    root["reason"] = reason;
+    root["cycle"] = static_cast<std::uint64_t>(now_);
+
+    auto queues = obs::json::Value::makeObject();
+    for (std::uint32_t i = 0; i < cores_.size(); ++i) {
+        const PerCore &pc = *cores_[i];
+        auto q = obs::json::Value::makeObject();
+        q["miss_buffer"] = static_cast<std::uint64_t>(
+            pc.missBuffer.size());
+        q["resp_buffer"] = static_cast<std::uint64_t>(
+            pc.respBuffer.size());
+        q["req_shaper_queue"] = static_cast<std::uint64_t>(
+            pc.reqShaper ? pc.reqShaper->queueDepth() : 0);
+        q["resp_shaper_queue"] = static_cast<std::uint64_t>(
+            pc.respShaper ? pc.respShaper->queueDepth() : 0);
+        q["inflight_reads"] = pc.inflightReads;
+        q["req_ingress"] = static_cast<std::uint64_t>(
+            reqChannel_->ingressDepth(i));
+        q["resp_ingress"] = static_cast<std::uint64_t>(
+            respChannel_->ingressDepth(i));
+        q["degraded"] = pc.degraded;
+        queues["core" + std::to_string(i)] = std::move(q);
+    }
+    queues["mc_readq"] =
+        static_cast<std::uint64_t>(mem_->readQueueSize());
+    queues["mc_writeq"] =
+        static_cast<std::uint64_t>(mem_->writeQueueSize());
+    queues["req_egress"] =
+        static_cast<std::uint64_t>(reqChannel_->egressDepth());
+    queues["resp_egress"] =
+        static_cast<std::uint64_t>(respChannel_->egressDepth());
+    queues["delayed_responses"] =
+        static_cast<std::uint64_t>(delayedResp_.size());
+    root["queues"] = std::move(queues);
+
+    obs::StatRegistry reg;
+    registerStats(reg);
+    root["stats"] = reg.toJson();
+
+    if (tracer_->enabled()) {
+        const std::size_t tail =
+            watchdog_ ? watchdog_->config().traceTail : 64;
+        const std::vector<obs::Event> events = tracer_->snapshot();
+        auto arr = obs::json::Value::makeArray();
+        const std::size_t start =
+            events.size() > tail ? events.size() - tail : 0;
+        for (std::size_t i = start; i < events.size(); ++i) {
+            if (auto v = obs::json::tryParse(
+                    obs::eventToJson(events[i]))) {
+                arr.push(std::move(*v));
+            }
+        }
+        root["trace_tail"] = std::move(arr);
+    }
+    return root;
+}
+
+void
+System::degradeShaper(std::uint32_t i)
+{
+    camo_assert(i < cores_.size(), "core index out of range");
+    PerCore &pc = *cores_[i];
+    if (pc.degraded)
+        return;
+    pc.degraded = true;
+    stats_.inc("hard.shaper_degraded");
+    if (pc.reqShaper) {
+        const shaper::BinConfig safe =
+            shaper::BinConfig::failSecure(pc.reqShaper->bins().config());
+        pc.reqShaper->reconfigure(safe);
+        if (checkers_ && checkers_->config().conservation)
+            checkers_->reqConservation().setContract(i, contractOf(safe));
+    }
+    if (pc.respShaper) {
+        const shaper::BinConfig safe = shaper::BinConfig::failSecure(
+            pc.respShaper->bins().config());
+        pc.respShaper->reconfigure(safe);
+        if (checkers_ && checkers_->config().conservation)
+            checkers_->respConservation().setContract(i,
+                                                      contractOf(safe));
+    }
+    // Fake generation is deliberately left untouched: degradation must
+    // never reveal more than the schedule it replaces.
+    camo_warn("core ", i, " shapers degraded to the fail-secure ",
+              "constant-rate schedule at cycle ", now_);
+}
+
+bool
+System::shaperDegraded(std::uint32_t i) const
+{
+    camo_assert(i < cores_.size(), "core index out of range");
+    return cores_[i]->degraded;
+}
+
+void
+System::checkForLeaks() const
+{
+    if (!checkers_ || !checkers_->config().lifecycle)
+        return;
+    const std::vector<hard::LeakedRequest> leaks =
+        checkers_->lifecycle().leaked(now_,
+                                      checkers_->config().leakAge);
+    if (leaks.empty())
+        return;
+    std::ostringstream os;
+    os << leaks.size() << " request(s) issued but never retired:";
+    const std::size_t shown = std::min<std::size_t>(leaks.size(), 8);
+    for (std::size_t i = 0; i < shown; ++i) {
+        os << " id=" << leaks[i].id << " core=" << leaks[i].core
+           << " issued=" << leaks[i].issuedAt << ";";
+    }
+    if (leaks.size() > shown)
+        os << " ...";
+    throw hard::InvariantViolation(
+        os.str(), diagnosticJson("request-leak").dump(2));
+}
+
+void
+System::onShaperViolation(std::uint32_t core, const std::string &msg)
+{
+    stats_.inc("hard.shaper_violations");
+    if (checkers_->config().recoverShaper) {
+        camo_warn("shaper invariant violated, degrading core ", core,
+                  ": ", msg);
+        degradeShaper(core);
+        return;
+    }
+    const std::string dump =
+        diagnosticJson("shaper-invariant: " + msg).dump(2);
+    if (diagStream_)
+        *diagStream_ << dump << "\n";
+    throw hard::InvariantViolation(msg, dump);
+}
+
+void
+System::pushToReqChannel(PerCore &pc, MemRequest req,
+                         bool shaper_release)
+{
+    const std::uint32_t port = pc.core->id();
+    if (checkers_) {
+        const bool tracked = !req.isFake && !req.isWrite;
+        if (checkers_->config().conservation &&
+            checkers_->reqConservation().hasContract(port)) {
+            if (shaper_release)
+                checkers_->reqConservation().onShaperRelease(port, now_);
+            const bool fakes_on =
+                pc.reqShaper && pc.reqShaper->generateFakes();
+            const std::string v = checkers_->reqConservation().onBusPush(
+                port, now_, req.isFake, fakes_on);
+            if (!v.empty())
+                onShaperViolation(port, v);
+        }
+        if (checkers_->config().lifecycle && tracked)
+            checkers_->lifecycle().onIssue(req.id, port, now_);
+    }
+    if (!req.isFake && !req.isWrite)
+        ++pc.inflightReads;
+    pc.busMon.record(now_, req.isFake);
+    reqChannel_->push(port, std::move(req));
+}
+
+void
+System::pushToRespChannel(PerCore &pc, MemRequest resp,
+                          bool shaper_release)
+{
+    const std::uint32_t port = pc.core->id();
+    if (checkers_ && checkers_->config().conservation &&
+        checkers_->respConservation().hasContract(port)) {
+        if (shaper_release)
+            checkers_->respConservation().onShaperRelease(port, now_);
+        const bool fakes_on =
+            pc.respShaper && pc.respShaper->generateFakes();
+        const std::string v = checkers_->respConservation().onBusPush(
+            port, now_, resp.isFake, fakes_on);
+        if (!v.empty())
+            onShaperViolation(port, v);
+    }
+    respChannel_->push(port, std::move(resp));
+}
+
+void
+System::checkCreditState()
+{
+    for (std::uint32_t i = 0; i < cores_.size(); ++i) {
+        const PerCore &pc = *cores_[i];
+        if (pc.reqShaper &&
+            checkers_->reqConservation().hasContract(i)) {
+            const std::string v =
+                checkers_->reqConservation().onCreditState(
+                    i, pc.reqShaper->bins().credits());
+            if (!v.empty())
+                onShaperViolation(i, v);
+        }
+        if (pc.respShaper &&
+            checkers_->respConservation().hasContract(i)) {
+            const std::string v =
+                checkers_->respConservation().onCreditState(
+                    i, pc.respShaper->bins().credits());
+            if (!v.empty())
+                onShaperViolation(i, v);
+        }
+    }
+}
+
+void
+System::applyInjectedFaults()
+{
+    for (std::uint32_t i = 0; i < cores_.size(); ++i) {
+        PerCore &pc = *cores_[i];
+        if (pc.reqShaper || pc.respShaper) {
+            if (injector_->corruptCreditsDue(i, now_)) {
+                if (pc.reqShaper) {
+                    pc.reqShaper->binsMut().injectLiveCredits(
+                        2 * shaper::kMaxCreditsPerBin);
+                }
+                if (pc.respShaper) {
+                    pc.respShaper->binsMut().injectLiveCredits(
+                        2 * shaper::kMaxCreditsPerBin);
+                }
+            }
+            if (injector_->starveCreditsDue(i, now_)) {
+                if (pc.reqShaper)
+                    pc.reqShaper->binsMut().injectStarvation();
+                if (pc.respShaper)
+                    pc.respShaper->binsMut().injectStarvation();
+            }
+        }
+        if (pc.reqShaper && injector_->malformedConfigDue(i, now_)) {
+            // Round-trip the live configuration through the hardware
+            // ConfigPort with a zeroed register image: the decode-side
+            // validation must reject it and the old schedule must
+            // survive.
+            shaper::RegisterFile regs =
+                shaper::encodeConfig(pc.reqShaper->bins().config());
+            std::fill(regs.words.begin(), regs.words.end(), 0u);
+            try {
+                pc.reqShaper->reconfigure(shaper::decodeConfig(regs));
+                stats_.inc("hard.config_accepted_malformed");
+            } catch (const hard::ConfigError &) {
+                stats_.inc("hard.config_rejected");
+            }
+        }
+    }
+}
+
+void
+System::pollWatchdog(Cycle next_event)
+{
+    std::vector<hard::CoreProgress> progress;
+    progress.reserve(cores_.size());
+    for (const auto &pc : cores_) {
+        hard::CoreProgress cp;
+        cp.progress = pc->core->retired() + pc->servedReads;
+        cp.pending =
+            pc->inflightReads > 0 || !pc->missBuffer.empty() ||
+            !pc->respBuffer.empty() ||
+            (pc->reqShaper && pc->reqShaper->queueDepth() > 0) ||
+            (pc->respShaper && pc->respShaper->queueDepth() > 0);
+        progress.push_back(cp);
+    }
+    if (const auto reason =
+            watchdog_->poll(now_, progress, next_event)) {
+        stats_.inc("hard.watchdog_fired");
+        const std::string dump = diagnosticJson(*reason).dump(2);
+        if (diagStream_)
+            *diagStream_ << dump << "\n";
+        throw hard::WatchdogTimeout(*reason, dump);
+    }
+}
+
 void
 System::tick()
 {
     ++now_;
+
+    if (injector_)
+        applyInjectedFaults();
 
     for (auto &pc : cores_) {
         pc->core->tick(now_);
@@ -526,6 +938,9 @@ System::tick()
 
     respChannel_->tick(now_);
     deliverResponses();
+
+    if (checkers_ && checkers_->config().conservation)
+        checkCreditState();
 
     if (interval_ && interval_->due(now_))
         sampleInterval();
@@ -567,6 +982,13 @@ System::nextEventCycle() const
     ev = std::min(ev, mem_->nextEventCycle(now_, from));
     if (interval_)
         ev = std::min(ev, std::max(from, interval_->nextAt()));
+    for (const DelayedResponse &d : delayedResp_)
+        ev = std::min(ev, std::max(from, d.releaseAt));
+    if (injector_) {
+        // Scheduled faults must fire at their programmed cycle, not at
+        // whatever tick the fast-forward happens to execute next.
+        ev = std::min(ev, injector_->nextScheduledCycle(from));
+    }
     return ev;
 }
 
@@ -589,20 +1011,39 @@ System::run(Cycle cycles)
 {
     const Cycle end = now_ + cycles;
     if (!cfg_.fastForward) {
-        while (now_ < end)
+        while (now_ < end) {
             tick();
+            // The plain loop computes nextEventCycle() only when a
+            // poll is due (it is the expensive part of the poll).
+            if (watchdog_ && watchdog_->due(now_))
+                pollWatchdog(nextEventCycle());
+        }
         return;
     }
     while (now_ < end) {
         tick();
+        Cycle ev = kNoCycle;
+        bool haveEv = false;
+        if (watchdog_) {
+            ev = nextEventCycle();
+            haveEv = true;
+            // Poll on schedule, and immediately when no component
+            // reports a future event — a hard deadlock the
+            // fast-forward below would otherwise silently skip to
+            // end-of-run, turning a hang into a wrong result.
+            if (watchdog_->due(now_) || ev == kNoCycle)
+                pollWatchdog(ev);
+        }
         if (now_ >= end)
             break;
         // Everything before the next event is provably idle: jump
         // there, batch-applying the skipped ticks' accounting, and
         // execute the event tick on the next loop iteration.
-        const Cycle ev = std::min(nextEventCycle(), end);
-        if (ev > now_ + 1)
-            skipIdleCycles(ev - now_ - 1);
+        if (!haveEv)
+            ev = nextEventCycle();
+        const Cycle clamped = std::min(ev, end);
+        if (clamped > now_ + 1)
+            skipIdleCycles(clamped - now_ - 1);
     }
 }
 

@@ -28,9 +28,13 @@
 #include "src/common/stats.h"
 #include "src/common/types.h"
 #include "src/core/core.h"
+#include "src/hard/checkers.h"
+#include "src/hard/fault_injection.h"
+#include "src/hard/watchdog.h"
 #include "src/mem/memory_system.h"
 #include "src/noc/channel.h"
 #include "src/obs/interval.h"
+#include "src/obs/json.h"
 #include "src/obs/registry.h"
 #include "src/obs/tracer.h"
 #include "src/security/covert_receiver.h"
@@ -210,8 +214,70 @@ class System
         return interval_.get();
     }
 
+    // ----- Hardening layer (fail-secure operation) -----------------
+
+    /**
+     * Arm the runtime invariant checkers. Observe-only on the happy
+     * path: with injection disabled, a run with checkers enabled is
+     * bit-exact with one without (tests pin this). Protocol checkers
+     * attach to every DRAM channel; shaper contracts are captured
+     * from the shapers' current configurations (and re-captured on
+     * degradeShaper()).
+     */
+    void enableCheckers(const hard::CheckerConfig &cfg);
+    /** nullptr until enableCheckers() is called. */
+    hard::CheckerSet *checkers() { return checkers_.get(); }
+    const hard::CheckerSet *checkers() const { return checkers_.get(); }
+
+    /** Attach a fault injector (borrowed; may be nullptr to detach).
+     *  The System consults it at its hook points every tick. */
+    void setFaultInjector(hard::FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
+    /** Arm the forward-progress watchdog; run() polls it and throws
+     *  WatchdogTimeout (with a diagnostic dump) when it fires. */
+    void enableWatchdog(const hard::WatchdogConfig &cfg);
+
+    /** Stream receiving diagnostic dumps when a checker or the
+     *  watchdog fires (default stderr; nullptr silences them). */
+    void setDiagnosticStream(std::ostream *os) { diagStream_ = os; }
+
+    /**
+     * Structured diagnostic snapshot: reason, cycle, per-queue
+     * occupancy, the full stats tree, and the trace tail (when the
+     * tracer is enabled).
+     */
+    obs::json::Value diagnosticJson(const std::string &reason) const;
+
+    /**
+     * Fail-secure degradation: swap core `i`'s shapers to the
+     * most-conservative constant-rate schedule derived from their
+     * current configuration (BinConfig::failSecure). Stall-only —
+     * fake generation is never suppressed, so degradation can only
+     * reduce what the schedule reveals, never widen it. Idempotent.
+     */
+    void degradeShaper(std::uint32_t i);
+    bool shaperDegraded(std::uint32_t i) const;
+
+    /**
+     * End-of-run lifecycle audit: throws InvariantViolation listing
+     * the leaked (issued, never retired) requests older than
+     * CheckerConfig::leakAge. No-op when the lifecycle checker is
+     * off.
+     */
+    void checkForLeaks() const;
+
   private:
     struct PerCore;
+
+    /** A response held back by an injected delay fault. */
+    struct DelayedResponse
+    {
+        Cycle releaseAt = 0;
+        MemRequest resp;
+    };
 
     void drainCacheOutgoing(PerCore &pc);
     void feedRequestPath(PerCore &pc);
@@ -222,6 +288,21 @@ class System
     bool coreIsShaped(std::uint32_t i) const;
     /** Jump over `n` provably-idle cycles (see nextEventCycle). */
     void skipIdleCycles(Cycle n);
+
+    // Hardening internals.
+    void applyInjectedFaults();
+    /** Single funnel onto the shared request channel: lifecycle +
+     *  conservation accounting happen here so no push can skip them.
+     *  `shaper_release` marks pushes the shaper legitimately
+     *  released this cycle. */
+    void pushToReqChannel(PerCore &pc, MemRequest req,
+                          bool shaper_release);
+    void pushToRespChannel(PerCore &pc, MemRequest resp,
+                           bool shaper_release);
+    void checkCreditState();
+    void onShaperViolation(std::uint32_t core, const std::string &msg);
+    void pollWatchdog(Cycle next_event);
+    static hard::ShaperContract contractOf(const shaper::BinConfig &cfg);
 
     SystemConfig cfg_;
     Cycle now_ = 0;
@@ -235,6 +316,13 @@ class System
     StatGroup stats_;
     std::unique_ptr<obs::Tracer> tracer_;
     std::unique_ptr<obs::IntervalCollector> interval_;
+
+    std::unique_ptr<hard::CheckerSet> checkers_;
+    std::unique_ptr<hard::Watchdog> watchdog_;
+    hard::FaultInjector *injector_ = nullptr;
+    std::ostream *diagStream_; ///< defaults to &std::cerr (ctor)
+    std::vector<DelayedResponse> delayedResp_;
+    std::uint64_t forcedFakes_ = 0; ///< ids for injected fakes
 };
 
 } // namespace camo::sim

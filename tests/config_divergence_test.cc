@@ -8,6 +8,7 @@
 
 #include "src/camouflage/config_port.h"
 #include "src/common/rng.h"
+#include "src/hard/error.h"
 #include "src/security/divergence.h"
 
 namespace camo {
@@ -45,17 +46,15 @@ TEST(ConfigPort, RoundTripRandomConfigs)
     }
 }
 
-TEST(ConfigPortDeathTest, OverflowingFieldsAreFatal)
+TEST(ConfigPort, OverflowingFieldsThrow)
 {
     auto cfg = shaper::BinConfig::desired();
     cfg.replenishPeriod = 1ULL << 30; // > 24-bit period register
-    EXPECT_EXIT(shaper::encodeConfig(cfg),
-                ::testing::ExitedWithCode(1), "does not fit");
+    EXPECT_THROW(shaper::encodeConfig(cfg), hard::ConfigError);
 
     auto cfg2 = shaper::BinConfig::desired(20, 1.7, 10000);
     cfg2.edges.back() = 1ULL << 21; // > 20-bit edge register
-    EXPECT_EXIT(shaper::encodeConfig(cfg2),
-                ::testing::ExitedWithCode(1), "does not fit");
+    EXPECT_THROW(shaper::encodeConfig(cfg2), hard::ConfigError);
 }
 
 TEST(ConfigPort, StorageMatchesPaperScale)

@@ -12,6 +12,7 @@
 #include "src/camouflage/request_shaper.h"
 #include "src/camouflage/response_shaper.h"
 #include "src/common/rng.h"
+#include "src/hard/error.h"
 
 namespace camo::shaper {
 namespace {
@@ -75,7 +76,7 @@ TEST(BinConfig, ConstantRateHasOneUsableBin)
     EXPECT_EQ(cfg.edges[1], 100u);
 }
 
-TEST(BinConfigDeathTest, ValidationCatchesUserErrors)
+TEST(BinConfig, ValidationCatchesUserErrors)
 {
     BinConfig cfg;
     cfg.edges = {0, 10};
@@ -85,23 +86,19 @@ TEST(BinConfigDeathTest, ValidationCatchesUserErrors)
 
     BinConfig bad = cfg;
     bad.edges = {5, 10};
-    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
-                "edges\\[0\\] must be 0");
+    EXPECT_THROW(bad.validate(), hard::ConfigError);
 
     bad = cfg;
     bad.edges = {0, 0};
-    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
-                "strictly increasing");
+    EXPECT_THROW(bad.validate(), hard::ConfigError);
 
     bad = cfg;
     bad.credits = {0, 0};
-    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
-                "grants no credits");
+    EXPECT_THROW(bad.validate(), hard::ConfigError);
 
     bad = cfg;
     bad.credits = {1, 2000};
-    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
-                "10-bit");
+    EXPECT_THROW(bad.validate(), hard::ConfigError);
 }
 
 // ------------------------------------------------------------ BinShaper

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/hard/error.h"
 #include "src/security/mutual_information.h"
 #include "src/sim/presets.h"
 #include "src/sim/runner.h"
@@ -78,11 +79,10 @@ TEST(System, SchedulerFollowsMitigation)
     }
 }
 
-TEST(SystemDeathTest, WorkloadCountMustMatchCores)
+TEST(System, WorkloadCountMustMatchCores)
 {
     SystemConfig cfg = paperConfig();
-    EXPECT_EXIT(System(cfg, {"astar"}), ::testing::ExitedWithCode(1),
-                "expected 4 workloads");
+    EXPECT_THROW(System(cfg, {"astar"}), hard::ConfigError);
 }
 
 // ------------------------------------------------------- determinism

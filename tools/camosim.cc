@@ -12,6 +12,12 @@
  *   camosim --workloads=bzip,astar,astar,astar --mitigation=bdc --ga
  *   camosim --workloads=mcf,astar,astar,astar --mitigation=bdc \
  *           --trace=t.jsonl --stats-json=s.json --interval-stats=10000
+ *   camosim --workloads=mcf,astar,astar,astar --mitigation=bdc \
+ *           --checkers --watchdog=200000 \
+ *           --inject=corrupt-credits:at=80000:core=0
+ *
+ * Exit codes: 0 success, 1 runtime error, 2 usage error, 3 invalid
+ * configuration, 4 invariant violation, 5 watchdog timeout.
  */
 
 #include <cstdio>
@@ -19,10 +25,13 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/hard/error.h"
+#include "src/hard/fault_injection.h"
 #include "src/obs/registry.h"
 #include "src/obs/tracer.h"
 #include "src/sim/parallel.h"
@@ -33,6 +42,26 @@
 using namespace camo;
 
 namespace {
+
+/** Exit codes (keep in sync with the file header and README). */
+enum ExitCode
+{
+    kExitOk = 0,
+    kExitRuntime = 1,
+    kExitUsage = 2,
+    kExitConfig = 3,
+    kExitInvariant = 4,
+    kExitWatchdog = 5,
+};
+
+/** A command-line problem: reported with usage help, exit code 2. */
+struct UsageError : std::runtime_error
+{
+    explicit UsageError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
 
 struct Options
 {
@@ -53,20 +82,28 @@ struct Options
     unsigned jobs = 0;            // 0 = defaultJobs()
     std::uint32_t sweepSeeds = 0; // 0 = single run
     bool fastForward = true;
+    bool help = false;
 
     // Observability outputs.
     std::string traceFile;
-    std::string traceFormat = "jsonl";
+    std::string traceFormat; // empty = unset (default jsonl)
     std::string statsJsonFile;
     Cycle intervalStats = 0;
     std::string intervalCsvFile;
+
+    // Hardening layer.
+    bool checkers = false;
+    bool checkersRecover = false;
+    Cycle watchdogWindow = 0; // 0 = off
+    std::string injectSpec;
+    std::uint64_t injectSeed = 0; // 0 = use --seed
 };
 
-[[noreturn]] void
-usage(const char *argv0)
+void
+printUsage(std::FILE *out, const char *argv0)
 {
     std::fprintf(
-        stderr,
+        out,
         "usage: %s [options]\n"
         "  --workloads=w0,w1,...   one per core (default mcf,astar x3)\n"
         "  --mitigation=M          none|cs|reqc|respc|bdc|tp|fs\n"
@@ -91,12 +128,21 @@ usage(const char *argv0)
         "  --stats-json=FILE       hierarchical stats tree as JSON\n"
         "  --interval-stats=N      snapshot metrics every N cycles\n"
         "  --interval-csv=FILE     write the interval series as CSV\n"
+        "  --checkers[=recover]    runtime invariant checkers; =recover\n"
+        "                          degrades a violating shaper to the\n"
+        "                          fail-secure schedule instead of\n"
+        "                          stopping (exit 4 on violation)\n"
+        "  --watchdog=N            fail if a core with pending work\n"
+        "                          makes no progress for N cycles\n"
+        "                          (exit 5, diagnostic dump on stderr)\n"
+        "  --inject=SPEC           fault-injection campaign, e.g.\n"
+        "                          drop-resp:rate=0.001,wedge-req:at=9000\n"
+        "  --inject-seed=N         injection RNG seed (default --seed)\n"
         "workloads: ",
         argv0);
     for (const auto &n : trace::workloadNames())
-        std::fprintf(stderr, "%s ", n.c_str());
-    std::fprintf(stderr, "probe covert:HEX\n");
-    std::exit(2);
+        std::fprintf(out, "%s ", n.c_str());
+    std::fprintf(out, "probe covert:HEX\n");
 }
 
 sim::Mitigation
@@ -109,7 +155,24 @@ parseMitigation(const std::string &s)
     if (s == "bdc") return sim::Mitigation::BDC;
     if (s == "tp") return sim::Mitigation::TP;
     if (s == "fs") return sim::Mitigation::FS;
-    camo_fatal("unknown mitigation: ", s);
+    throw UsageError("unknown mitigation '" + s +
+                     "' (expected none, cs, reqc, respc, bdc, tp, "
+                     "or fs)");
+}
+
+/** Strict full-string unsigned parse; rejects "12x", "", "-3". */
+std::uint64_t
+parseU64Flag(const char *flag, const std::string &value)
+{
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(value.c_str(), &end, 10);
+    if (value.empty() || end == value.c_str() || *end != '\0' ||
+        value[0] == '-') {
+        throw UsageError(std::string(flag) + "=" + value +
+                         " is not an unsigned integer");
+    }
+    return v;
 }
 
 std::vector<std::string>
@@ -129,6 +192,11 @@ splitCommas(const std::string &s)
     return out;
 }
 
+/**
+ * Parse the command line. Throws UsageError (never exits) on unknown
+ * flags, malformed values, or invalid flag combinations, each with a
+ * one-line reason.
+ */
 Options
 parseArgs(int argc, char **argv)
 {
@@ -144,19 +212,22 @@ parseArgs(int argc, char **argv)
             }
             return nullptr;
         };
-        if (const char *v = value("--workloads")) {
+        if (arg == "--help" || arg == "-h") {
+            opt.help = true;
+            return opt;
+        } else if (const char *v = value("--workloads")) {
             opt.workloads = splitCommas(v);
         } else if (const char *v = value("--mitigation")) {
             opt.mitigation = parseMitigation(v);
         } else if (const char *v = value("--cycles")) {
-            opt.cycles = std::strtoull(v, nullptr, 10);
+            opt.cycles = parseU64Flag("--cycles", v);
         } else if (const char *v = value("--warmup")) {
-            opt.warmup = std::strtoull(v, nullptr, 10);
+            opt.warmup = parseU64Flag("--warmup", v);
         } else if (const char *v = value("--seed")) {
-            opt.seed = std::strtoull(v, nullptr, 10);
+            opt.seed = parseU64Flag("--seed", v);
         } else if (const char *v = value("--channels")) {
             opt.channels = static_cast<std::uint32_t>(
-                std::strtoul(v, nullptr, 10));
+                parseU64Flag("--channels", v));
         } else if (arg == "--no-fakes") {
             opt.fakeTraffic = false;
         } else if (arg == "--randomize-timing") {
@@ -164,10 +235,15 @@ parseArgs(int argc, char **argv)
         } else if (const char *v = value("--shape-cores")) {
             opt.shapeCores.assign(opt.workloads.size(), false);
             for (const auto &idx : splitCommas(v)) {
-                const auto c = std::strtoul(idx.c_str(), nullptr, 10);
-                if (c >= opt.shapeCores.size())
-                    camo_fatal("--shape-cores index out of range: ", c);
-                opt.shapeCores[c] = true;
+                const auto c = parseU64Flag("--shape-cores", idx);
+                if (c >= opt.shapeCores.size()) {
+                    throw UsageError(
+                        "--shape-cores index " + idx +
+                        " is out of range (have " +
+                        std::to_string(opt.shapeCores.size()) +
+                        " cores)");
+                }
+                opt.shapeCores[static_cast<std::size_t>(c)] = true;
             }
         } else if (arg == "--ga") {
             opt.runGa = true;
@@ -175,17 +251,19 @@ parseArgs(int argc, char **argv)
             opt.runGa = true;
             opt.gaOffline = true;
         } else if (const char *v = value("--jobs")) {
-            opt.jobs = static_cast<unsigned>(
-                std::strtoul(v, nullptr, 10));
+            opt.jobs =
+                static_cast<unsigned>(parseU64Flag("--jobs", v));
         } else if (const char *v = value("--sweep-seeds")) {
             opt.sweepSeeds = static_cast<std::uint32_t>(
-                std::strtoul(v, nullptr, 10));
+                parseU64Flag("--sweep-seeds", v));
         } else if (arg == "--no-fast-forward") {
             opt.fastForward = false;
         } else if (const char *v = value("--ga-gens")) {
-            opt.gaGenerations = std::strtoul(v, nullptr, 10);
+            opt.gaGenerations = static_cast<std::size_t>(
+                parseU64Flag("--ga-gens", v));
         } else if (const char *v = value("--ga-pop")) {
-            opt.gaPopulation = std::strtoul(v, nullptr, 10);
+            opt.gaPopulation = static_cast<std::size_t>(
+                parseU64Flag("--ga-pop", v));
         } else if (arg == "--csv") {
             opt.csv = true;
         } else if (const char *v = value("--trace")) {
@@ -195,24 +273,72 @@ parseArgs(int argc, char **argv)
         } else if (const char *v = value("--stats-json")) {
             opt.statsJsonFile = v;
         } else if (const char *v = value("--interval-stats")) {
-            opt.intervalStats = std::strtoull(v, nullptr, 10);
+            opt.intervalStats = parseU64Flag("--interval-stats", v);
         } else if (const char *v = value("--interval-csv")) {
             opt.intervalCsvFile = v;
+        } else if (arg == "--checkers") {
+            opt.checkers = true;
+        } else if (const char *v = value("--checkers")) {
+            if (std::string(v) != "recover") {
+                throw UsageError(
+                    "--checkers accepts only '=recover', got '" +
+                    std::string(v) + "'");
+            }
+            opt.checkers = true;
+            opt.checkersRecover = true;
+        } else if (const char *v = value("--watchdog")) {
+            opt.watchdogWindow = parseU64Flag("--watchdog", v);
+            if (opt.watchdogWindow == 0)
+                throw UsageError("--watchdog window must be > 0");
+        } else if (const char *v = value("--inject")) {
+            opt.injectSpec = v;
+        } else if (const char *v = value("--inject-seed")) {
+            opt.injectSeed = parseU64Flag("--inject-seed", v);
         } else {
-            usage(argv[0]);
+            throw UsageError("unknown option '" + arg + "'");
         }
     }
+
     for (const auto &w : opt.workloads) {
         if (!trace::isKnownWorkload(w))
-            camo_fatal("unknown workload: ", w);
+            throw UsageError("unknown workload '" + w + "'");
     }
-    if (opt.traceFormat != "jsonl" && opt.traceFormat != "csv" &&
-        opt.traceFormat != "bin") {
-        camo_fatal("unknown trace format: ", opt.traceFormat,
-                   " (expected jsonl, csv, or bin)");
+    if (!opt.traceFormat.empty() && opt.traceFile.empty()) {
+        throw UsageError(
+            "--trace-format without --trace=FILE has no effect");
+    }
+    if (!opt.traceFormat.empty() && opt.traceFormat != "jsonl" &&
+        opt.traceFormat != "csv" && opt.traceFormat != "bin") {
+        throw UsageError("unknown trace format '" + opt.traceFormat +
+                         "' (expected jsonl, csv, or bin)");
     }
     if (!opt.intervalCsvFile.empty() && opt.intervalStats == 0)
-        camo_fatal("--interval-csv needs --interval-stats=N");
+        throw UsageError("--interval-csv needs --interval-stats=N");
+    if (opt.runGa && opt.mitigation != sim::Mitigation::BDC &&
+        opt.mitigation != sim::Mitigation::ReqC &&
+        opt.mitigation != sim::Mitigation::RespC) {
+        throw UsageError(
+            "--ga needs a Camouflage mitigation (reqc, respc, or "
+            "bdc)");
+    }
+    if (opt.sweepSeeds > 0) {
+        if (!opt.traceFile.empty() || !opt.statsJsonFile.empty() ||
+            opt.intervalStats > 0) {
+            throw UsageError(
+                "--sweep-seeds is incompatible with --trace, "
+                "--stats-json, and --interval-stats (single-run "
+                "observability outputs)");
+        }
+        if (opt.checkers || opt.watchdogWindow > 0) {
+            throw UsageError(
+                "--sweep-seeds is incompatible with --checkers and "
+                "--watchdog (single-run hardening; --inject worker "
+                "faults still apply)");
+        }
+    }
+    if (opt.checkersRecover && opt.mitigation == sim::Mitigation::None)
+        throw UsageError("--checkers=recover without a shaping "
+                         "mitigation has nothing to degrade");
     return opt;
 }
 
@@ -259,13 +385,9 @@ writeStatsJson(const Options &opt, sim::System &system)
     os << root.dump(2) << "\n";
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runCamosim(const Options &opt)
 {
-    const Options opt = parseArgs(argc, argv);
-
     sim::SystemConfig cfg = sim::paperConfig();
     cfg.numCores = static_cast<std::uint32_t>(opt.workloads.size());
     cfg.mitigation = opt.mitigation;
@@ -276,12 +398,16 @@ main(int argc, char **argv)
     cfg.shapeCore = opt.shapeCores;
     cfg.fastForward = opt.fastForward;
 
+    // Fault-injection campaign (spec parse errors are ConfigErrors).
+    std::unique_ptr<hard::FaultInjector> injector;
+    if (!opt.injectSpec.empty()) {
+        const hard::FaultPlan plan = hard::FaultPlan::parse(
+            opt.injectSpec,
+            opt.injectSeed ? opt.injectSeed : opt.seed);
+        injector = std::make_unique<hard::FaultInjector>(plan);
+    }
+
     if (opt.runGa) {
-        if (opt.mitigation != sim::Mitigation::BDC &&
-            opt.mitigation != sim::Mitigation::ReqC &&
-            opt.mitigation != sim::Mitigation::RespC) {
-            camo_fatal("--ga needs a Camouflage mitigation");
-        }
         ga::GaConfig ga_cfg;
         ga_cfg.generations = opt.gaGenerations;
         ga_cfg.populationSize = opt.gaPopulation;
@@ -307,22 +433,27 @@ main(int argc, char **argv)
 
     if (opt.sweepSeeds > 0) {
         // Replica sweep: same configuration under K consecutive
-        // seeds, fanned across the worker pool. Observability
-        // outputs are single-run features and are ignored here.
+        // seeds, fanned across the worker pool. Worker faults from
+        // --inject hit individual jobs here (and are retried with
+        // re-derived seeds); system-level faults need a single run.
         std::vector<sim::SimJob> batch;
         for (std::uint32_t k = 0; k < opt.sweepSeeds; ++k) {
             sim::SystemConfig c = cfg;
             c.seed = opt.seed + k;
             batch.push_back({c, opt.workloads, opt.cycles, opt.warmup});
         }
-        const auto runs = sim::runConfigsParallel(batch, opt.jobs);
+        const auto runs =
+            sim::runConfigsParallel(batch, opt.jobs, injector.get());
+        if (injector && injector->totalFired() > 0 && !opt.csv)
+            std::printf("# faults fired: %s\n",
+                        injector->summary().c_str());
         if (opt.csv) {
             std::printf("seed,throughput\n");
             for (std::uint32_t k = 0; k < opt.sweepSeeds; ++k)
                 std::printf("%llu,%.4f\n",
                             static_cast<unsigned long long>(opt.seed + k),
                             runs[k].throughput());
-            return 0;
+            return kExitOk;
         }
         std::printf("%s", sim::tableIiBanner().c_str());
         std::printf("# mitigation: %s, %u seeds from %llu, %llu cycles "
@@ -341,26 +472,45 @@ main(int argc, char **argv)
         }
         std::printf("\nmean throughput: %.3f\n",
                     total / static_cast<double>(opt.sweepSeeds));
-        return 0;
+        return kExitOk;
     }
 
     sim::System system(cfg, opt.workloads);
 
+    if (opt.checkers) {
+        hard::CheckerConfig hc;
+        hc.recoverShaper = opt.checkersRecover;
+        system.enableCheckers(hc);
+    }
+    if (opt.watchdogWindow > 0) {
+        hard::WatchdogConfig wc;
+        wc.window = opt.watchdogWindow;
+        system.enableWatchdog(wc);
+    }
+    if (injector)
+        system.setFaultInjector(injector.get());
+
     std::ofstream trace_os;
     if (!opt.traceFile.empty()) {
-        trace_os.open(opt.traceFile, opt.traceFormat == "bin"
+        const std::string format =
+            opt.traceFormat.empty() ? "jsonl" : opt.traceFormat;
+        trace_os.open(opt.traceFile, format == "bin"
                                          ? std::ios::out | std::ios::binary
                                          : std::ios::out);
         if (!trace_os)
             camo_fatal("cannot open trace file: ", opt.traceFile);
-        system.tracer().setSink(
-            makeTraceSink(opt.traceFormat, trace_os));
+        system.tracer().setSink(makeTraceSink(format, trace_os));
         system.tracer().setEnabled(true);
     }
     if (opt.intervalStats > 0)
         system.enableIntervalStats(opt.intervalStats);
 
     const auto m = sim::runAndMeasure(system, opt.cycles, opt.warmup);
+
+    // End-of-run lifecycle audit: a dropped response shows up here as
+    // a leaked (never-retired) request even without the watchdog.
+    if (opt.checkers)
+        system.checkForLeaks();
 
     if (!opt.traceFile.empty())
         system.tracer().flush();
@@ -374,6 +524,10 @@ main(int argc, char **argv)
     if (!opt.statsJsonFile.empty())
         writeStatsJson(opt, system);
 
+    if (injector && injector->totalFired() > 0 && !opt.csv)
+        std::printf("# faults fired: %s\n",
+                    injector->summary().c_str());
+
     if (opt.csv) {
         std::printf("core,workload,ipc,retired,served_reads,"
                     "avg_read_latency,alpha\n");
@@ -385,7 +539,7 @@ main(int argc, char **argv)
                             m.servedReads[i]),
                         m.avgReadLatency[i], m.alpha[i]);
         }
-        return 0;
+        return kExitOk;
     }
 
     std::printf("%s", sim::tableIiBanner().c_str());
@@ -406,5 +560,46 @@ main(int argc, char **argv)
                     m.avgReadLatency[i], m.alpha[i]);
     }
     std::printf("\nthroughput (sum IPC): %.3f\n", m.throughput());
-    return 0;
+    return kExitOk;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    try {
+        opt = parseArgs(argc, argv);
+    } catch (const UsageError &e) {
+        std::fprintf(stderr, "camosim: %s\n", e.what());
+        printUsage(stderr, argv[0]);
+        return kExitUsage;
+    }
+    if (opt.help) {
+        printUsage(stdout, argv[0]);
+        return kExitOk;
+    }
+
+    try {
+        return runCamosim(opt);
+    } catch (const hard::ConfigError &e) {
+        std::fprintf(stderr, "camosim: invalid configuration: %s\n",
+                     e.what());
+        return kExitConfig;
+    } catch (const hard::InvariantViolation &e) {
+        std::fprintf(stderr, "camosim: invariant violation: %s\n",
+                     e.what());
+        return kExitInvariant;
+    } catch (const hard::WatchdogTimeout &e) {
+        std::fprintf(stderr, "camosim: watchdog: %s\n", e.what());
+        return kExitWatchdog;
+    } catch (const hard::CamoError &e) {
+        std::fprintf(stderr, "camosim: %s error: %s\n",
+                     hard::errorKindName(e.kind()), e.what());
+        return kExitRuntime;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "camosim: %s\n", e.what());
+        return kExitRuntime;
+    }
 }
