@@ -1,15 +1,23 @@
 #include "src/cache/hierarchy.h"
 
 #include "src/common/logging.h"
+#include "src/obs/registry.h"
 
 namespace camo::cache {
 
 CacheHierarchy::CacheHierarchy(CoreId core, const HierarchyConfig &cfg)
-    : core_(core), cfg_(cfg), l1_(cfg.l1), l2_(cfg.l2)
+    : sim::Component("core" + std::to_string(core) + ".cache"),
+      core_(core), cfg_(cfg), l1_(cfg.l1), l2_(cfg.l2)
 {
     camo_assert(cfg.l1.lineBytes == cfg.l2.lineBytes,
                 "L1/L2 line sizes must match");
     camo_assert(cfg.mshrs >= 1, "need at least one MSHR");
+}
+
+void
+CacheHierarchy::registerStats(obs::StatRegistry &reg) const
+{
+    reg.add(name(), &stats_);
 }
 
 MemRequest

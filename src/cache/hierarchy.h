@@ -22,6 +22,7 @@
 #include "src/common/types.h"
 #include "src/mem/request.h"
 #include "src/obs/tracer.h"
+#include "src/sim/component.h"
 
 namespace camo::cache {
 
@@ -60,8 +61,12 @@ struct HierarchyConfig
     bool nextLinePrefetch = false;
 };
 
-/** One core's L1 + L2 and the memory-facing miss machinery. */
-class CacheHierarchy
+/** One core's L1 + L2 and the memory-facing miss machinery.
+ *
+ * A passive sim::Component: it acts only when its owner calls
+ * access()/onFill(), so tick() is a no-op and it never constrains
+ * fast-forward. */
+class CacheHierarchy final : public sim::Component
 {
   public:
     CacheHierarchy(CoreId core, const HierarchyConfig &cfg);
@@ -111,6 +116,15 @@ class CacheHierarchy
 
     /** Observability hook (nullptr disables emission). */
     void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
+
+    // ----- sim::Component adaptation -------------------------------
+    Cycle
+    nextEventCycle(Cycle /*now*/, Cycle /*from*/) const override
+    {
+        return kNoCycle; // passive: only acts when called
+    }
+    void attachTracer(obs::Tracer *tracer) override { setTracer(tracer); }
+    void registerStats(obs::StatRegistry &reg) const override;
 
   private:
     void emitWriteback(Addr lineAddr, Cycle now);

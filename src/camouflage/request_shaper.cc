@@ -3,12 +3,14 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/obs/registry.h"
 
 namespace camo::shaper {
 
 RequestShaper::RequestShaper(CoreId core, const RequestShaperConfig &cfg,
                              std::uint64_t seed)
-    : core_(core),
+    : sim::Component("shaper.req.core" + std::to_string(core)),
+      core_(core),
       cfg_(cfg),
       bins_(cfg.bins),
       rng_(seed),
@@ -204,6 +206,14 @@ RequestShaper::tickStrictSlot(Cycle now, bool downstream_ready)
     }
     stats_.inc("slots.wasted");
     return std::nullopt;
+}
+
+
+void
+RequestShaper::registerStats(obs::StatRegistry &reg) const
+{
+    reg.add(name(), &stats_);
+    reg.add(name() + ".bins", &bins_.stats());
 }
 
 } // namespace camo::shaper

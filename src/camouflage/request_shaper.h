@@ -23,6 +23,7 @@
 #include "src/common/stats.h"
 #include "src/common/types.h"
 #include "src/mem/request.h"
+#include "src/sim/component.h"
 
 namespace camo::shaper {
 
@@ -72,12 +73,19 @@ struct RequestShaperConfig
     double fakeWriteFrac = 0.0;
 };
 
-/** The per-core request shaping unit. */
-class RequestShaper
+/** The per-core request shaping unit.
+ *
+ * As a sim::Component the shaper is driven through the rich
+ * tick(now, downstream_ready) overload by its owning station (the
+ * release decision is coupled to channel backpressure); the inherited
+ * one-argument tick() is a no-op. */
+class RequestShaper final : public sim::Component
 {
   public:
     RequestShaper(CoreId core, const RequestShaperConfig &cfg,
                   std::uint64_t seed);
+
+    using sim::Component::tick;
 
     bool canAccept() const { return queue_.size() < cfg_.queueCap; }
 
@@ -105,7 +113,16 @@ class RequestShaper
      * Account `n` skipped idle cycles exactly as `n` tick() calls in
      * the current (provably idle) state would.
      */
-    void skipIdleCycles(Cycle n);
+    void skipIdleCycles(Cycle n) override;
+
+    // ----- sim::Component adaptation -------------------------------
+    Cycle
+    nextEventCycle(Cycle /*now*/, Cycle from) const override
+    {
+        return nextEventCycle(from);
+    }
+    void attachTracer(obs::Tracer *tracer) override { setTracer(tracer); }
+    void registerStats(obs::StatRegistry &reg) const override;
 
     /** Runtime fake-generation toggle (the online GA disables fakes
      *  during highest-priority-mode measurement epochs). */

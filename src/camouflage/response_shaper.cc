@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/obs/registry.h"
 
 namespace camo::shaper {
 
 ResponseShaper::ResponseShaper(CoreId core, const ResponseShaperConfig &cfg)
-    : core_(core),
+    : sim::Component("shaper.resp.core" + std::to_string(core)),
+      core_(core),
       cfg_(cfg),
       bins_(cfg.bins),
       pre_(cfg.bins.edges),
@@ -141,6 +143,14 @@ ResponseShaper::takePriorityWarning()
     const std::uint32_t boost = pendingBoost_;
     pendingBoost_ = 0;
     return boost;
+}
+
+
+void
+ResponseShaper::registerStats(obs::StatRegistry &reg) const
+{
+    reg.add(name(), &stats_);
+    reg.add(name() + ".bins", &bins_.stats());
 }
 
 } // namespace camo::shaper

@@ -25,6 +25,7 @@
 #include "src/common/stats.h"
 #include "src/common/types.h"
 #include "src/mem/request.h"
+#include "src/sim/component.h"
 
 namespace camo::shaper {
 
@@ -44,11 +45,17 @@ struct ResponseShaperConfig
     std::uint32_t queueCap = 64; ///< buffered responses
 };
 
-/** The per-core response shaping unit at the MC egress. */
-class ResponseShaper
+/** The per-core response shaping unit at the MC egress.
+ *
+ * Like RequestShaper, driven through the rich tick(now,
+ * downstream_ready) overload by its owning station; the inherited
+ * one-argument tick() is a no-op. */
+class ResponseShaper final : public sim::Component
 {
   public:
     ResponseShaper(CoreId core, const ResponseShaperConfig &cfg);
+
+    using sim::Component::tick;
 
     bool canAccept() const { return queue_.size() < cfg_.queueCap; }
 
@@ -81,7 +88,16 @@ class ResponseShaper
     Cycle nextEventCycle(Cycle from) const;
 
     /** Account `n` skipped idle cycles (stall accounting only). */
-    void skipIdleCycles(Cycle n);
+    void skipIdleCycles(Cycle n) override;
+
+    // ----- sim::Component adaptation -------------------------------
+    Cycle
+    nextEventCycle(Cycle /*now*/, Cycle from) const override
+    {
+        return nextEventCycle(from);
+    }
+    void attachTracer(obs::Tracer *tracer) override { setTracer(tracer); }
+    void registerStats(obs::StatRegistry &reg) const override;
 
     /** Runtime fake-generation toggle. */
     void setGenerateFakes(bool on) { cfg_.generateFakes = on; }

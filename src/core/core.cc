@@ -3,15 +3,23 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/obs/registry.h"
 
 namespace camo::core {
 
 Core::Core(CoreId id, const CoreConfig &cfg, trace::TraceSource &trace,
            cache::CacheHierarchy &cache)
-    : id_(id), cfg_(cfg), trace_(trace), cache_(cache)
+    : sim::Component("core" + std::to_string(id)), id_(id), cfg_(cfg),
+      trace_(trace), cache_(cache)
 {
     camo_assert(cfg_.width >= 1 && cfg_.windowSize >= cfg_.width,
                 "bad core config");
+}
+
+void
+Core::registerStats(obs::StatRegistry &reg) const
+{
+    reg.add(name(), &stats_);
 }
 
 void

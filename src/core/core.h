@@ -25,6 +25,7 @@
 #include "src/common/stats.h"
 #include "src/common/types.h"
 #include "src/obs/tracer.h"
+#include "src/sim/component.h"
 #include "src/trace/trace.h"
 
 namespace camo::core {
@@ -37,14 +38,14 @@ struct CoreConfig
 };
 
 /** One simulated core. */
-class Core
+class Core final : public sim::Component
 {
   public:
     Core(CoreId id, const CoreConfig &cfg, trace::TraceSource &trace,
          cache::CacheHierarchy &cache);
 
     /** Advance one CPU cycle: retire, then dispatch. */
-    void tick(Cycle now);
+    void tick(Cycle now) override;
 
     /**
      * An LLC fill for `line` completed; wake loads waiting on it.
@@ -82,12 +83,22 @@ class Core
 
     /** Account `n` skipped idle cycles exactly as `n` tick() calls in
      *  the current (provably idle) state would. */
-    void skipIdleCycles(Cycle n);
+    void skipIdleCycles(Cycle n) override;
 
     /** Observability hook (nullptr disables emission). */
     void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
 
     const StatGroup &stats() const { return stats_; }
+
+    // ----- sim::Component adaptation -------------------------------
+    Cycle
+    nextEventCycle(Cycle /*now*/, Cycle from) const override
+    {
+        return nextEventCycle(from);
+    }
+    void attachTracer(obs::Tracer *tracer) override { setTracer(tracer); }
+    void reset() override { clearEpochCounters(); }
+    void registerStats(obs::StatRegistry &reg) const override;
 
   private:
     struct Entry

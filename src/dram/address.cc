@@ -22,15 +22,15 @@ log2Exact(std::uint32_t v, const char *what)
 std::uint32_t
 AddressMapper::channelOf(Addr addr) const
 {
-    return static_cast<std::uint32_t>((addr >> lineBits_) &
-                                      ((1ULL << chanBits_) - 1));
+    return static_cast<std::uint32_t>((addr >> lineBits_) %
+                                      org_.channels);
 }
 
 Addr
 AddressMapper::stripChannel(Addr addr) const
 {
     const Addr offset = addr & ((1ULL << lineBits_) - 1);
-    const Addr upper = addr >> (lineBits_ + chanBits_);
+    const Addr upper = (addr >> lineBits_) / org_.channels;
     return (upper << lineBits_) | offset;
 }
 
@@ -52,7 +52,9 @@ AddressMapper::AddressMapper(const DramOrganization &org,
     bankBits_ = log2Exact(org.banksPerRank, "banks per rank");
     rankBits_ = log2Exact(org.ranksPerChannel, "ranks per channel");
     rowBits_ = log2Exact(org.rowsPerBank, "rows per bank");
-    chanBits_ = log2Exact(org.channels, "channels");
+    // Channels interleave by uniform div/mod and so may be any count
+    // >= 1 (div/mod degenerates to mask/shift for powers of two).
+    camo_assert(org.channels >= 1, "need at least one channel");
 }
 
 DramAddress
@@ -66,8 +68,10 @@ AddressMapper::decode(Addr addr) const
         return static_cast<std::uint32_t>(v);
     };
 
-    // Channels interleave at line granularity in both schemes.
-    da.channel = take(chanBits_);
+    // Channels interleave at line granularity in both schemes
+    // (div/mod so channel counts need not be powers of two).
+    da.channel = static_cast<std::uint32_t>(a % org_.channels);
+    a /= org_.channels;
     switch (scheme_) {
       case MappingScheme::RowRankBankCol:
         da.column = take(colBits_);
@@ -90,13 +94,12 @@ Addr
 AddressMapper::encode(const DramAddress &da) const
 {
     std::uint64_t a = 0;
-    std::uint32_t shift = lineBits_;
+    std::uint32_t shift = 0;
     auto put = [&a, &shift](std::uint32_t v, std::uint32_t bits) {
         a |= static_cast<std::uint64_t>(v) << shift;
         shift += bits;
     };
 
-    put(da.channel, chanBits_);
     switch (scheme_) {
       case MappingScheme::RowRankBankCol:
         put(da.column, colBits_);
@@ -111,7 +114,8 @@ AddressMapper::encode(const DramAddress &da) const
         put(da.row, rowBits_);
         break;
     }
-    return a;
+    // Inverse of decode's div/mod channel interleave.
+    return ((a * org_.channels + da.channel) << lineBits_);
 }
 
 } // namespace camo::dram

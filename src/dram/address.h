@@ -86,7 +86,6 @@ class AddressMapper
     std::uint32_t bankBits_;
     std::uint32_t rankBits_;
     std::uint32_t rowBits_;
-    std::uint32_t chanBits_;
 };
 
 } // namespace camo::dram

@@ -20,7 +20,7 @@ cmdName(Cmd cmd)
 }
 
 DramDevice::DramDevice(const DramOrganization &org, const DramTiming &timing)
-    : org_(org), timing_(timing)
+    : sim::Component("dram"), org_(org), timing_(timing)
 {
     ranks_.resize(org.ranksPerChannel);
     for (auto &rank : ranks_)

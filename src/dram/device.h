@@ -28,6 +28,7 @@
 #include "src/dram/energy.h"
 #include "src/dram/timing.h"
 #include "src/obs/tracer.h"
+#include "src/sim/component.h"
 
 namespace camo::dram {
 
@@ -78,8 +79,13 @@ struct IssueResult
     bool rowHit = false; ///< the access hit an already-open row
 };
 
-/** One DRAM channel: ranks x banks behind one command/data bus. */
-class DramDevice
+/** One DRAM channel: ranks x banks behind one command/data bus.
+ *
+ * A command-driven sim::Component: the owning controller issues every
+ * command and owns the clock crossing, so tick() is a no-op and the
+ * device never constrains fast-forward (the controller's
+ * nextEventCycle covers it). */
+class DramDevice final : public sim::Component
 {
   public:
     DramDevice(const DramOrganization &org, const DramTiming &timing);
@@ -156,6 +162,14 @@ class DramDevice
      *  refreshes this each DRAM tick so the trace timeline stays in
      *  one (CPU) clock domain. */
     void setCpuTime(Cycle cpu_now) { cpuNow_ = cpu_now; }
+
+    // ----- sim::Component adaptation -------------------------------
+    Cycle
+    nextEventCycle(Cycle /*now*/, Cycle /*from*/) const override
+    {
+        return kNoCycle; // command-driven: the controller schedules
+    }
+    void attachTracer(obs::Tracer *tracer) override { setTracer(tracer); }
 
   private:
     struct RankState

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/obs/registry.h"
 
 namespace camo::mem {
 
@@ -38,8 +39,10 @@ makeScheduler(const ControllerConfig &cfg)
 
 } // namespace
 
-MemoryController::MemoryController(const ControllerConfig &cfg)
-    : cfg_(cfg),
+MemoryController::MemoryController(const ControllerConfig &cfg,
+                                   std::string name)
+    : sim::Component(std::move(name)),
+      cfg_(cfg),
       mapper_(cfg.org, cfg.mapping),
       device_(cfg.org, cfg.timing),
       divider_(cfg.cpuPerDramNum, cfg.cpuPerDramDen),
@@ -57,6 +60,13 @@ MemoryController::MemoryController(const ControllerConfig &cfg)
 }
 
 MemoryController::~MemoryController() = default;
+
+void
+MemoryController::registerStats(obs::StatRegistry &reg) const
+{
+    reg.add(name(), &stats_);
+    reg.add(name() + ".dram", &device_.stats());
+}
 
 void
 MemoryController::setTracer(obs::Tracer *tracer)

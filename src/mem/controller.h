@@ -29,6 +29,7 @@
 #include "src/mem/request.h"
 #include "src/mem/schedulers.h"
 #include "src/obs/tracer.h"
+#include "src/sim/component.h"
 
 namespace camo::mem {
 
@@ -107,14 +108,12 @@ struct ControllerConfig
 };
 
 /** One DRAM channel's controller. */
-class MemoryController
+class MemoryController final : public sim::Component
 {
   public:
-    explicit MemoryController(const ControllerConfig &cfg);
-    ~MemoryController();
-
-    MemoryController(const MemoryController &) = delete;
-    MemoryController &operator=(const MemoryController &) = delete;
+    explicit MemoryController(const ControllerConfig &cfg,
+                              std::string name = "mc");
+    ~MemoryController() override;
 
     /** Is there queue space for another transaction of this type? */
     bool canAccept(bool is_write) const;
@@ -132,7 +131,7 @@ class MemoryController
     void enqueue(MemRequest req, Cycle now, Addr decode_addr = kNoAddr);
 
     /** Advance one CPU cycle; internally ticks the DRAM domain. */
-    void tick(Cycle now);
+    void tick(Cycle now) override;
 
     /** Read responses that completed at or before CPU cycle `now`. */
     std::vector<MemRequest> popResponses(Cycle now);
@@ -150,12 +149,12 @@ class MemoryController
      * fully quiescent. `now` is the current CPU cycle (`from` == now
      * + 1 in the System tick loop).
      */
-    Cycle nextEventCycle(Cycle now, Cycle from) const;
+    Cycle nextEventCycle(Cycle now, Cycle from) const override;
 
     /** Account `n` skipped idle CPU cycles: advance the DRAM clock
      *  crossing exactly as `n` tick() calls on an idle controller
      *  would (idle DRAM ticks mutate nothing else). */
-    void skipIdleCycles(Cycle n) { divider_.skip(n); }
+    void skipIdleCycles(Cycle n) override { divider_.skip(n); }
 
     /**
      * RespC acceleration hook: grant `tokens` high-priority CAS slots
@@ -184,6 +183,12 @@ class MemoryController
 
     /** Observability hook; propagates to the DRAM device. */
     void setTracer(obs::Tracer *tracer);
+
+    // ----- sim::Component adaptation -------------------------------
+    void attachTracer(obs::Tracer *tracer) override { setTracer(tracer); }
+    /** Registers this channel's stats under its component name plus
+     *  the device's under "<name>.dram". */
+    void registerStats(obs::StatRegistry &reg) const override;
 
     /** Hardening hook: observer for every DRAM command this
      *  channel's device issues (the protocol checker). */

@@ -7,14 +7,14 @@
 namespace camo::mem {
 
 MemorySystem::MemorySystem(const ControllerConfig &cfg)
-    : mapper_(cfg.org, cfg.mapping)
+    : sim::Component("mem"), mapper_(cfg.org, cfg.mapping)
 {
     camo_assert(cfg.org.channels >= 1, "need at least one channel");
     ControllerConfig per_channel = cfg;
     per_channel.org.channels = 1;
     for (std::uint32_t c = 0; c < cfg.org.channels; ++c) {
-        channels_.push_back(
-            std::make_unique<MemoryController>(per_channel));
+        channels_.push_back(std::make_unique<MemoryController>(
+            per_channel, "mc.ch" + std::to_string(c)));
     }
 }
 

@@ -17,11 +17,12 @@
 #include "src/dram/address.h"
 #include "src/mem/controller.h"
 #include "src/mem/request.h"
+#include "src/sim/component.h"
 
 namespace camo::mem {
 
 /** N per-channel controllers + channel routing. */
-class MemorySystem
+class MemorySystem final : public sim::Component
 {
   public:
     /**
@@ -37,7 +38,7 @@ class MemorySystem
 
     bool canAccept(Addr addr, bool is_write) const;
     void enqueue(MemRequest req, Cycle now);
-    void tick(Cycle now);
+    void tick(Cycle now) override;
     std::vector<MemRequest> popResponses(Cycle now);
 
     /** Append completed responses from every channel to `out`
@@ -46,11 +47,11 @@ class MemorySystem
 
     /** Earliest CPU cycle >= `from` any channel could act at (see
      *  MemoryController::nextEventCycle). */
-    Cycle nextEventCycle(Cycle now, Cycle from) const;
+    Cycle nextEventCycle(Cycle now, Cycle from) const override;
 
     /** Account `n` skipped idle CPU cycles on every channel. */
     void
-    skipIdleCycles(Cycle n)
+    skipIdleCycles(Cycle n) override
     {
         for (auto &mc : channels_)
             mc->skipIdleCycles(n);
@@ -76,6 +77,16 @@ class MemorySystem
     {
         for (auto &mc : channels_)
             mc->setTracer(tracer);
+    }
+
+    // ----- sim::Component adaptation -------------------------------
+    void attachTracer(obs::Tracer *tracer) override { setTracer(tracer); }
+    /** Fans out to the per-channel controllers ("mc.ch{c}" paths). */
+    void
+    registerStats(obs::StatRegistry &reg) const override
+    {
+        for (const auto &mc : channels_)
+            mc->registerStats(reg);
     }
 
   private:

@@ -1,12 +1,16 @@
 #include "src/noc/channel.h"
 
 #include "src/common/logging.h"
+#include "src/obs/registry.h"
 
 namespace camo::noc {
 
 SharedChannel::SharedChannel(std::uint32_t num_ports,
-                             const ChannelConfig &cfg)
-    : cfg_(cfg), ingress_(num_ports)
+                             const ChannelConfig &cfg, std::string name,
+                             obs::EventType grant_type)
+    : sim::Component(std::move(name)), cfg_(cfg),
+      ingress_(num_ports, sim::Wire<MemRequest>(cfg.ingressCap)),
+      egress_(cfg.egressCap), grantType_(grant_type)
 {
     camo_assert(num_ports >= 1, "channel needs at least one port");
     camo_assert(cfg_.ingressCap >= 1 && cfg_.egressCap >= 1,
@@ -17,14 +21,14 @@ bool
 SharedChannel::canAccept(std::uint32_t port) const
 {
     camo_assert(port < ingress_.size(), "port out of range");
-    return ingress_[port].size() < cfg_.ingressCap;
+    return ingress_[port].canAccept();
 }
 
 void
 SharedChannel::push(std::uint32_t port, MemRequest req)
 {
     camo_assert(canAccept(port), "push into a full ingress queue");
-    ingress_[port].push_back(std::move(req));
+    ingress_[port].push(std::move(req));
     stats_.inc("pushed");
 }
 
@@ -34,9 +38,8 @@ SharedChannel::tick(Cycle now)
     // Move arrived flits from the pipeline to the egress queue
     // (bounded; back-pressure holds them in the pipe).
     while (!pipe_.empty() && pipe_.front().arrivesAt <= now &&
-           egress_.size() < cfg_.egressCap) {
-        egress_.push_back(pipe_.front());
-        pipe_.pop_front();
+           egress_.canAccept()) {
+        egress_.push(pipe_.pop());
     }
 
     // Round-robin arbitration: one grant per cycle.
@@ -46,13 +49,12 @@ SharedChannel::tick(Cycle now)
         if (ingress_[port].empty())
             continue;
         InFlight f;
-        f.req = std::move(ingress_[port].front());
-        ingress_[port].pop_front();
+        f.req = ingress_[port].pop();
         f.arrivesAt = now + cfg_.latency;
         CAMO_TRACE_EVENT(tracer_, .at = now, .type = grantType_,
                          .core = f.req.core, .id = f.req.id,
                          .addr = f.req.addr, .arg = port);
-        pipe_.push_back(std::move(f));
+        pipe_.push(std::move(f));
         rrNext_ = (port + 1) % ports;
         stats_.inc("granted");
         break;
@@ -77,9 +79,7 @@ MemRequest
 SharedChannel::popEgress()
 {
     camo_assert(!egress_.empty(), "popEgress on empty channel");
-    MemRequest req = std::move(egress_.front().req);
-    egress_.pop_front();
-    return req;
+    return egress_.pop().req;
 }
 
 std::size_t
@@ -87,6 +87,12 @@ SharedChannel::ingressDepth(std::uint32_t port) const
 {
     camo_assert(port < ingress_.size(), "port out of range");
     return ingress_[port].size();
+}
+
+void
+SharedChannel::registerStats(obs::StatRegistry &reg) const
+{
+    reg.add(name(), &stats_);
 }
 
 } // namespace camo::noc

@@ -6,7 +6,9 @@
  * One direction of traffic: per-port ingress queues, a round-robin
  * arbiter granting one transfer per cycle (the shared-bandwidth
  * bottleneck that creates cross-domain interference), and a fixed
- * pipeline latency to the egress queue.
+ * pipeline latency to the egress queue. The queues are typed
+ * sim::Wire links so backpressure is uniform with the rest of the
+ * component graph.
  */
 
 #ifndef CAMO_NOC_CHANNEL_H
@@ -14,13 +16,15 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
+#include <string>
 #include <vector>
 
 #include "src/common/stats.h"
 #include "src/common/types.h"
 #include "src/mem/request.h"
 #include "src/obs/tracer.h"
+#include "src/sim/component.h"
+#include "src/sim/port.h"
 
 namespace camo::noc {
 
@@ -33,16 +37,19 @@ struct ChannelConfig
 };
 
 /** One direction of the shared channel. */
-class SharedChannel
+class SharedChannel final : public sim::Component
 {
   public:
-    SharedChannel(std::uint32_t num_ports, const ChannelConfig &cfg);
+    SharedChannel(std::uint32_t num_ports, const ChannelConfig &cfg,
+                  std::string name = "noc",
+                  obs::EventType grant_type =
+                      obs::EventType::ReqChannelGrant);
 
     bool canAccept(std::uint32_t port) const;
     void push(std::uint32_t port, MemRequest req);
 
     /** Arbitrate (1 grant/cycle) and advance the pipeline. */
-    void tick(Cycle now);
+    void tick(Cycle now) override;
 
     bool hasEgress(Cycle now) const;
     const MemRequest &egressFront() const;
@@ -82,6 +89,16 @@ class SharedChannel
         grantType_ = grant_type;
     }
 
+    // ----- sim::Component adaptation -------------------------------
+    Cycle
+    nextEventCycle(Cycle /*now*/, Cycle from) const override
+    {
+        return nextEventCycle(from);
+    }
+    /** Keeps the grant type chosen at construction / via setTracer. */
+    void attachTracer(obs::Tracer *tracer) override { tracer_ = tracer; }
+    void registerStats(obs::StatRegistry &reg) const override;
+
   private:
     struct InFlight
     {
@@ -90,13 +107,13 @@ class SharedChannel
     };
 
     ChannelConfig cfg_;
-    std::vector<std::deque<MemRequest>> ingress_;
-    std::deque<InFlight> pipe_;
-    std::deque<InFlight> egress_;
+    std::vector<sim::Wire<MemRequest>> ingress_;
+    sim::Wire<InFlight> pipe_;   ///< unbounded: latency stage
+    sim::Wire<InFlight> egress_; ///< bounded: consumer-facing link
     std::uint32_t rrNext_ = 0;
     StatGroup stats_;
     obs::Tracer *tracer_ = nullptr;
-    obs::EventType grantType_ = obs::EventType::ReqChannelGrant;
+    obs::EventType grantType_;
 };
 
 } // namespace camo::noc

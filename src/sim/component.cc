@@ -1,0 +1,112 @@
+#include "src/sim/component.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace camo::sim {
+
+Component::~Component() = default;
+
+Component *
+ComponentGraph::add(std::unique_ptr<Component> c)
+{
+    camo_assert(c != nullptr, "cannot add a null component");
+    owned_.push_back(std::move(c));
+    return add(owned_.back().get());
+}
+
+Component *
+ComponentGraph::add(Component *borrowed)
+{
+    camo_assert(borrowed != nullptr, "cannot add a null component");
+    order_.push_back(borrowed);
+    // Replay sticky attachments so late additions need no extra
+    // wiring (the synthetic-component contract).
+    if (tracerSet_)
+        borrowed->attachTracer(tracer_);
+    if (injectorSet_)
+        borrowed->attachInjector(injector_);
+    if (checkersSet_)
+        borrowed->attachCheckers(checkers_);
+    return borrowed;
+}
+
+Component *
+ComponentGraph::find(const std::string &name) const
+{
+    for (Component *c : order_) {
+        if (c->name() == name)
+            return c;
+    }
+    return nullptr;
+}
+
+Cycle
+ComponentGraph::nextEventCycle(Cycle now, Cycle from) const
+{
+    Cycle ev = kNoCycle;
+    for (const Component *c : order_) {
+        ev = std::min(ev, c->nextEventCycle(now, from));
+        if (ev <= from)
+            return from;
+    }
+    return ev;
+}
+
+void
+ComponentGraph::skipIdleCycles(Cycle n)
+{
+    for (Component *c : order_)
+        c->skipIdleCycles(n);
+}
+
+void
+ComponentGraph::drain(Cycle now)
+{
+    for (Component *c : order_)
+        c->drain(now);
+}
+
+void
+ComponentGraph::reset()
+{
+    for (Component *c : order_)
+        c->reset();
+}
+
+void
+ComponentGraph::attachTracer(obs::Tracer *tracer)
+{
+    tracer_ = tracer;
+    tracerSet_ = true;
+    for (Component *c : order_)
+        c->attachTracer(tracer);
+}
+
+void
+ComponentGraph::attachInjector(hard::FaultInjector *injector)
+{
+    injector_ = injector;
+    injectorSet_ = true;
+    for (Component *c : order_)
+        c->attachInjector(injector);
+}
+
+void
+ComponentGraph::attachCheckers(hard::CheckerSet *checkers)
+{
+    checkers_ = checkers;
+    checkersSet_ = true;
+    for (Component *c : order_)
+        c->attachCheckers(checkers);
+}
+
+void
+ComponentGraph::registerStats(obs::StatRegistry &reg) const
+{
+    for (const Component *c : order_)
+        c->registerStats(reg);
+}
+
+} // namespace camo::sim

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * The simulation kernel's component boundary.
+ *
+ * Every block of the simulated machine — cores, caches, shapers,
+ * channels, memory controllers, whole subsystems, and the glue
+ * stations the System topology builds from them — implements
+ * sim::Component. The System drives one iteration over an ordered
+ * ComponentGraph for *all* cross-cutting concerns: per-cycle ticking,
+ * the idle fast-forward lower bound, batched idle-cycle accounting,
+ * stat registration, and tracer / fault-injector / checker
+ * attachment. Adding a component to the topology therefore requires
+ * zero edits to any of those plumbing paths.
+ */
+
+#ifndef CAMO_SIM_COMPONENT_H
+#define CAMO_SIM_COMPONENT_H
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace camo::obs {
+class Tracer;
+class StatRegistry;
+} // namespace camo::obs
+
+namespace camo::hard {
+class FaultInjector;
+class CheckerSet;
+} // namespace camo::hard
+
+namespace camo::sim {
+
+/**
+ * One block of the simulated machine.
+ *
+ * The cycle-advancement contract:
+ *  - tick(now) advances the component by one CPU cycle. Components
+ *    are ticked in topology order, once per cycle.
+ *  - nextEventCycle(now, from) returns the earliest cycle >= `from`
+ *    at which tick() could do observable work, or kNoCycle if none is
+ *    possible without new input. Cycles strictly before the returned
+ *    value are provably idle. The default — always `from` — is the
+ *    trivially sound bound (never fast-forward past this component).
+ *  - skipIdleCycles(n) batch-applies the accounting that `n` tick()
+ *    calls in the current (provably idle) state would have produced.
+ *    Must be bit-exact with ticking; the default accounts nothing.
+ */
+class Component
+{
+  public:
+    explicit Component(std::string name) : name_(std::move(name)) {}
+    virtual ~Component();
+
+    Component(const Component &) = delete;
+    Component &operator=(const Component &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Advance one CPU cycle. */
+    virtual void tick(Cycle now) { (void)now; }
+
+    /** Earliest cycle >= `from` with possible observable work (see
+     *  class comment). `now` is the current cycle (`from` == now + 1
+     *  in the System loop). */
+    virtual Cycle
+    nextEventCycle(Cycle now, Cycle from) const
+    {
+        (void)now;
+        return from;
+    }
+
+    /** Account `n` skipped provably-idle cycles. */
+    virtual void skipIdleCycles(Cycle n) { (void)n; }
+
+    /** Flush buffered work at end of run (best effort; optional). */
+    virtual void drain(Cycle now) { (void)now; }
+
+    /** Clear epoch counters / return to a just-built observable
+     *  state. Structural state (queues, RNG streams) is kept. */
+    virtual void reset() {}
+
+    // ----- attachment points (cross-cutting fan-out) ---------------
+
+    /** Observability hook; nullptr detaches. */
+    virtual void attachTracer(obs::Tracer *tracer) { (void)tracer; }
+
+    /** Fault-injection hook; nullptr detaches. */
+    virtual void
+    attachInjector(hard::FaultInjector *injector)
+    {
+        (void)injector;
+    }
+
+    /** Runtime invariant-checker hook; nullptr detaches. */
+    virtual void
+    attachCheckers(hard::CheckerSet *checkers)
+    {
+        (void)checkers;
+    }
+
+    /** Register stat groups under this component's dotted paths. */
+    virtual void
+    registerStats(obs::StatRegistry &reg) const
+    {
+        (void)reg;
+    }
+
+  private:
+    std::string name_;
+};
+
+/**
+ * An ordered component graph: owns its components and fans every
+ * kernel concern out across them in one iteration. Attachments are
+ * sticky — a component added after attachTracer()/attachInjector()/
+ * attachCheckers() receives the current attachment immediately.
+ */
+class ComponentGraph
+{
+  public:
+    ComponentGraph() = default;
+
+    ComponentGraph(const ComponentGraph &) = delete;
+    ComponentGraph &operator=(const ComponentGraph &) = delete;
+
+    /** Append `c` to the tick order; returns the borrowed pointer. */
+    Component *add(std::unique_ptr<Component> c);
+
+    /** Append an externally-owned component to the tick order. The
+     *  caller guarantees it outlives this graph. */
+    Component *add(Component *borrowed);
+
+    /** Construct a component in place at the end of the tick order. */
+    template <typename T, typename... Args>
+    T *
+    emplace(Args &&...args)
+    {
+        auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+        T *raw = owned.get();
+        add(std::move(owned));
+        return raw;
+    }
+
+    /** Components in tick order. */
+    const std::vector<Component *> &order() const { return order_; }
+    std::size_t size() const { return order_.size(); }
+
+    /** First component with this name, or nullptr. */
+    Component *find(const std::string &name) const;
+
+    /** Tick every component in topology order. */
+    void
+    tick(Cycle now)
+    {
+        for (Component *c : order_)
+            c->tick(now);
+    }
+
+    /** Fold of nextEventCycle over the graph (min across
+     *  components; early-out at `from`). */
+    Cycle nextEventCycle(Cycle now, Cycle from) const;
+
+    void skipIdleCycles(Cycle n);
+    void drain(Cycle now);
+    void reset();
+
+    void attachTracer(obs::Tracer *tracer);
+    void attachInjector(hard::FaultInjector *injector);
+    void attachCheckers(hard::CheckerSet *checkers);
+    void registerStats(obs::StatRegistry &reg) const;
+
+  private:
+    std::vector<std::unique_ptr<Component>> owned_;
+    std::vector<Component *> order_;
+
+    // Sticky attachments, replayed onto late-added components.
+    obs::Tracer *tracer_ = nullptr;
+    hard::FaultInjector *injector_ = nullptr;
+    hard::CheckerSet *checkers_ = nullptr;
+    bool tracerSet_ = false;
+    bool injectorSet_ = false;
+    bool checkersSet_ = false;
+};
+
+} // namespace camo::sim
+
+#endif // CAMO_SIM_COMPONENT_H

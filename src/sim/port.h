@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Typed links between components.
+ *
+ * A Wire<T> is a FIFO buffer with optional capacity (0 = unbounded);
+ * backpressure is its canAccept(). An OutPort<T>/InPort<T> pair are
+ * the producer/consumer endpoints a component exposes; the topology
+ * builder binds both ends of each link to a Wire with connect().
+ * Components never name their peers — only their ports — so the
+ * topology stays data, not code.
+ */
+
+#ifndef CAMO_SIM_PORT_H
+#define CAMO_SIM_PORT_H
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace camo::sim {
+
+/** A FIFO link buffer. Capacity 0 means unbounded. */
+template <typename T>
+class Wire
+{
+  public:
+    explicit Wire(std::size_t capacity = 0) : cap_(capacity) {}
+
+    /** Backpressure: can one more element be pushed? */
+    bool canAccept() const { return cap_ == 0 || q_.size() < cap_; }
+
+    void
+    push(T v)
+    {
+        camo_assert(canAccept(), "push into a full wire");
+        q_.push_back(std::move(v));
+    }
+
+    bool empty() const { return q_.empty(); }
+    std::size_t size() const { return q_.size(); }
+    std::size_t capacity() const { return cap_; }
+
+    T &
+    front()
+    {
+        camo_assert(!q_.empty(), "front of an empty wire");
+        return q_.front();
+    }
+    const T &
+    front() const
+    {
+        camo_assert(!q_.empty(), "front of an empty wire");
+        return q_.front();
+    }
+
+    T
+    pop()
+    {
+        camo_assert(!q_.empty(), "pop of an empty wire");
+        T v = std::move(q_.front());
+        q_.pop_front();
+        return v;
+    }
+
+    void clear() { q_.clear(); }
+
+  private:
+    std::deque<T> q_;
+    std::size_t cap_;
+};
+
+/** Producer endpoint of a link. */
+template <typename T>
+class OutPort
+{
+  public:
+    void bind(Wire<T> &wire) { wire_ = &wire; }
+    bool bound() const { return wire_ != nullptr; }
+
+    bool canAccept() const { return wire_ != nullptr && wire_->canAccept(); }
+
+    void
+    push(T v)
+    {
+        camo_assert(wire_ != nullptr, "push through an unbound port");
+        wire_->push(std::move(v));
+    }
+
+  private:
+    Wire<T> *wire_ = nullptr;
+};
+
+/** Consumer endpoint of a link. */
+template <typename T>
+class InPort
+{
+  public:
+    void bind(Wire<T> &wire) { wire_ = &wire; }
+    bool bound() const { return wire_ != nullptr; }
+
+    bool empty() const { return wire_ == nullptr || wire_->empty(); }
+    std::size_t size() const { return wire_ ? wire_->size() : 0; }
+
+    T &
+    front()
+    {
+        camo_assert(wire_ != nullptr, "front of an unbound port");
+        return wire_->front();
+    }
+
+    T
+    pop()
+    {
+        camo_assert(wire_ != nullptr, "pop through an unbound port");
+        return wire_->pop();
+    }
+
+  private:
+    Wire<T> *wire_ = nullptr;
+};
+
+/** Bind both endpoints of a link to `wire`. */
+template <typename T>
+void
+connect(OutPort<T> &out, InPort<T> &in, Wire<T> &wire)
+{
+    out.bind(wire);
+    in.bind(wire);
+}
+
+} // namespace camo::sim
+
+#endif // CAMO_SIM_PORT_H

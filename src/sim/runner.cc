@@ -467,4 +467,33 @@ runAdaptive(const SystemConfig &cfg,
     return result;
 }
 
+obs::json::Value
+summaryJson(const System &system,
+            const std::vector<std::string> &workloads,
+            bool tracer_section)
+{
+    obs::StatRegistry reg;
+    system.registerStats(reg);
+
+    obs::json::Value root = obs::json::Value::makeObject();
+    root["mitigation"] =
+        obs::json::Value(mitigationName(system.config().mitigation));
+    root["cycles"] = obs::json::Value(system.now());
+    root["seed"] = obs::json::Value(system.config().seed);
+    obs::json::Value wl = obs::json::Value::makeArray();
+    for (const auto &w : workloads)
+        wl.push(obs::json::Value(w));
+    root["workloads"] = std::move(wl);
+    root["stats"] = reg.toJson();
+    if (tracer_section) {
+        obs::json::Value t = obs::json::Value::makeObject();
+        t["emitted"] = obs::json::Value(system.tracer().emitted());
+        t["dropped"] = obs::json::Value(system.tracer().dropped());
+        root["tracer"] = std::move(t);
+    }
+    if (const obs::IntervalCollector *iv = system.intervalStats())
+        root["intervals"] = iv->toJson();
+    return root;
+}
+
 } // namespace camo::sim

@@ -13,6 +13,7 @@
 
 #include "src/camouflage/bin_config.h"
 #include "src/ga/genetic.h"
+#include "src/obs/json.h"
 #include "src/sim/system.h"
 
 namespace camo::sim {
@@ -38,6 +39,19 @@ RunMetrics runAndMeasure(System &system, Cycle cycles,
 RunMetrics runConfig(const SystemConfig &cfg,
                      const std::vector<std::string> &workloads,
                      Cycle cycles, Cycle warmup = 0);
+
+/**
+ * The summary document `camosim --stats-json` writes: run metadata
+ * (mitigation, cycle count, seed, workload mix) plus the full
+ * registered stats tree, a tracer-counters section when
+ * `tracer_section` is set, and the interval series when interval
+ * collection is enabled. One serializer shared by the CLI and the
+ * golden-file regression tests, so both produce byte-identical
+ * output.
+ */
+obs::json::Value summaryJson(const System &system,
+                             const std::vector<std::string> &workloads,
+                             bool tracer_section = false);
 
 /**
  * Per-core slowdown of `test` relative to `baseline` (same workloads;

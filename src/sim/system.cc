@@ -35,10 +35,10 @@ struct System::PerCore
     std::unique_ptr<shaper::RequestShaper> reqShaper;
     std::unique_ptr<shaper::ResponseShaper> respShaper;
 
-    /** LLC-miss buffer between the cache and the shaper/channel. */
-    std::deque<MemRequest> missBuffer;
-    /** MC-egress buffer in front of the response shaper. */
-    std::deque<MemRequest> respBuffer;
+    /** LLC-miss link between the cache and the shaper/channel. */
+    Wire<MemRequest> missBuffer;
+    /** MC-egress link in front of the response shaper. */
+    Wire<MemRequest> respBuffer;
 
     shaper::DistributionMonitor intrinsicMon;
     shaper::DistributionMonitor busMon;
@@ -66,6 +66,229 @@ struct System::PerCore
     {
     }
 };
+
+// ---------------------------------------------------------------------
+// Glue stations: each wraps one inter-subsystem hand-off of the
+// Figure-5 pipeline as a Component, so the tick loop, fast-forward
+// bound, and the attachment fan-outs are all a single iteration over
+// the graph. Stations hold no state of their own beyond the System
+// backpointer (and a core index); they exist to give the hand-offs a
+// place in the tick order.
+// ---------------------------------------------------------------------
+
+/** Consults the fault injector at the top of each cycle. */
+struct System::FaultApplyStation final : Component
+{
+    explicit FaultApplyStation(System *sys)
+        : Component("station.faults"), sys_(sys)
+    {
+    }
+
+    void
+    tick(Cycle) override
+    {
+        if (sys_->injector_)
+            sys_->applyInjectedFaults();
+    }
+
+    /** Scheduled faults must fire at their programmed cycle, not at
+     *  whatever tick the fast-forward happens to execute next. */
+    Cycle
+    nextEventCycle(Cycle, Cycle from) const override
+    {
+        return sys_->injector_ ? sys_->injector_->nextScheduledCycle(from)
+                               : kNoCycle;
+    }
+
+    System *sys_;
+};
+
+/** Cache outgoing -> miss buffer -> shaper/request channel. */
+struct System::CorePipeStation final : Component
+{
+    CorePipeStation(System *sys, std::uint32_t core)
+        : Component("station.reqpipe.core" + std::to_string(core)),
+          sys_(sys), core_(core)
+    {
+    }
+
+    void
+    tick(Cycle) override
+    {
+        PerCore &pc = *sys_->cores_[core_];
+        sys_->drainCacheOutgoing(pc);
+        sys_->feedRequestPath(pc);
+    }
+
+    Cycle
+    nextEventCycle(Cycle, Cycle from) const override
+    {
+        // Buffered misses move the moment the next stage can take
+        // them (every cycle while it can).
+        const PerCore &pc = *sys_->cores_[core_];
+        if (!pc.missBuffer.empty() &&
+            (!pc.reqShaper || pc.reqShaper->canAccept())) {
+            return from;
+        }
+        return kNoCycle;
+    }
+
+    /** Epoch service counters live on the pipe, not the core. */
+    void
+    reset() override
+    {
+        PerCore &pc = *sys_->cores_[core_];
+        pc.servedReads = 0;
+        pc.latencySum = 0;
+    }
+
+    System *sys_;
+    std::uint32_t core_;
+};
+
+/** Request-channel egress -> memory controller (1/cycle). */
+struct System::ReqLinkStation final : Component
+{
+    explicit ReqLinkStation(System *sys)
+        : Component("station.reqlink"), sys_(sys)
+    {
+    }
+
+    void
+    tick(Cycle now) override
+    {
+        noc::SharedChannel &ch = *sys_->reqChannel_;
+        if (ch.hasEgress(now) &&
+            sys_->mem_->canAccept(ch.egressFront().addr,
+                                  ch.egressFront().isWrite)) {
+            sys_->mem_->enqueue(ch.popEgress(), now);
+        }
+    }
+
+    /** The channel's own bound covers pending egress. */
+    Cycle nextEventCycle(Cycle, Cycle) const override { return kNoCycle; }
+
+    System *sys_;
+};
+
+/** MC responses -> per-core response buffers (+ injected delays). */
+struct System::MemRouteStation final : Component
+{
+    explicit MemRouteStation(System *sys)
+        : Component("station.memroute"), sys_(sys)
+    {
+    }
+
+    void tick(Cycle) override { sys_->routeMcResponses(); }
+
+    Cycle
+    nextEventCycle(Cycle, Cycle from) const override
+    {
+        Cycle ev = kNoCycle;
+        for (const DelayedResponse &d : sys_->delayedResp_)
+            ev = std::min(ev, std::max(from, d.releaseAt));
+        return ev;
+    }
+
+    System *sys_;
+};
+
+/** Response buffer -> shaper -> response channel. */
+struct System::RespPipeStation final : Component
+{
+    RespPipeStation(System *sys, std::uint32_t core)
+        : Component("station.resppipe.core" + std::to_string(core)),
+          sys_(sys), core_(core)
+    {
+    }
+
+    void
+    tick(Cycle) override
+    {
+        sys_->feedResponsePath(*sys_->cores_[core_]);
+    }
+
+    Cycle
+    nextEventCycle(Cycle, Cycle from) const override
+    {
+        const PerCore &pc = *sys_->cores_[core_];
+        if (!pc.respBuffer.empty() &&
+            (!pc.respShaper || pc.respShaper->canAccept())) {
+            return from;
+        }
+        // Accumulated priority warnings are forwarded to the
+        // scheduler on the next tick.
+        if (pc.respShaper && pc.respShaper->hasPendingBoost())
+            return from;
+        return kNoCycle;
+    }
+
+    System *sys_;
+    std::uint32_t core_;
+};
+
+/** Response-channel egress -> core fill (1/cycle). */
+struct System::RespLinkStation final : Component
+{
+    explicit RespLinkStation(System *sys)
+        : Component("station.resplink"), sys_(sys)
+    {
+    }
+
+    void tick(Cycle) override { sys_->deliverResponses(); }
+
+    Cycle nextEventCycle(Cycle, Cycle) const override { return kNoCycle; }
+
+    System *sys_;
+};
+
+/** End-of-cycle shaper credit-state audit (observe-only). */
+struct System::CreditCheckStation final : Component
+{
+    explicit CreditCheckStation(System *sys)
+        : Component("station.creditcheck"), sys_(sys)
+    {
+    }
+
+    void
+    tick(Cycle) override
+    {
+        if (sys_->checkers_ && sys_->checkers_->config().conservation)
+            sys_->checkCreditState();
+    }
+
+    Cycle nextEventCycle(Cycle, Cycle) const override { return kNoCycle; }
+
+    System *sys_;
+};
+
+/** Periodic interval-metrics snapshot. */
+struct System::IntervalStation final : Component
+{
+    explicit IntervalStation(System *sys)
+        : Component("station.interval"), sys_(sys)
+    {
+    }
+
+    void
+    tick(Cycle now) override
+    {
+        if (sys_->interval_ && sys_->interval_->due(now))
+            sys_->sampleInterval();
+    }
+
+    Cycle
+    nextEventCycle(Cycle, Cycle from) const override
+    {
+        if (!sys_->interval_)
+            return kNoCycle;
+        return std::max(from, sys_->interval_->nextAt());
+    }
+
+    System *sys_;
+};
+
+// ---------------------------------------------------------------------
 
 System::System(const SystemConfig &cfg,
                const std::vector<std::string> &workloads)
@@ -98,7 +321,17 @@ System::System(const SystemConfig &cfg,
                         cfg_.respBinsPerCore.size(),
                         " entries but numCores is ", cfg_.numCores));
     }
+    buildTopology(workloads);
+}
 
+System::System(const TopologyConfig &topo)
+    : System(topo.system, topo.workloads)
+{
+}
+
+void
+System::buildTopology(const std::vector<std::string> &workloads)
+{
     // Baseline scheduler selection per mitigation.
     cfg_.mc.numCores = cfg_.numCores;
     switch (cfg_.mitigation) {
@@ -119,15 +352,12 @@ System::System(const SystemConfig &cfg,
 
     tracer_ = std::make_unique<obs::Tracer>();
     mem_ = std::make_unique<mem::MemorySystem>(cfg_.mc);
-    mem_->setTracer(tracer_.get());
-    reqChannel_ =
-        std::make_unique<noc::SharedChannel>(cfg_.numCores, cfg_.noc);
-    reqChannel_->setTracer(tracer_.get(),
-                           obs::EventType::ReqChannelGrant);
-    respChannel_ =
-        std::make_unique<noc::SharedChannel>(cfg_.numCores, cfg_.noc);
-    respChannel_->setTracer(tracer_.get(),
-                            obs::EventType::RespChannelGrant);
+    reqChannel_ = std::make_unique<noc::SharedChannel>(
+        cfg_.numCores, cfg_.noc, "noc.req",
+        obs::EventType::ReqChannelGrant);
+    respChannel_ = std::make_unique<noc::SharedChannel>(
+        cfg_.numCores, cfg_.noc, "noc.resp",
+        obs::EventType::RespChannelGrant);
 
     const bool wants_req = cfg_.mitigation == Mitigation::ReqC ||
                            cfg_.mitigation == Mitigation::BDC ||
@@ -142,10 +372,8 @@ System::System(const SystemConfig &cfg,
         pc->trace = trace::makeWorkload(workloads[i],
                                         cfg_.seed * 7919 + i, base);
         pc->cache = std::make_unique<cache::CacheHierarchy>(i, cfg_.cache);
-        pc->cache->setTracer(tracer_.get());
         pc->core = std::make_unique<core::Core>(i, cfg_.core, *pc->trace,
                                                 *pc->cache);
-        pc->core->setTracer(tracer_.get());
 
         if (wants_req && coreIsShaped(i)) {
             shaper::RequestShaperConfig rc;
@@ -167,7 +395,6 @@ System::System(const SystemConfig &cfg,
             rc.fakeAddrBase = base + (1ULL << 39);
             pc->reqShaper = std::make_unique<shaper::RequestShaper>(
                 i, rc, cfg_.seed * 104729 + i);
-            pc->reqShaper->setTracer(tracer_.get());
         }
         if (wants_resp && coreIsShaped(i)) {
             shaper::ResponseShaperConfig rc;
@@ -177,7 +404,6 @@ System::System(const SystemConfig &cfg,
             rc.generateFakes = cfg_.fakeTraffic;
             pc->respShaper =
                 std::make_unique<shaper::ResponseShaper>(i, rc);
-            pc->respShaper->setTracer(tracer_.get());
         }
         if (cfg_.recordTraffic) {
             pc->intrinsicMon.setLogging(true);
@@ -194,9 +420,45 @@ System::System(const SystemConfig &cfg,
         }
         cores_.push_back(std::move(pc));
     }
+
+    // Lay the components into the graph in Figure-5 tick order. The
+    // subsystems are borrowed (the PerCore / System unique_ptrs above
+    // own them); the stations are graph-owned.
+    graph_.emplace<FaultApplyStation>(this);
+    for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
+        PerCore &pc = *cores_[i];
+        graph_.add(pc.core.get());
+        graph_.add(pc.cache.get());
+        if (pc.reqShaper)
+            graph_.add(pc.reqShaper.get());
+        graph_.emplace<CorePipeStation>(this, i);
+    }
+    graph_.add(reqChannel_.get());
+    graph_.emplace<ReqLinkStation>(this);
+    graph_.add(mem_.get());
+    graph_.emplace<MemRouteStation>(this);
+    for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
+        if (cores_[i]->respShaper)
+            graph_.add(cores_[i]->respShaper.get());
+        graph_.emplace<RespPipeStation>(this, i);
+    }
+    graph_.add(respChannel_.get());
+    graph_.emplace<RespLinkStation>(this);
+    graph_.emplace<CreditCheckStation>(this);
+    graph_.emplace<IntervalStation>(this);
+
+    // One fan-out wires the tracer into every component (sticky:
+    // late-added components get it automatically).
+    graph_.attachTracer(tracer_.get());
 }
 
 System::~System() = default;
+
+Component &
+System::addComponent(std::unique_ptr<Component> component)
+{
+    return *graph_.add(std::move(component));
+}
 
 bool
 System::coreIsShaped(std::uint32_t i) const
@@ -281,11 +543,9 @@ System::avgReadLatency(std::uint32_t i) const
 void
 System::clearEpochCounters()
 {
-    for (auto &pc : cores_) {
-        pc->core->clearEpochCounters();
-        pc->servedReads = 0;
-        pc->latencySum = 0;
-    }
+    // Core::reset() clears the core-side epoch counters; the per-core
+    // pipe stations clear the service counters.
+    graph_.reset();
 }
 
 void
@@ -328,7 +588,7 @@ System::drainCacheOutgoing(PerCore &pc)
         return;
     for (MemRequest &req : out) {
         pc.intrinsicMon.record(now_);
-        pc.missBuffer.push_back(std::move(req));
+        pc.missBuffer.push(std::move(req));
     }
     pc.cache->clearOutgoing();
 }
@@ -344,8 +604,7 @@ System::feedRequestPath(PerCore &pc)
         // the injector so the one-shot only latches when it can fire.
         if (!pc.missBuffer.empty() && reqChannel_->canAccept(port) &&
             injector_->leakRequestDue(port, now_)) {
-            MemRequest req = std::move(pc.missBuffer.front());
-            pc.missBuffer.pop_front();
+            MemRequest req = pc.missBuffer.pop();
             req.shaperOut = now_;
             pushToReqChannel(pc, std::move(req), false);
         }
@@ -368,10 +627,8 @@ System::feedRequestPath(PerCore &pc)
         if (injector_ && injector_->reqShaperWedged(port, now_))
             return; // the shaper's clock is gated off: nothing moves
         // Miss buffer -> shaper queue.
-        while (!pc.missBuffer.empty() && pc.reqShaper->canAccept()) {
-            pc.reqShaper->push(std::move(pc.missBuffer.front()), now_);
-            pc.missBuffer.pop_front();
-        }
+        while (!pc.missBuffer.empty() && pc.reqShaper->canAccept())
+            pc.reqShaper->push(pc.missBuffer.pop(), now_);
         // Shaper -> shared request channel.
         const bool ready = reqChannel_->canAccept(port);
         if (auto released = pc.reqShaper->tick(now_, ready))
@@ -381,8 +638,7 @@ System::feedRequestPath(PerCore &pc)
 
     // Unshaped: straight to the channel (one per cycle per port).
     if (!pc.missBuffer.empty() && reqChannel_->canAccept(port)) {
-        MemRequest req = std::move(pc.missBuffer.front());
-        pc.missBuffer.pop_front();
+        MemRequest req = pc.missBuffer.pop();
         req.shaperOut = now_;
         pushToReqChannel(pc, std::move(req), false);
     }
@@ -398,7 +654,7 @@ System::routeMcResponses()
                 const std::uint32_t c = it->resp.core;
                 camo_assert(c < cores_.size(),
                             "response for unknown core");
-                cores_[c]->respBuffer.push_back(std::move(it->resp));
+                cores_[c]->respBuffer.push(std::move(it->resp));
                 it = delayedResp_.erase(it);
             } else {
                 ++it;
@@ -423,13 +679,13 @@ System::routeMcResponses()
                 continue;
               case hard::FaultInjector::RespAction::Duplicate:
                 stats_.inc("hard.resp_duplicated");
-                cores_[c]->respBuffer.push_back(resp); // extra copy
+                cores_[c]->respBuffer.push(resp); // extra copy
                 break;
               case hard::FaultInjector::RespAction::Pass:
                 break;
             }
         }
-        cores_[c]->respBuffer.push_back(std::move(resp));
+        cores_[c]->respBuffer.push(std::move(resp));
     }
 }
 
@@ -441,10 +697,8 @@ System::feedResponsePath(PerCore &pc)
     if (pc.respShaper) {
         if (injector_ && injector_->respShaperWedged(port, now_))
             return; // wedged: responses pile up behind it
-        while (!pc.respBuffer.empty() && pc.respShaper->canAccept()) {
-            pc.respShaper->push(std::move(pc.respBuffer.front()), now_);
-            pc.respBuffer.pop_front();
-        }
+        while (!pc.respBuffer.empty() && pc.respShaper->canAccept())
+            pc.respShaper->push(pc.respBuffer.pop(), now_);
         // Forward accumulated priority warnings to the scheduler.
         if (const std::uint32_t boost =
                 pc.respShaper->takePriorityWarning()) {
@@ -457,8 +711,7 @@ System::feedResponsePath(PerCore &pc)
     }
 
     if (!pc.respBuffer.empty() && respChannel_->canAccept(port)) {
-        MemRequest resp = std::move(pc.respBuffer.front());
-        pc.respBuffer.pop_front();
+        MemRequest resp = pc.respBuffer.pop();
         resp.respShaperOut = now_;
         pushToRespChannel(pc, std::move(resp), false);
     }
@@ -511,29 +764,9 @@ void
 System::registerStats(obs::StatRegistry &reg) const
 {
     reg.add("system", &stats_);
-    for (std::uint32_t i = 0; i < cores_.size(); ++i) {
-        const PerCore &pc = *cores_[i];
-        const std::string prefix = "core" + std::to_string(i);
-        reg.add(prefix, &pc.core->stats());
-        reg.add(prefix + ".cache", &pc.cache->stats());
-        if (pc.reqShaper) {
-            reg.add("shaper.req." + prefix, &pc.reqShaper->stats());
-            reg.add("shaper.req." + prefix + ".bins",
-                    &pc.reqShaper->bins().stats());
-        }
-        if (pc.respShaper) {
-            reg.add("shaper.resp." + prefix, &pc.respShaper->stats());
-            reg.add("shaper.resp." + prefix + ".bins",
-                    &pc.respShaper->bins().stats());
-        }
-    }
-    reg.add("noc.req", &reqChannel_->stats());
-    reg.add("noc.resp", &respChannel_->stats());
-    for (std::uint32_t c = 0; c < mem_->numChannels(); ++c) {
-        const std::string prefix = "mc.ch" + std::to_string(c);
-        reg.add(prefix, &mem_->channel(c).stats());
-        reg.add(prefix + ".dram", &mem_->channel(c).device().stats());
-    }
+    // Every component registers its own groups; the registry's JSON
+    // view is key-sorted, so the fan-out order is immaterial.
+    graph_.registerStats(reg);
 }
 
 void
@@ -625,6 +858,14 @@ System::enableCheckers(const hard::CheckerConfig &cfg)
             }
         }
     }
+    graph_.attachCheckers(checkers_.get());
+}
+
+void
+System::setFaultInjector(hard::FaultInjector *injector)
+{
+    injector_ = injector;
+    graph_.attachInjector(injector);
 }
 
 void
@@ -911,98 +1152,19 @@ void
 System::tick()
 {
     ++now_;
-
-    if (injector_)
-        applyInjectedFaults();
-
-    for (auto &pc : cores_) {
-        pc->core->tick(now_);
-        drainCacheOutgoing(*pc);
-        feedRequestPath(*pc);
-    }
-
-    reqChannel_->tick(now_);
-
-    // Channel egress -> controller (one transaction per cycle).
-    if (reqChannel_->hasEgress(now_) &&
-        mem_->canAccept(reqChannel_->egressFront().addr,
-                        reqChannel_->egressFront().isWrite)) {
-        mem_->enqueue(reqChannel_->popEgress(), now_);
-    }
-
-    mem_->tick(now_);
-    routeMcResponses();
-
-    for (auto &pc : cores_)
-        feedResponsePath(*pc);
-
-    respChannel_->tick(now_);
-    deliverResponses();
-
-    if (checkers_ && checkers_->config().conservation)
-        checkCreditState();
-
-    if (interval_ && interval_->due(now_))
-        sampleInterval();
+    graph_.tick(now_);
 }
 
 Cycle
 System::nextEventCycle() const
 {
-    const Cycle from = now_ + 1;
-    Cycle ev = kNoCycle;
-
-    for (const auto &pc : cores_) {
-        ev = std::min(ev, pc->core->nextEventCycle(from));
-        // Buffered misses/responses move the moment the next stage
-        // can take them (every cycle while it can).
-        if (!pc->missBuffer.empty() &&
-            (!pc->reqShaper || pc->reqShaper->canAccept())) {
-            return from;
-        }
-        if (!pc->respBuffer.empty() &&
-            (!pc->respShaper || pc->respShaper->canAccept())) {
-            return from;
-        }
-        if (pc->reqShaper)
-            ev = std::min(ev, pc->reqShaper->nextEventCycle(from));
-        if (pc->respShaper) {
-            // Accumulated priority warnings are forwarded to the
-            // scheduler on the next tick.
-            if (pc->respShaper->hasPendingBoost())
-                return from;
-            ev = std::min(ev, pc->respShaper->nextEventCycle(from));
-        }
-        if (ev <= from)
-            return from;
-    }
-
-    ev = std::min(ev, reqChannel_->nextEventCycle(from));
-    ev = std::min(ev, respChannel_->nextEventCycle(from));
-    ev = std::min(ev, mem_->nextEventCycle(now_, from));
-    if (interval_)
-        ev = std::min(ev, std::max(from, interval_->nextAt()));
-    for (const DelayedResponse &d : delayedResp_)
-        ev = std::min(ev, std::max(from, d.releaseAt));
-    if (injector_) {
-        // Scheduled faults must fire at their programmed cycle, not at
-        // whatever tick the fast-forward happens to execute next.
-        ev = std::min(ev, injector_->nextScheduledCycle(from));
-    }
-    return ev;
+    return graph_.nextEventCycle(now_, now_ + 1);
 }
 
 void
 System::skipIdleCycles(Cycle n)
 {
-    for (auto &pc : cores_) {
-        pc->core->skipIdleCycles(n);
-        if (pc->reqShaper)
-            pc->reqShaper->skipIdleCycles(n);
-        if (pc->respShaper)
-            pc->respShaper->skipIdleCycles(n);
-    }
-    mem_->skipIdleCycles(n);
+    graph_.skipIdleCycles(n);
     now_ += n;
 }
 

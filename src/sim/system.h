@@ -1,20 +1,24 @@
 /**
  * @file
  * Full-system assembly: cores + caches + Camouflage shapers + shared
- * channels + memory controller + DRAM, in the paper's Figure 5
- * topology.
+ * channels + memory system + DRAM, in the paper's Figure 5 topology.
  *
- * Data flow each CPU cycle:
- *   core -> L1/L2 -> [Request Camouflage] -> request channel (SC1) ->
- *   memory controller (SC2) -> DRAM (SC3) ->
- *   [Response Camouflage] (SC4) -> response channel (SC5) -> core
+ * The System is a declarative topology builder over the simulation
+ * kernel (src/sim/component.h): construction instantiates N cores x M
+ * memory channels from a SystemConfig/TopologyConfig and lays the
+ * subsystems plus thin glue "stations" into one ordered
+ * ComponentGraph. The per-cycle tick loop, the fast-forward lower
+ * bound, idle-cycle batching, stat registration, and tracer /
+ * fault-injector / checker fan-out are each a single iteration over
+ * that graph — adding a component (see addComponent()) requires no
+ * edits to any of those paths. See README.md for the architecture
+ * diagram and DESIGN.md §11 for the kernel contract.
  */
 
 #ifndef CAMO_SIM_SYSTEM_H
 #define CAMO_SIM_SYSTEM_H
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
@@ -38,6 +42,8 @@
 #include "src/obs/registry.h"
 #include "src/obs/tracer.h"
 #include "src/security/covert_receiver.h"
+#include "src/sim/component.h"
+#include "src/sim/port.h"
 #include "src/trace/trace.h"
 
 namespace camo::sim {
@@ -101,6 +107,17 @@ struct SystemConfig
     bool fastForward = true;
 };
 
+/**
+ * A complete machine description: the one artifact a run needs.
+ * Loadable from JSON (src/sim/topology.h, camosim --config=FILE).
+ */
+struct TopologyConfig
+{
+    SystemConfig system;
+    /** One workload name per core (see trace::makeWorkload). */
+    std::vector<std::string> workloads;
+};
+
 /** The simulated machine. */
 class System
 {
@@ -111,12 +128,14 @@ class System
      */
     System(const SystemConfig &cfg,
            const std::vector<std::string> &workloads);
+    /** Build the machine a TopologyConfig describes. */
+    explicit System(const TopologyConfig &topo);
     ~System();
 
     System(const System &) = delete;
     System &operator=(const System &) = delete;
 
-    /** Advance one CPU cycle. */
+    /** Advance one CPU cycle (one iteration over the graph). */
     void tick();
     /** Advance `cycles` CPU cycles (fast-forwarding provably-idle
      *  stretches when cfg.fastForward is set). */
@@ -135,17 +154,26 @@ class System
         return static_cast<std::uint32_t>(cores_.size());
     }
 
+    /**
+     * The ordered component graph the tick loop iterates. Exposed so
+     * callers can inspect the topology or append components via
+     * addComponent().
+     */
+    const ComponentGraph &graph() const { return graph_; }
+
+    /**
+     * Register an extra component at the end of the tick order. It
+     * immediately participates in ticking, fast-forward bounds,
+     * idle-cycle batching, stat registration, and tracer / injector /
+     * checker attachment — no other wiring required.
+     */
+    Component &addComponent(std::unique_ptr<Component> component);
+
     const core::Core &coreAt(std::uint32_t i) const;
     core::Core &coreAt(std::uint32_t i);
     /** The (possibly multi-channel) memory system. */
     mem::MemorySystem &memory() { return *mem_; }
     const mem::MemorySystem &memory() const { return *mem_; }
-    /** Channel-0 controller (convenience for 1-channel configs). */
-    mem::MemoryController &controller() { return mem_->channel(0); }
-    const mem::MemoryController &controller() const
-    {
-        return mem_->channel(0);
-    }
 
     /** nullptr when the mitigation gives this core no such shaper. */
     shaper::RequestShaper *requestShaper(std::uint32_t i);
@@ -231,10 +259,7 @@ class System
 
     /** Attach a fault injector (borrowed; may be nullptr to detach).
      *  The System consults it at its hook points every tick. */
-    void setFaultInjector(hard::FaultInjector *injector)
-    {
-        injector_ = injector;
-    }
+    void setFaultInjector(hard::FaultInjector *injector);
 
     /** Arm the forward-progress watchdog; run() polls it and throws
      *  WatchdogTimeout (with a diagnostic dump) when it fires. */
@@ -272,6 +297,18 @@ class System
   private:
     struct PerCore;
 
+    // Glue stations: thin Components wrapping the inter-subsystem
+    // hand-offs the Figure-5 pipeline needs each cycle. Declared here
+    // (defined in system.cc) so they can touch System internals.
+    struct FaultApplyStation;
+    struct CorePipeStation;
+    struct ReqLinkStation;
+    struct MemRouteStation;
+    struct RespPipeStation;
+    struct RespLinkStation;
+    struct CreditCheckStation;
+    struct IntervalStation;
+
     /** A response held back by an injected delay fault. */
     struct DelayedResponse
     {
@@ -279,6 +316,7 @@ class System
         MemRequest resp;
     };
 
+    void buildTopology(const std::vector<std::string> &workloads);
     void drainCacheOutgoing(PerCore &pc);
     void feedRequestPath(PerCore &pc);
     void routeMcResponses();
@@ -313,6 +351,8 @@ class System
     std::unique_ptr<noc::SharedChannel> reqChannel_;
     std::unique_ptr<noc::SharedChannel> respChannel_;
     std::unique_ptr<mem::MemorySystem> mem_;
+    /** Tick-ordered graph over the subsystems + stations above. */
+    ComponentGraph graph_;
     StatGroup stats_;
     std::unique_ptr<obs::Tracer> tracer_;
     std::unique_ptr<obs::IntervalCollector> interval_;

@@ -87,6 +87,92 @@ TEST(AddressMapper, SequentialLinesInterleaveBanksForRowColRankBank)
         EXPECT_EQ(banks[b], b);
 }
 
+TEST(AddressMapper, ChannelRotatesAtLineBoundaries)
+{
+    auto org = tableIiOrg();
+    org.channels = 4;
+    AddressMapper mapper(org, MappingScheme::RowColRankBank);
+    for (Addr line = 0; line < 64; ++line) {
+        const Addr base = line * org.lineBytes;
+        const auto expect = static_cast<std::uint32_t>(line % 4);
+        // Every byte of a line shares its channel...
+        EXPECT_EQ(mapper.channelOf(base), expect);
+        EXPECT_EQ(mapper.channelOf(base + 1), expect);
+        EXPECT_EQ(mapper.channelOf(base + org.lineBytes - 1), expect);
+        // ...and the very next byte starts the next channel.
+        EXPECT_EQ(mapper.channelOf(base + org.lineBytes),
+                  static_cast<std::uint32_t>((line + 1) % 4));
+    }
+}
+
+TEST(AddressMapper, NonPowerOfTwoChannelCountDecodes)
+{
+    auto org = tableIiOrg();
+    org.channels = 3;
+    for (const auto scheme : {MappingScheme::RowRankBankCol,
+                              MappingScheme::RowColRankBank}) {
+        AddressMapper mapper(org, scheme);
+        Rng rng(11);
+        for (int i = 0; i < 2000; ++i) {
+            const Addr a = rng.next() & ((1ULL << 46) - 1);
+            const std::uint32_t ch = mapper.channelOf(a);
+            ASSERT_LT(ch, 3u);
+            ASSERT_EQ(ch, (a / org.lineBytes) % 3);
+            ASSERT_EQ(mapper.decode(a).channel, ch);
+            // stripChannel keeps the within-line offset intact.
+            ASSERT_EQ(mapper.stripChannel(a) % org.lineBytes,
+                      a % org.lineBytes);
+        }
+    }
+}
+
+TEST(AddressMapper, StripChannelMatchesPerChannelDecodeNonPow2)
+{
+    // A 3-channel memory system hands each controller a channels==1
+    // organization and channel-local addresses: the local decode must
+    // agree with the full decode on every other coordinate.
+    auto org = tableIiOrg();
+    org.channels = 3;
+    auto local_org = org;
+    local_org.channels = 1;
+    AddressMapper full(org, MappingScheme::RowColRankBank);
+    AddressMapper local(local_org, MappingScheme::RowColRankBank);
+    Rng rng(13);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr a = rng.next() & ((1ULL << 46) - 1);
+        const DramAddress da = full.decode(a);
+        const DramAddress lda = local.decode(full.stripChannel(a));
+        ASSERT_EQ(lda.rank, da.rank);
+        ASSERT_EQ(lda.bank, da.bank);
+        ASSERT_EQ(lda.row, da.row);
+        ASSERT_EQ(lda.column, da.column);
+        ASSERT_EQ(lda.channel, 0u);
+    }
+}
+
+TEST(AddressMapper, EncodeDecodeRoundTripWithNonPow2Channels)
+{
+    auto org = tableIiOrg();
+    org.channels = 3;
+    for (const auto scheme : {MappingScheme::RowRankBankCol,
+                              MappingScheme::RowColRankBank}) {
+        AddressMapper mapper(org, scheme);
+        Rng rng(17);
+        for (int i = 0; i < 2000; ++i) {
+            DramAddress da;
+            da.channel = static_cast<std::uint32_t>(rng.below(3));
+            da.bank = static_cast<std::uint32_t>(
+                rng.below(org.banksPerRank));
+            da.row = static_cast<std::uint32_t>(
+                rng.below(org.rowsPerBank));
+            da.column = static_cast<std::uint32_t>(
+                rng.below(org.columnsPerRow()));
+            const Addr a = mapper.encode(da);
+            ASSERT_EQ(mapper.decode(a), da) << "addr=" << a;
+        }
+    }
+}
+
 // --------------------------------------------------------- DramDevice
 
 struct DeviceFixture : ::testing::Test

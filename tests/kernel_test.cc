@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Simulation-kernel tests: the Component/ComponentGraph contract, the
+ * typed Wire/Port links, JSON topology loading, and the system-level
+ * guarantees the kernel refactor pinned — synthetic components ride
+ * every plumbing path with zero edits, nextEventCycle() stays a sound
+ * fast-forward bound, and fixed-seed stats output is byte-identical
+ * to the pre-kernel goldens.
+ */
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/hard/checkers.h"
+#include "src/hard/error.h"
+#include "src/hard/fault_injection.h"
+#include "src/mem/memory_system.h"
+#include "src/obs/registry.h"
+#include "src/obs/tracer.h"
+#include "src/sim/component.h"
+#include "src/sim/port.h"
+#include "src/sim/presets.h"
+#include "src/sim/runner.h"
+#include "src/sim/system.h"
+#include "src/sim/topology.h"
+
+namespace camo::sim {
+namespace {
+
+// ------------------------------------------------------------- Wire
+
+TEST(Wire, BoundedBackpressure)
+{
+    Wire<int> w(2);
+    EXPECT_TRUE(w.canAccept());
+    w.push(1);
+    w.push(2);
+    EXPECT_FALSE(w.canAccept());
+    EXPECT_EQ(w.size(), 2u);
+    EXPECT_EQ(w.pop(), 1);
+    EXPECT_TRUE(w.canAccept());
+    EXPECT_EQ(w.front(), 2);
+    EXPECT_EQ(w.pop(), 2);
+    EXPECT_TRUE(w.empty());
+}
+
+TEST(Wire, ZeroCapacityIsUnbounded)
+{
+    Wire<int> w;
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_TRUE(w.canAccept());
+        w.push(i);
+    }
+    EXPECT_EQ(w.size(), 1000u);
+}
+
+TEST(Port, ConnectLinksBothEndpoints)
+{
+    Wire<int> w(1);
+    OutPort<int> out;
+    InPort<int> in;
+    EXPECT_FALSE(out.bound());
+    EXPECT_FALSE(out.canAccept()); // unbound: no backpressure grant
+    EXPECT_TRUE(in.empty());
+    connect(out, in, w);
+    EXPECT_TRUE(out.bound());
+    EXPECT_TRUE(in.bound());
+    out.push(42);
+    EXPECT_FALSE(out.canAccept()); // wire full
+    EXPECT_EQ(in.size(), 1u);
+    EXPECT_EQ(in.pop(), 42);
+    EXPECT_TRUE(in.empty());
+}
+
+// --------------------------------------------------- ComponentGraph
+
+/** Minimal component counting every kernel fan-out that reaches it. */
+class Probe final : public Component
+{
+  public:
+    explicit Probe(std::string name = "test.probe")
+        : Component(std::move(name))
+    {
+    }
+
+    void tick(Cycle) override { ++ticks; }
+    Cycle nextEventCycle(Cycle, Cycle) const override { return kNoCycle; }
+    void skipIdleCycles(Cycle n) override { skipped += n; }
+    void reset() override { ++resets; }
+    void attachTracer(obs::Tracer *t) override { tracer = t; }
+    void attachInjector(hard::FaultInjector *f) override { injector = f; }
+    void attachCheckers(hard::CheckerSet *c) override { checkers = c; }
+    void
+    registerStats(obs::StatRegistry &reg) const override
+    {
+        reg.add(name(), &stats);
+    }
+
+    std::uint64_t ticks = 0;
+    Cycle skipped = 0;
+    int resets = 0;
+    obs::Tracer *tracer = nullptr;
+    hard::FaultInjector *injector = nullptr;
+    hard::CheckerSet *checkers = nullptr;
+    StatGroup stats;
+};
+
+TEST(ComponentGraph, TicksInInsertionOrder)
+{
+    ComponentGraph g;
+    std::vector<int> order;
+    struct Rec final : Component
+    {
+        Rec(int id, std::vector<int> &log)
+            : Component("rec" + std::to_string(id)), id_(id), log_(&log)
+        {
+        }
+        void tick(Cycle) override { log_->push_back(id_); }
+        int id_;
+        std::vector<int> *log_;
+    };
+    g.emplace<Rec>(2, order);
+    g.emplace<Rec>(1, order);
+    g.emplace<Rec>(3, order);
+    g.tick(1);
+    EXPECT_EQ(order, (std::vector<int>{2, 1, 3}));
+    EXPECT_EQ(g.size(), 3u);
+    EXPECT_NE(g.find("rec1"), nullptr);
+    EXPECT_EQ(g.find("nope"), nullptr);
+}
+
+TEST(ComponentGraph, NextEventCycleIsMinFold)
+{
+    struct Fixed final : Component
+    {
+        Fixed(std::string n, Cycle at) : Component(std::move(n)), at_(at)
+        {
+        }
+        Cycle
+        nextEventCycle(Cycle, Cycle from) const override
+        {
+            return std::max(from, at_);
+        }
+        Cycle at_;
+    };
+    ComponentGraph g;
+    g.emplace<Fixed>("a", 500);
+    g.emplace<Fixed>("b", 120);
+    g.emplace<Fixed>("c", 900);
+    EXPECT_EQ(g.nextEventCycle(99, 100), 120u);
+    // A component already due clamps the fold to `from`.
+    EXPECT_EQ(g.nextEventCycle(199, 200), 200u);
+    ComponentGraph empty;
+    EXPECT_EQ(empty.nextEventCycle(0, 1), kNoCycle);
+}
+
+TEST(ComponentGraph, StickyAttachmentsReplayOnLateAdd)
+{
+    ComponentGraph g;
+    obs::Tracer tracer;
+    g.attachTracer(&tracer);
+    Probe *late = g.emplace<Probe>();
+    // Added after the attach, yet wired without any extra call.
+    EXPECT_EQ(late->tracer, &tracer);
+}
+
+TEST(ComponentGraph, DefaultBoundIsTriviallySound)
+{
+    // A component that overrides nothing must not enable skipping
+    // past itself: the base nextEventCycle returns `from`.
+    struct Inert final : Component
+    {
+        Inert() : Component("inert") {}
+    };
+    ComponentGraph g;
+    g.emplace<Inert>();
+    EXPECT_EQ(g.nextEventCycle(41, 42), 42u);
+}
+
+// ------------------------------------------- synthetic components
+
+/**
+ * The kernel's headline guarantee: a component registered through
+ * System::addComponent() participates in ticking, fast-forward,
+ * idle-cycle batching, stats, and every attachment fan-out with ZERO
+ * edits to System plumbing.
+ */
+TEST(SyntheticComponent, RidesEveryPlumbingPath)
+{
+    SystemConfig cfg = paperConfig();
+    cfg.mitigation = Mitigation::BDC;
+    System sys(cfg, adversaryMix("mcf", "astar"));
+
+    auto owned = std::make_unique<Probe>();
+    Probe *probe = static_cast<Probe *>(&sys.addComponent(std::move(owned)));
+
+    // Visible in the topology; tracer attach replayed immediately.
+    EXPECT_EQ(sys.graph().find("test.probe"), probe);
+    EXPECT_EQ(probe->tracer, &sys.tracer());
+
+    // Every simulated cycle reaches it: ticked or batch-skipped.
+    const Cycle kCycles = 20000;
+    sys.run(kCycles);
+    EXPECT_GT(probe->ticks, 0u);
+    EXPECT_EQ(probe->ticks + probe->skipped, kCycles);
+
+    // Stat registration fans out to it.
+    obs::StatRegistry reg;
+    sys.registerStats(reg);
+    EXPECT_EQ(reg.find("test.probe"), &probe->stats);
+
+    // Epoch reset fans out to it.
+    sys.clearEpochCounters();
+    EXPECT_EQ(probe->resets, 1);
+
+    // Hardening attachments fan out to it.
+    const hard::FaultPlan plan =
+        hard::FaultPlan::parse("corrupt-credits:at=900000000:core=0", 7);
+    hard::FaultInjector injector(plan);
+    sys.setFaultInjector(&injector);
+    EXPECT_EQ(probe->injector, &injector);
+    sys.enableCheckers(hard::CheckerConfig{});
+    EXPECT_EQ(probe->checkers, sys.checkers());
+}
+
+TEST(SyntheticComponent, TickedEveryCycleWithoutFastForward)
+{
+    SystemConfig cfg = paperConfig();
+    cfg.fastForward = false;
+    System sys(cfg, adversaryMix("astar", "astar"));
+    auto owned = std::make_unique<Probe>();
+    Probe *probe = static_cast<Probe *>(&sys.addComponent(std::move(owned)));
+    sys.run(5000);
+    EXPECT_EQ(probe->ticks, 5000u);
+    EXPECT_EQ(probe->skipped, 0u);
+}
+
+// -------------------------------------- fast-forward bound soundness
+
+/**
+ * Property: every component's nextEventCycle() is a sound lower
+ * bound. If any bound were optimistic, the fast-forward path would
+ * skip a cycle with observable work and the full stats tree would
+ * diverge from the per-cycle loop. Randomized seeds x mitigations.
+ */
+TEST(FastForwardSoundness, StatsTreeIdenticalUnderRandomSeeds)
+{
+    const Mitigation mits[] = {Mitigation::None, Mitigation::CS,
+                               Mitigation::ReqC, Mitigation::RespC,
+                               Mitigation::BDC};
+    Rng rng(20260806);
+    for (int trial = 0; trial < 8; ++trial) {
+        SystemConfig cfg = paperConfig();
+        cfg.mitigation = mits[trial % 5];
+        cfg.seed = rng.next() % 1000000 + 1;
+        const auto mix = adversaryMix(trial % 2 ? "mcf" : "bzip", "astar");
+
+        cfg.fastForward = true;
+        System fast(cfg, mix);
+        fast.run(25000);
+
+        cfg.fastForward = false;
+        System slow(cfg, mix);
+        slow.run(25000);
+
+        ASSERT_EQ(summaryJson(fast, mix).dump(2),
+                  summaryJson(slow, mix).dump(2))
+            << "mitigation=" << mitigationName(cfg.mitigation)
+            << " seed=" << cfg.seed;
+    }
+}
+
+// ------------------------------------------------- JSON topologies
+
+TEST(Topology, ParsesFullDocument)
+{
+    const TopologyConfig topo = parseTopology(R"({
+        "cores": 2,
+        "channels": 3,
+        "mitigation": "reqc",
+        "seed": 42,
+        "workloads": ["mcf", "astar"],
+        "shape_cores": [0],
+        "cs_interval": 120,
+        "fake_traffic": false,
+        "randomize_timing": true,
+        "fast_forward": false,
+        "noc": {"latency": 8, "ingress_cap": 4, "egress_cap": 12}
+    })");
+    EXPECT_EQ(topo.system.numCores, 2u);
+    EXPECT_EQ(topo.system.mc.org.channels, 3u);
+    EXPECT_EQ(topo.system.mitigation, Mitigation::ReqC);
+    EXPECT_EQ(topo.system.seed, 42u);
+    EXPECT_EQ(topo.workloads,
+              (std::vector<std::string>{"mcf", "astar"}));
+    EXPECT_EQ(topo.system.shapeCore,
+              (std::vector<bool>{true, false}));
+    EXPECT_EQ(topo.system.csInterval, 120u);
+    EXPECT_FALSE(topo.system.fakeTraffic);
+    EXPECT_TRUE(topo.system.randomizeTiming);
+    EXPECT_FALSE(topo.system.fastForward);
+    EXPECT_EQ(topo.system.noc.latency, 8u);
+    EXPECT_EQ(topo.system.noc.ingressCap, 4u);
+    EXPECT_EQ(topo.system.noc.egressCap, 12u);
+}
+
+TEST(Topology, ReplicatedWorkloadFillsAllCores)
+{
+    const TopologyConfig topo =
+        parseTopology(R"({"cores": 6, "workload": "astar"})");
+    EXPECT_EQ(topo.workloads.size(), 6u);
+    EXPECT_EQ(topo.system.numCores, 6u);
+}
+
+TEST(Topology, RejectsBadDocuments)
+{
+    using hard::ConfigError;
+    EXPECT_THROW(parseTopology("{nope"), ConfigError);
+    EXPECT_THROW(parseTopology(R"({"workload": "astar", "bogus": 1})"),
+                 ConfigError);
+    EXPECT_THROW(parseTopology(R"({"workload": "astar",
+                                   "mitigation": "rot13"})"),
+                 ConfigError);
+    EXPECT_THROW(parseTopology(R"({"cores": 3,
+                                   "workloads": ["mcf", "astar"]})"),
+                 ConfigError);
+    EXPECT_THROW(parseTopology(R"({"cores": 2})"), ConfigError);
+    EXPECT_THROW(parseTopology(R"({"workloads": ["not-a-workload"]})"),
+                 ConfigError);
+    EXPECT_THROW(parseTopology(R"({"workload": "astar",
+                                   "shape_cores": [9]})"),
+                 ConfigError);
+    EXPECT_THROW(loadTopology("/nonexistent/topo.json"), ConfigError);
+}
+
+TEST(Topology, EightCoresFourChannelsRunEndToEnd)
+{
+    const TopologyConfig topo = parseTopology(R"({
+        "cores": 8,
+        "channels": 4,
+        "mitigation": "bdc",
+        "seed": 3,
+        "workload": "astar"
+    })");
+    System sys(topo);
+    EXPECT_EQ(sys.numCores(), 8u);
+    EXPECT_EQ(sys.memory().numChannels(), 4u);
+    sys.run(30000);
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        EXPECT_GT(sys.servedReads(i), 0u) << "core " << i;
+        EXPECT_NE(sys.requestShaper(i), nullptr) << "core " << i;
+        EXPECT_NE(sys.responseShaper(i), nullptr) << "core " << i;
+    }
+}
+
+// ------------------------------------------------- golden invariance
+
+/**
+ * Fixed-seed stats-json output must stay byte-identical to the
+ * goldens captured from the pre-kernel simulator (tests/golden/),
+ * for every mitigation. Any accidental behavior change in the
+ * component-graph machinery shows up here as a byte diff.
+ */
+TEST(GoldenStats, ByteIdenticalForAllMitigations)
+{
+    const std::pair<Mitigation, const char *> cases[] = {
+        {Mitigation::None, "none"}, {Mitigation::CS, "cs"},
+        {Mitigation::ReqC, "reqc"}, {Mitigation::RespC, "respc"},
+        {Mitigation::BDC, "bdc"},
+    };
+    const std::vector<std::string> mix = {"mcf", "astar", "astar",
+                                          "astar"};
+    for (const auto &[m, name] : cases) {
+        SystemConfig cfg = paperConfig();
+        cfg.mitigation = m;
+        cfg.seed = 1;
+        System sys(cfg, mix);
+        runAndMeasure(sys, 60000, 5000);
+        const std::string got = summaryJson(sys, mix).dump(2) + "\n";
+
+        const std::string path = std::string(CAMO_GOLDEN_DIR) +
+                                 "/stats_" + name + ".json";
+        std::ifstream is(path);
+        ASSERT_TRUE(is) << "missing golden: " << path;
+        std::ostringstream want;
+        want << is.rdbuf();
+        ASSERT_EQ(got, want.str()) << "mitigation " << name;
+    }
+}
+
+} // namespace
+} // namespace camo::sim

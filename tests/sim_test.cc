@@ -68,14 +68,14 @@ TEST(System, SchedulerFollowsMitigation)
         SystemConfig cfg = paperConfig();
         cfg.mitigation = Mitigation::TP;
         System s(cfg, mix);
-        EXPECT_STREQ(s.controller().scheduler().name(), "TP");
+        EXPECT_STREQ(s.memory().channel(0).scheduler().name(), "TP");
     }
     {
         SystemConfig cfg = paperConfig();
         cfg.mitigation = Mitigation::FS;
         System s(cfg, mix);
-        EXPECT_STREQ(s.controller().scheduler().name(), "FS");
-        EXPECT_TRUE(s.controller().config().bankPartitioning);
+        EXPECT_STREQ(s.memory().channel(0).scheduler().name(), "FS");
+        EXPECT_TRUE(s.memory().channel(0).config().bankPartitioning);
     }
 }
 

@@ -10,11 +10,16 @@
  *   camosim --workloads=probe,apache,apache,apache --mitigation=respc \
  *           --shape-cores=0 --cycles=2000000 --csv
  *   camosim --workloads=bzip,astar,astar,astar --mitigation=bdc --ga
+ *   camosim --config=machine.json --cycles=500000
  *   camosim --workloads=mcf,astar,astar,astar --mitigation=bdc \
  *           --trace=t.jsonl --stats-json=s.json --interval-stats=10000
  *   camosim --workloads=mcf,astar,astar,astar --mitigation=bdc \
  *           --checkers --watchdog=200000 \
  *           --inject=corrupt-credits:at=80000:core=0
+ *
+ * The command line is table-driven: every flag is one FlagSpec row in
+ * flagTable() below, which generates its parsing, value checking, and
+ * usage text. To add a flag, add a row.
  *
  * Exit codes: 0 success, 1 runtime error, 2 usage error, 3 invalid
  * configuration, 4 invariant violation, 5 watchdog timeout.
@@ -24,7 +29,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -37,6 +44,7 @@
 #include "src/sim/parallel.h"
 #include "src/sim/presets.h"
 #include "src/sim/runner.h"
+#include "src/sim/topology.h"
 #include "src/trace/workloads.h"
 
 using namespace camo;
@@ -84,6 +92,10 @@ struct Options
     bool fastForward = true;
     bool help = false;
 
+    /** Loaded by --config; its SystemConfig is the base every other
+     *  flag overrides. */
+    std::optional<sim::TopologyConfig> topo;
+
     // Observability outputs.
     std::string traceFile;
     std::string traceFormat; // empty = unset (default jsonl)
@@ -99,77 +111,16 @@ struct Options
     std::uint64_t injectSeed = 0; // 0 = use --seed
 };
 
-void
-printUsage(std::FILE *out, const char *argv0)
-{
-    std::fprintf(
-        out,
-        "usage: %s [options]\n"
-        "  --workloads=w0,w1,...   one per core (default mcf,astar x3)\n"
-        "  --mitigation=M          none|cs|reqc|respc|bdc|tp|fs\n"
-        "  --cycles=N --warmup=N   measurement window (CPU cycles)\n"
-        "  --seed=N                deterministic RNG seed\n"
-        "  --channels=N            DRAM channels (default 1)\n"
-        "  --no-fakes              disable fake traffic generation\n"
-        "  --randomize-timing      SIV-B4 random slack\n"
-        "  --shape-cores=i,j,...   shape only the listed cores\n"
-        "  --ga [--ga-gens=N --ga-pop=N]  tune bins online first\n"
-        "  --ga-offline            tune offline instead: fresh system\n"
-        "                          per child, evaluated across --jobs\n"
-        "  --jobs=N                worker threads for parallel phases\n"
-        "                          (default: CAMO_JOBS env or core count)\n"
-        "  --sweep-seeds=K         run seeds seed..seed+K-1 in parallel\n"
-        "                          and print one row per seed\n"
-        "  --no-fast-forward       force the per-cycle loop (debugging;\n"
-        "                          results are identical either way)\n"
-        "  --csv                   machine-readable output\n"
-        "  --trace=FILE            cycle-stamped event trace\n"
-        "  --trace-format=F        jsonl (default) | csv | bin\n"
-        "  --stats-json=FILE       hierarchical stats tree as JSON\n"
-        "  --interval-stats=N      snapshot metrics every N cycles\n"
-        "  --interval-csv=FILE     write the interval series as CSV\n"
-        "  --checkers[=recover]    runtime invariant checkers; =recover\n"
-        "                          degrades a violating shaper to the\n"
-        "                          fail-secure schedule instead of\n"
-        "                          stopping (exit 4 on violation)\n"
-        "  --watchdog=N            fail if a core with pending work\n"
-        "                          makes no progress for N cycles\n"
-        "                          (exit 5, diagnostic dump on stderr)\n"
-        "  --inject=SPEC           fault-injection campaign, e.g.\n"
-        "                          drop-resp:rate=0.001,wedge-req:at=9000\n"
-        "  --inject-seed=N         injection RNG seed (default --seed)\n"
-        "workloads: ",
-        argv0);
-    for (const auto &n : trace::workloadNames())
-        std::fprintf(out, "%s ", n.c_str());
-    std::fprintf(out, "probe covert:HEX\n");
-}
-
-sim::Mitigation
-parseMitigation(const std::string &s)
-{
-    if (s == "none") return sim::Mitigation::None;
-    if (s == "cs") return sim::Mitigation::CS;
-    if (s == "reqc") return sim::Mitigation::ReqC;
-    if (s == "respc") return sim::Mitigation::RespC;
-    if (s == "bdc") return sim::Mitigation::BDC;
-    if (s == "tp") return sim::Mitigation::TP;
-    if (s == "fs") return sim::Mitigation::FS;
-    throw UsageError("unknown mitigation '" + s +
-                     "' (expected none, cs, reqc, respc, bdc, tp, "
-                     "or fs)");
-}
-
 /** Strict full-string unsigned parse; rejects "12x", "", "-3". */
 std::uint64_t
-parseU64Flag(const char *flag, const std::string &value)
+parseU64Flag(const std::string &flag, const std::string &value)
 {
     char *end = nullptr;
     const unsigned long long v =
         std::strtoull(value.c_str(), &end, 10);
     if (value.empty() || end == value.c_str() || *end != '\0' ||
         value[0] == '-') {
-        throw UsageError(std::string(flag) + "=" + value +
+        throw UsageError(flag + "=" + value +
                          " is not an unsigned integer");
     }
     return v;
@@ -193,112 +144,299 @@ splitCommas(const std::string &s)
 }
 
 /**
- * Parse the command line. Throws UsageError (never exits) on unknown
- * flags, malformed values, or invalid flag combinations, each with a
- * one-line reason.
+ * One command-line flag: its name, whether it takes a value, its
+ * usage text, and the action applying it to Options. The one table
+ * below drives parsing, value-shape validation, and --help output.
+ */
+struct FlagSpec
+{
+    enum class Arity
+    {
+        Bare,  ///< --flag
+        Value, ///< --flag=VALUE
+        Either ///< --flag or --flag=VALUE
+    };
+
+    std::string name;      ///< without the leading "--"
+    Arity arity;
+    std::string valueHint; ///< shown in usage, e.g. "N" ("" for Bare)
+    std::string help;      ///< '\n' starts an indented continuation
+    /** Applies the flag; `value` is "" for a bare occurrence. */
+    std::function<void(Options &, const std::string &)> apply;
+};
+
+/** --config: load the topology file and seed the flag defaults from
+ *  it, so later flags override the file (two-layer configuration). */
+void
+applyConfigFile(Options &opt, const std::string &path)
+{
+    opt.topo = sim::loadTopology(path);
+    const sim::TopologyConfig &t = *opt.topo;
+    opt.workloads = t.workloads;
+    opt.mitigation = t.system.mitigation;
+    opt.seed = t.system.seed;
+    opt.channels = t.system.mc.org.channels;
+    opt.fakeTraffic = t.system.fakeTraffic;
+    opt.randomizeTiming = t.system.randomizeTiming;
+    opt.shapeCores = t.system.shapeCore;
+    opt.fastForward = t.system.fastForward;
+}
+
+const std::vector<FlagSpec> &
+flagTable()
+{
+    using A = FlagSpec::Arity;
+    auto u64 = [](Cycle Options::*field, const char *flag) {
+        return [field, flag](Options &o, const std::string &v) {
+            o.*field = parseU64Flag(flag, v);
+        };
+    };
+    static const std::vector<FlagSpec> table = {
+        {"workloads", A::Value, "w0,w1,...",
+         "one per core (default mcf,astar x3)",
+         [](Options &o, const std::string &v) {
+             o.workloads = splitCommas(v);
+         }},
+        {"config", A::Value, "FILE",
+         "JSON machine description (topology, bins,\nmitigation; see "
+         "src/sim/topology.h); other\nflags override its values",
+         applyConfigFile},
+        {"mitigation", A::Value, "M", "none|cs|reqc|respc|bdc|tp|fs",
+         [](Options &o, const std::string &v) {
+             const auto m = sim::mitigationFromName(v);
+             if (!m) {
+                 throw UsageError(
+                     "unknown mitigation '" + v +
+                     "' (expected none, cs, reqc, respc, bdc, tp, "
+                     "or fs)");
+             }
+             o.mitigation = *m;
+         }},
+        {"cycles", A::Value, "N", "measurement window (CPU cycles)",
+         u64(&Options::cycles, "--cycles")},
+        {"warmup", A::Value, "N", "warmup window before measuring",
+         u64(&Options::warmup, "--warmup")},
+        {"seed", A::Value, "N", "deterministic RNG seed",
+         [](Options &o, const std::string &v) {
+             o.seed = parseU64Flag("--seed", v);
+         }},
+        {"channels", A::Value, "N", "DRAM channels (default 1)",
+         [](Options &o, const std::string &v) {
+             o.channels = static_cast<std::uint32_t>(
+                 parseU64Flag("--channels", v));
+         }},
+        {"no-fakes", A::Bare, "", "disable fake traffic generation",
+         [](Options &o, const std::string &) { o.fakeTraffic = false; }},
+        {"randomize-timing", A::Bare, "", "SIV-B4 random slack",
+         [](Options &o, const std::string &) {
+             o.randomizeTiming = true;
+         }},
+        {"shape-cores", A::Value, "i,j,...",
+         "shape only the listed cores",
+         [](Options &o, const std::string &v) {
+             o.shapeCores.assign(o.workloads.size(), false);
+             for (const auto &idx : splitCommas(v)) {
+                 const auto c = parseU64Flag("--shape-cores", idx);
+                 if (c >= o.shapeCores.size()) {
+                     throw UsageError(
+                         "--shape-cores index " + idx +
+                         " is out of range (have " +
+                         std::to_string(o.shapeCores.size()) +
+                         " cores)");
+                 }
+                 o.shapeCores[static_cast<std::size_t>(c)] = true;
+             }
+         }},
+        {"ga", A::Bare, "",
+         "tune bins online first\n(with --ga-gens=N --ga-pop=N)",
+         [](Options &o, const std::string &) { o.runGa = true; }},
+        {"ga-offline", A::Bare, "",
+         "tune offline instead: fresh system\nper child, evaluated "
+         "across --jobs",
+         [](Options &o, const std::string &) {
+             o.runGa = true;
+             o.gaOffline = true;
+         }},
+        {"ga-gens", A::Value, "N", "GA generations (default 8)",
+         [](Options &o, const std::string &v) {
+             o.gaGenerations = static_cast<std::size_t>(
+                 parseU64Flag("--ga-gens", v));
+         }},
+        {"ga-pop", A::Value, "N", "GA population (default 14)",
+         [](Options &o, const std::string &v) {
+             o.gaPopulation = static_cast<std::size_t>(
+                 parseU64Flag("--ga-pop", v));
+         }},
+        {"jobs", A::Value, "N",
+         "worker threads for parallel phases\n(default: CAMO_JOBS env "
+         "or core count)",
+         [](Options &o, const std::string &v) {
+             o.jobs = static_cast<unsigned>(parseU64Flag("--jobs", v));
+         }},
+        {"sweep-seeds", A::Value, "K",
+         "run seeds seed..seed+K-1 in parallel\nand print one row per "
+         "seed",
+         [](Options &o, const std::string &v) {
+             o.sweepSeeds = static_cast<std::uint32_t>(
+                 parseU64Flag("--sweep-seeds", v));
+         }},
+        {"no-fast-forward", A::Bare, "",
+         "force the per-cycle loop (debugging;\nresults are identical "
+         "either way)",
+         [](Options &o, const std::string &) { o.fastForward = false; }},
+        {"csv", A::Bare, "", "machine-readable output",
+         [](Options &o, const std::string &) { o.csv = true; }},
+        {"trace", A::Value, "FILE", "cycle-stamped event trace",
+         [](Options &o, const std::string &v) { o.traceFile = v; }},
+        {"trace-format", A::Value, "F", "jsonl (default) | csv | bin",
+         [](Options &o, const std::string &v) { o.traceFormat = v; }},
+        {"stats-json", A::Value, "FILE",
+         "hierarchical stats tree as JSON",
+         [](Options &o, const std::string &v) { o.statsJsonFile = v; }},
+        {"interval-stats", A::Value, "N",
+         "snapshot metrics every N cycles",
+         u64(&Options::intervalStats, "--interval-stats")},
+        {"interval-csv", A::Value, "FILE",
+         "write the interval series as CSV",
+         [](Options &o, const std::string &v) {
+             o.intervalCsvFile = v;
+         }},
+        {"checkers", A::Either, "recover",
+         "runtime invariant checkers; =recover\ndegrades a violating "
+         "shaper to the\nfail-secure schedule instead of\nstopping "
+         "(exit 4 on violation)",
+         [](Options &o, const std::string &v) {
+             if (!v.empty() && v != "recover") {
+                 throw UsageError(
+                     "--checkers accepts only '=recover', got '" + v +
+                     "'");
+             }
+             o.checkers = true;
+             o.checkersRecover = !v.empty();
+         }},
+        {"watchdog", A::Value, "N",
+         "fail if a core with pending work\nmakes no progress for N "
+         "cycles\n(exit 5, diagnostic dump on stderr)",
+         [](Options &o, const std::string &v) {
+             o.watchdogWindow = parseU64Flag("--watchdog", v);
+             if (o.watchdogWindow == 0)
+                 throw UsageError("--watchdog window must be > 0");
+         }},
+        {"inject", A::Value, "SPEC",
+         "fault-injection campaign, e.g.\n"
+         "drop-resp:rate=0.001,wedge-req:at=9000",
+         [](Options &o, const std::string &v) { o.injectSpec = v; }},
+        {"inject-seed", A::Value, "N",
+         "injection RNG seed (default --seed)",
+         [](Options &o, const std::string &v) {
+             o.injectSeed = parseU64Flag("--inject-seed", v);
+         }},
+    };
+    return table;
+}
+
+void
+printUsage(std::FILE *out, const char *argv0)
+{
+    std::fprintf(out, "usage: %s [options]\n", argv0);
+    for (const FlagSpec &f : flagTable()) {
+        std::string label = "--" + f.name;
+        if (f.arity == FlagSpec::Arity::Value)
+            label += "=" + f.valueHint;
+        else if (f.arity == FlagSpec::Arity::Either)
+            label += "[=" + f.valueHint + "]";
+        // First help line sits beside the label; '\n' continuations
+        // are indented to the same help column.
+        std::size_t start = 0;
+        bool first = true;
+        while (start <= f.help.size()) {
+            const auto nl = f.help.find('\n', start);
+            const std::string line =
+                nl == std::string::npos
+                    ? f.help.substr(start)
+                    : f.help.substr(start, nl - start);
+            std::fprintf(out, "  %-24s%s\n",
+                         first ? label.c_str() : "", line.c_str());
+            first = false;
+            if (nl == std::string::npos)
+                break;
+            start = nl + 1;
+        }
+    }
+    std::fprintf(out, "workloads: ");
+    for (const auto &n : trace::workloadNames())
+        std::fprintf(out, "%s ", n.c_str());
+    std::fprintf(out, "probe covert:HEX\n");
+}
+
+const FlagSpec *
+findFlag(const std::string &name)
+{
+    for (const FlagSpec &f : flagTable()) {
+        if (f.name == name)
+            return &f;
+    }
+    return nullptr;
+}
+
+/**
+ * Parse the command line against the flag table. Throws UsageError
+ * (never exits) on unknown flags, malformed values, or invalid flag
+ * combinations, each with a one-line reason. --config is applied
+ * before the other flags so they override the file regardless of
+ * their position on the line.
  */
 Options
 parseArgs(int argc, char **argv)
 {
     Options opt;
     opt.workloads = {"mcf", "astar", "astar", "astar"};
+
+    struct Action
+    {
+        const FlagSpec *spec;
+        std::string value;
+    };
+    std::vector<Action> actions;
+
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        auto value = [&arg](const char *key) -> const char * {
-            const std::size_t n = std::strlen(key);
-            if (arg.compare(0, n, key) == 0 && arg.size() > n &&
-                arg[n] == '=') {
-                return arg.c_str() + n + 1;
-            }
-            return nullptr;
-        };
         if (arg == "--help" || arg == "-h") {
             opt.help = true;
             return opt;
-        } else if (const char *v = value("--workloads")) {
-            opt.workloads = splitCommas(v);
-        } else if (const char *v = value("--mitigation")) {
-            opt.mitigation = parseMitigation(v);
-        } else if (const char *v = value("--cycles")) {
-            opt.cycles = parseU64Flag("--cycles", v);
-        } else if (const char *v = value("--warmup")) {
-            opt.warmup = parseU64Flag("--warmup", v);
-        } else if (const char *v = value("--seed")) {
-            opt.seed = parseU64Flag("--seed", v);
-        } else if (const char *v = value("--channels")) {
-            opt.channels = static_cast<std::uint32_t>(
-                parseU64Flag("--channels", v));
-        } else if (arg == "--no-fakes") {
-            opt.fakeTraffic = false;
-        } else if (arg == "--randomize-timing") {
-            opt.randomizeTiming = true;
-        } else if (const char *v = value("--shape-cores")) {
-            opt.shapeCores.assign(opt.workloads.size(), false);
-            for (const auto &idx : splitCommas(v)) {
-                const auto c = parseU64Flag("--shape-cores", idx);
-                if (c >= opt.shapeCores.size()) {
-                    throw UsageError(
-                        "--shape-cores index " + idx +
-                        " is out of range (have " +
-                        std::to_string(opt.shapeCores.size()) +
-                        " cores)");
-                }
-                opt.shapeCores[static_cast<std::size_t>(c)] = true;
-            }
-        } else if (arg == "--ga") {
-            opt.runGa = true;
-        } else if (arg == "--ga-offline") {
-            opt.runGa = true;
-            opt.gaOffline = true;
-        } else if (const char *v = value("--jobs")) {
-            opt.jobs =
-                static_cast<unsigned>(parseU64Flag("--jobs", v));
-        } else if (const char *v = value("--sweep-seeds")) {
-            opt.sweepSeeds = static_cast<std::uint32_t>(
-                parseU64Flag("--sweep-seeds", v));
-        } else if (arg == "--no-fast-forward") {
-            opt.fastForward = false;
-        } else if (const char *v = value("--ga-gens")) {
-            opt.gaGenerations = static_cast<std::size_t>(
-                parseU64Flag("--ga-gens", v));
-        } else if (const char *v = value("--ga-pop")) {
-            opt.gaPopulation = static_cast<std::size_t>(
-                parseU64Flag("--ga-pop", v));
-        } else if (arg == "--csv") {
-            opt.csv = true;
-        } else if (const char *v = value("--trace")) {
-            opt.traceFile = v;
-        } else if (const char *v = value("--trace-format")) {
-            opt.traceFormat = v;
-        } else if (const char *v = value("--stats-json")) {
-            opt.statsJsonFile = v;
-        } else if (const char *v = value("--interval-stats")) {
-            opt.intervalStats = parseU64Flag("--interval-stats", v);
-        } else if (const char *v = value("--interval-csv")) {
-            opt.intervalCsvFile = v;
-        } else if (arg == "--checkers") {
-            opt.checkers = true;
-        } else if (const char *v = value("--checkers")) {
-            if (std::string(v) != "recover") {
-                throw UsageError(
-                    "--checkers accepts only '=recover', got '" +
-                    std::string(v) + "'");
-            }
-            opt.checkers = true;
-            opt.checkersRecover = true;
-        } else if (const char *v = value("--watchdog")) {
-            opt.watchdogWindow = parseU64Flag("--watchdog", v);
-            if (opt.watchdogWindow == 0)
-                throw UsageError("--watchdog window must be > 0");
-        } else if (const char *v = value("--inject")) {
-            opt.injectSpec = v;
-        } else if (const char *v = value("--inject-seed")) {
-            opt.injectSeed = parseU64Flag("--inject-seed", v);
-        } else {
-            throw UsageError("unknown option '" + arg + "'");
         }
+        if (arg.rfind("--", 0) != 0)
+            throw UsageError("unknown option '" + arg + "'");
+        const auto eq = arg.find('=');
+        const std::string name = arg.substr(2, eq - 2);
+        const bool hasValue = eq != std::string::npos;
+        const FlagSpec *spec = findFlag(name);
+        if (!spec)
+            throw UsageError("unknown option '--" + name + "'");
+        if (spec->arity == FlagSpec::Arity::Bare && hasValue) {
+            throw UsageError("--" + name + " does not take a value");
+        }
+        if (spec->arity == FlagSpec::Arity::Value && !hasValue) {
+            throw UsageError("--" + name + " requires =" +
+                             spec->valueHint);
+        }
+        actions.push_back(
+            {spec, hasValue ? arg.substr(eq + 1) : std::string()});
     }
 
+    // --config first: it supplies the defaults everything else
+    // overrides, independent of flag order.
+    for (const Action &a : actions) {
+        if (a.spec->name == "config")
+            a.spec->apply(opt, a.value);
+    }
+    for (const Action &a : actions) {
+        if (a.spec->name != "config")
+            a.spec->apply(opt, a.value);
+    }
+
+    // Cross-flag validation (single-flag value checking lives in the
+    // table rows above).
     for (const auto &w : opt.workloads) {
         if (!trace::isKnownWorkload(w))
             throw UsageError("unknown workload '" + w + "'");
@@ -352,43 +490,14 @@ makeTraceSink(const std::string &format, std::ostream &os)
     return std::make_unique<obs::JsonlTraceSink>(os);
 }
 
-/** Stats-tree JSON: run metadata + the registry tree (+ tracer and
- *  interval summaries when those features are on). */
-void
-writeStatsJson(const Options &opt, sim::System &system)
-{
-    obs::StatRegistry reg;
-    system.registerStats(reg);
-
-    obs::json::Value root = obs::json::Value::makeObject();
-    root["mitigation"] =
-        obs::json::Value(sim::mitigationName(opt.mitigation));
-    root["cycles"] = obs::json::Value(system.now());
-    root["seed"] = obs::json::Value(opt.seed);
-    obs::json::Value wl = obs::json::Value::makeArray();
-    for (const auto &w : opt.workloads)
-        wl.push(obs::json::Value(w));
-    root["workloads"] = std::move(wl);
-    root["stats"] = reg.toJson();
-    if (!opt.traceFile.empty()) {
-        obs::json::Value t = obs::json::Value::makeObject();
-        t["emitted"] = obs::json::Value(system.tracer().emitted());
-        t["dropped"] = obs::json::Value(system.tracer().dropped());
-        root["tracer"] = std::move(t);
-    }
-    if (const obs::IntervalCollector *iv = system.intervalStats())
-        root["intervals"] = iv->toJson();
-
-    std::ofstream os(opt.statsJsonFile);
-    if (!os)
-        camo_fatal("cannot open stats file: ", opt.statsJsonFile);
-    os << root.dump(2) << "\n";
-}
-
 int
 runCamosim(const Options &opt)
 {
-    sim::SystemConfig cfg = sim::paperConfig();
+    // Three configuration layers: paper defaults, then the --config
+    // file (when given), then explicit flags (already folded into opt
+    // by parseArgs).
+    sim::SystemConfig cfg =
+        opt.topo ? opt.topo->system : sim::paperConfig();
     cfg.numCores = static_cast<std::uint32_t>(opt.workloads.size());
     cfg.mitigation = opt.mitigation;
     cfg.seed = opt.seed;
@@ -521,8 +630,15 @@ runCamosim(const Options &opt)
                        opt.intervalCsvFile);
         os << system.intervalStats()->toCsv();
     }
-    if (!opt.statsJsonFile.empty())
-        writeStatsJson(opt, system);
+    if (!opt.statsJsonFile.empty()) {
+        std::ofstream os(opt.statsJsonFile);
+        if (!os)
+            camo_fatal("cannot open stats file: ", opt.statsJsonFile);
+        os << sim::summaryJson(system, opt.workloads,
+                               !opt.traceFile.empty())
+                  .dump(2)
+           << "\n";
+    }
 
     if (injector && injector->totalFired() > 0 && !opt.csv)
         std::printf("# faults fired: %s\n",
@@ -575,6 +691,12 @@ main(int argc, char **argv)
         std::fprintf(stderr, "camosim: %s\n", e.what());
         printUsage(stderr, argv[0]);
         return kExitUsage;
+    } catch (const hard::ConfigError &e) {
+        // A malformed --config file is a configuration problem, not a
+        // command-line one: no usage dump, exit 3.
+        std::fprintf(stderr, "camosim: invalid configuration: %s\n",
+                     e.what());
+        return kExitConfig;
     }
     if (opt.help) {
         printUsage(stdout, argv[0]);
