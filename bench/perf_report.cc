@@ -1,6 +1,7 @@
 /**
  * @file
- * Simulator performance microbenchmark. Measures:
+ * Simulator performance report (the perf-trajectory baseline).
+ * Measures:
  *
  *  1. Single-thread simulation speed (CPU-cycles simulated per
  *     wall-clock second) with the idle-cycle fast-forward on vs off,
@@ -11,7 +12,9 @@
  *     results match exactly.
  *
  * Emits BENCH_ticks.json (override the path with argv[1]; argv[2]
- * scales the per-run cycle count).
+ * scales the per-run cycle count), stamped with the schema version
+ * and build provenance so tools/benchdiff can compare two reports
+ * and CI can gate on regressions against the committed baseline.
  */
 
 #include <chrono>
@@ -23,6 +26,7 @@
 
 #include "bench/sweep.h"
 #include "src/common/logging.h"
+#include "src/obs/benchdiff.h"
 #include "src/obs/json.h"
 #include "src/sim/parallel.h"
 #include "src/sim/presets.h"
@@ -59,6 +63,10 @@ main(int argc, char **argv)
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 400000;
 
     obs::json::Value root = obs::json::Value::makeObject();
+    root["schema_version"] =
+        obs::json::Value(obs::kBenchSchemaVersion);
+    root["bench"] = obs::json::Value("perf_report");
+    root["build"] = obs::buildInfoJson();
     root["cycles_per_run"] = obs::json::Value(cycles);
 
     // --- 1. tick-loop speed, fast-forward off vs on -------------

@@ -1,0 +1,38 @@
+#include "src/common/build_info.h"
+
+// The generated stamp lives in the build tree. Fall back to "unknown"
+// placeholders so the file still compiles standalone (e.g. in the
+// header-self-containment CI job or a bare syntax check).
+#if __has_include("camo_build_info.h")
+#include "camo_build_info.h"
+#else
+#define CAMO_BUILD_GIT_SHA "unknown"
+#define CAMO_BUILD_GIT_DIRTY 0
+#define CAMO_BUILD_COMPILER "unknown"
+#define CAMO_BUILD_TYPE "unknown"
+#define CAMO_BUILD_CXX_FLAGS ""
+#endif
+
+namespace camo {
+
+const BuildInfo &
+buildInfo()
+{
+    static const BuildInfo info = {
+        CAMO_BUILD_GIT_SHA, CAMO_BUILD_GIT_DIRTY != 0,
+        CAMO_BUILD_COMPILER, CAMO_BUILD_TYPE, CAMO_BUILD_CXX_FLAGS};
+    return info;
+}
+
+std::string
+buildVersionLine()
+{
+    const BuildInfo &b = buildInfo();
+    std::string line = "camouflage " + b.gitSha;
+    if (b.gitDirty)
+        line += "-dirty";
+    line += " (" + b.compiler + ", " + b.buildType + ")";
+    return line;
+}
+
+} // namespace camo

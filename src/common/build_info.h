@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Build provenance: which commit and toolchain produced this binary.
+ *
+ * The values come from a header generated at build time (see
+ * cmake/GenBuildInfo.cmake); only build_info.cc includes it, so this
+ * header stays self-contained and nothing recompiles when the sha
+ * changes except that one translation unit. Perf reports and
+ * `camosim --version` stamp themselves with buildInfo() so every
+ * number in a tracked BENCH_*.json is attributable to a commit.
+ */
+
+#ifndef CAMO_COMMON_BUILD_INFO_H
+#define CAMO_COMMON_BUILD_INFO_H
+
+#include <string>
+
+namespace camo {
+
+struct BuildInfo
+{
+    std::string gitSha;    ///< short revision, "unknown" outside git
+    bool gitDirty = false; ///< uncommitted tracked changes at build
+    std::string compiler;  ///< e.g. "GNU 13.2.0"
+    std::string buildType; ///< CMAKE_BUILD_TYPE, e.g. "Release"
+    std::string cxxFlags;  ///< extra CMAKE_CXX_FLAGS ("" when none)
+};
+
+/** The stamp baked into this binary. */
+const BuildInfo &buildInfo();
+
+/** One-line human rendering: "camouflage <sha>[-dirty] (<compiler>,
+ *  <build type>)". Printed by camosim --version. */
+std::string buildVersionLine();
+
+} // namespace camo
+
+#endif // CAMO_COMMON_BUILD_INFO_H

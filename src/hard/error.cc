@@ -10,6 +10,7 @@ errorKindName(ErrorKind kind)
       case ErrorKind::Invariant: return "invariant";
       case ErrorKind::Watchdog: return "watchdog";
       case ErrorKind::Transient: return "transient";
+      case ErrorKind::Leakage: return "leakage";
     }
     return "?";
 }

@@ -29,6 +29,7 @@ enum class ErrorKind
     Invariant, ///< a runtime checker caught an inconsistency
     Watchdog,  ///< no forward progress within the watchdog window
     Transient, ///< a retryable per-job fault (injected or real)
+    Leakage,   ///< the online leakage monitor crossed its threshold
 };
 
 const char *errorKindName(ErrorKind kind);
@@ -87,6 +88,29 @@ class WatchdogTimeout : public CamoError
     explicit WatchdogTimeout(const std::string &msg,
                              std::string diagnostic = {})
         : CamoError(ErrorKind::Watchdog, msg),
+          diagnostic_(std::move(diagnostic))
+    {
+    }
+
+    const std::string &diagnostic() const { return diagnostic_; }
+
+  private:
+    std::string diagnostic_;
+};
+
+/**
+ * The online leakage monitor (src/obs/leakmon.h) measured windowed
+ * mutual information above its configured threshold. Fail-secure:
+ * a run that starts leaking stops with a distinct exit code instead
+ * of quietly producing results. `diagnostic()` carries the structured
+ * dump captured at the alerting cycle.
+ */
+class LeakageAlert : public CamoError
+{
+  public:
+    explicit LeakageAlert(const std::string &msg,
+                          std::string diagnostic = {})
+        : CamoError(ErrorKind::Leakage, msg),
           diagnostic_(std::move(diagnostic))
     {
     }

@@ -1,0 +1,214 @@
+#include "src/obs/benchdiff.h"
+
+#include <cstdio>
+
+#include "src/common/build_info.h"
+
+namespace camo::obs {
+
+json::Value
+buildInfoJson()
+{
+    const BuildInfo &b = buildInfo();
+    json::Value v = json::Value::makeObject();
+    v["git_sha"] = json::Value(b.gitSha);
+    v["git_dirty"] = json::Value(b.gitDirty);
+    v["compiler"] = json::Value(b.compiler);
+    v["build_type"] = json::Value(b.buildType);
+    v["cxx_flags"] = json::Value(b.cxxFlags);
+    return v;
+}
+
+namespace {
+
+/** Numeric field at doc[path0][path1]... or nullptr. */
+const json::Value *
+findPath(const json::Value &doc, const std::vector<std::string> &path)
+{
+    const json::Value *at = &doc;
+    for (const std::string &key : path) {
+        at = at->find(key);
+        if (!at)
+            return nullptr;
+    }
+    return at->isNumber() ? at : nullptr;
+}
+
+/** single_thread row for `mitigation`, or nullptr. */
+const json::Value *
+singleThreadRow(const json::Value &doc, const std::string &mitigation)
+{
+    const json::Value *rows = doc.find("single_thread");
+    if (!rows || !rows->isArray())
+        return nullptr;
+    for (const json::Value &row : rows->asArray()) {
+        const json::Value *m = row.find("mitigation");
+        if (m && m->isString() && m->asString() == mitigation)
+            return &row;
+    }
+    return nullptr;
+}
+
+struct MetricSpec
+{
+    std::string name;
+    bool higherIsBetter;
+    bool ratio; ///< machine-independent => gated by default
+};
+
+void
+compareOne(DiffReport &report, const DiffOptions &opts,
+           const std::string &name, const json::Value *before,
+           const json::Value *after, bool higher_is_better, bool ratio)
+{
+    if (!before || !after) {
+        report.notes.push_back("metric " + name + " missing in " +
+                               (before ? "new" : "baseline") +
+                               " report (skipped)");
+        return;
+    }
+    MetricDelta d;
+    d.name = name;
+    d.before = before->asNumber();
+    d.after = after->asNumber();
+    d.higherIsBetter = higher_is_better;
+    d.gated = ratio || opts.gateAbsolute;
+    report.metrics.push_back(d);
+}
+
+int
+schemaVersionOf(const json::Value &doc)
+{
+    const json::Value *v = doc.find("schema_version");
+    return v && v->isNumber() ? static_cast<int>(v->asNumber()) : 1;
+}
+
+} // namespace
+
+std::vector<const MetricDelta *>
+DiffReport::regressions() const
+{
+    std::vector<const MetricDelta *> out;
+    for (const MetricDelta &m : metrics) {
+        if (m.gated && m.regressed(threshold))
+            out.push_back(&m);
+    }
+    return out;
+}
+
+std::string
+DiffReport::text() const
+{
+    std::string out;
+    char buf[256];
+    std::snprintf(buf, sizeof buf, "%-44s %12s %12s %8s  %s\n",
+                  "metric", "baseline", "new", "change", "status");
+    out += buf;
+    for (const MetricDelta &m : metrics) {
+        const double change = m.relativeChange() * 100.0;
+        const char *status =
+            !m.gated ? "info"
+                     : (m.regressed(threshold) ? "REGRESSED" : "ok");
+        std::snprintf(buf, sizeof buf,
+                      "%-44s %12.4g %12.4g %+7.1f%%  %s\n",
+                      m.name.c_str(), m.before, m.after, change,
+                      status);
+        out += buf;
+    }
+    for (const std::string &n : notes)
+        out += "note: " + n + "\n";
+    const auto bad = regressions();
+    if (bad.empty()) {
+        std::snprintf(buf, sizeof buf,
+                      "OK: no gated metric regressed more than "
+                      "%.0f%%\n", threshold * 100.0);
+    } else {
+        std::snprintf(buf, sizeof buf,
+                      "FAIL: %zu gated metric(s) regressed more than "
+                      "%.0f%%\n", bad.size(), threshold * 100.0);
+    }
+    out += buf;
+    return out;
+}
+
+DiffReport
+diffBenchReports(const json::Value &before, const json::Value &after,
+                 const DiffOptions &opts)
+{
+    DiffReport report;
+    report.threshold = opts.threshold;
+
+    const int vb = schemaVersionOf(before);
+    const int va = schemaVersionOf(after);
+    if (vb != va) {
+        report.notes.push_back(
+            "schema versions differ (baseline v" + std::to_string(vb) +
+            ", new v" + std::to_string(va) +
+            "); comparing the common metrics");
+    }
+
+    static const std::vector<MetricSpec> kSingleThread = {
+        {"ticks_per_sec_loop", true, false},
+        {"ticks_per_sec_fastforward", true, false},
+        {"speedup", true, true},
+    };
+    // Compare whatever mitigation rows the baseline carries (matched
+    // by name in the new report), so adding or dropping a mitigation
+    // is a note, not a hard failure.
+    const json::Value *base_rows = before.find("single_thread");
+    if (base_rows && base_rows->isArray()) {
+        for (const json::Value &rb : base_rows->asArray()) {
+            const json::Value *m = rb.find("mitigation");
+            if (!m || !m->isString())
+                continue;
+            const std::string &mit = m->asString();
+            const json::Value *ra = singleThreadRow(after, mit);
+            if (!ra) {
+                report.notes.push_back("single_thread row '" + mit +
+                                       "' missing in new report "
+                                       "(skipped)");
+                continue;
+            }
+            for (const MetricSpec &spec : kSingleThread) {
+                compareOne(report, opts,
+                           "single_thread." + mit + "." + spec.name,
+                           rb.find(spec.name), ra->find(spec.name),
+                           spec.higherIsBetter, spec.ratio);
+            }
+        }
+    } else {
+        report.notes.push_back(
+            "single_thread section missing in baseline report "
+            "(skipped)");
+    }
+
+    // sweep.speedup is a ratio, but it is only meaningful when both
+    // reports actually ran multi-worker with the same worker count:
+    // at jobs=1 the "speedup" is pure scheduler/load noise, and
+    // across differing worker counts it is apples to oranges.
+    const json::Value *jobs_b = findPath(before, {"sweep", "jobs"});
+    const json::Value *jobs_a = findPath(after, {"sweep", "jobs"});
+    const bool gate_sweep = jobs_b && jobs_a &&
+                            jobs_b->asNumber() == jobs_a->asNumber() &&
+                            jobs_b->asNumber() > 1.0;
+    if (!gate_sweep && (before.find("sweep") || after.find("sweep"))) {
+        report.notes.push_back(
+            "sweep.speedup not gated (worker counts unrecorded, "
+            "unequal, or jobs<=1 makes the ratio load noise)");
+    }
+    static const std::vector<MetricSpec> kSweep = {
+        {"wall_clock_jobs1_sec", false, false},
+        {"wall_clock_jobsN_sec", false, false},
+        {"speedup", true, true},
+    };
+    for (const MetricSpec &spec : kSweep) {
+        compareOne(report, opts, "sweep." + spec.name,
+                   findPath(before, {"sweep", spec.name}),
+                   findPath(after, {"sweep", spec.name}),
+                   spec.higherIsBetter, spec.ratio && gate_sweep);
+    }
+
+    return report;
+}
+
+} // namespace camo::obs

@@ -1,0 +1,173 @@
+#include "src/obs/chrome_trace.h"
+
+#include <cstdio>
+#include <ostream>
+
+#include "src/obs/json.h"
+
+namespace camo::obs {
+
+namespace {
+
+std::string
+microsFromNs(std::uint64_t ns)
+{
+    // Trace-event ts/dur are microseconds; keep nanosecond precision
+    // as fractional µs.
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    return buf;
+}
+
+} // namespace
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream &os) : os_(os)
+{
+    os_ << "[";
+}
+
+void
+ChromeTraceWriter::rawEvent(const std::string &fields)
+{
+    if (finished_)
+        return;
+    if (!first_)
+        os_ << ",";
+    os_ << "\n{" << fields << "}";
+    first_ = false;
+}
+
+void
+ChromeTraceWriter::processName(int pid, const std::string &name)
+{
+    rawEvent("\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+             std::to_string(pid) +
+             ",\"args\":{\"name\":\"" + json::escape(name) + "\"}");
+}
+
+void
+ChromeTraceWriter::threadName(int pid, int tid, const std::string &name)
+{
+    rawEvent("\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+             std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+             ",\"args\":{\"name\":\"" + json::escape(name) + "\"}");
+}
+
+void
+ChromeTraceWriter::finish()
+{
+    if (finished_)
+        return;
+    os_ << "\n]\n";
+    finished_ = true;
+}
+
+// ---------------------------------------------------------------------
+
+ChromeTraceSink::ChromeTraceSink(ChromeTraceWriter &writer,
+                                 std::uint32_t num_cores)
+    : writer_(writer), numCores_(num_cores)
+{
+}
+
+void
+ChromeTraceSink::writeMeta()
+{
+    writer_.processName(1, "simulated time (1 cycle = 1us)");
+    for (std::uint32_t i = 0; i < numCores_; ++i)
+        writer_.threadName(1, static_cast<int>(i),
+                           "core" + std::to_string(i));
+    writer_.threadName(1, static_cast<int>(numCores_), "uncore");
+    wroteMeta_ = true;
+}
+
+int
+ChromeTraceSink::tidOf(const Event &e) const
+{
+    if (e.core == kNoCore || e.core >= numCores_)
+        return static_cast<int>(numCores_); // uncore row
+    return static_cast<int>(e.core);
+}
+
+void
+ChromeTraceSink::write(const Event *events, std::size_t n)
+{
+    if (!wroteMeta_)
+        writeMeta();
+    for (std::size_t i = 0; i < n; ++i) {
+        const Event &e = events[i];
+        const std::string common =
+            ",\"ts\":" + std::to_string(e.at) +
+            ",\"pid\":1,\"tid\":" + std::to_string(tidOf(e));
+        const std::string async_id =
+            ",\"id\":" + std::to_string(e.id);
+        switch (e.type) {
+          case EventType::LlcMiss:
+            // One async span per request id, LLC miss -> delivery.
+            if (open_.insert(e.id).second) {
+                writer_.rawEvent(
+                    "\"name\":\"req\",\"cat\":\"req\",\"ph\":\"b\"" +
+                    common + async_id);
+            }
+            break;
+          case EventType::McServe:
+            // Mid-lifecycle marker on the same async track.
+            if (open_.count(e.id)) {
+                writer_.rawEvent(
+                    "\"name\":\"mc_serve\",\"cat\":\"req\",\"ph\":"
+                    "\"n\"" + common + async_id);
+            }
+            break;
+          case EventType::RespDelivered:
+            if (open_.erase(e.id)) {
+                writer_.rawEvent(
+                    "\"name\":\"req\",\"cat\":\"req\",\"ph\":\"e\"" +
+                    common + async_id);
+            }
+            break;
+          default:
+            // Everything else is an instant on its owning row.
+            writer_.rawEvent("\"name\":\"" +
+                             std::string(eventTypeName(e.type)) +
+                             "\",\"ph\":\"i\",\"s\":\"t\"" + common);
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+writeProfileNode(ChromeTraceWriter &writer, const Profiler &prof,
+                 Profiler::NodeId id, std::uint64_t start_ns)
+{
+    const Profiler::Node &n = prof.node(id);
+    writer.rawEvent("\"name\":\"" + json::escape(n.name) +
+                    "\",\"ph\":\"X\",\"ts\":" + microsFromNs(start_ns) +
+                    ",\"dur\":" + microsFromNs(n.ns) +
+                    ",\"pid\":0,\"tid\":0,\"args\":{\"calls\":" +
+                    std::to_string(n.calls) + "}");
+    // Children laid out back-to-back from the parent's start; the
+    // remaining gap inside the parent is its self time.
+    std::uint64_t at = start_ns;
+    for (const Profiler::NodeId c : n.children) {
+        writeProfileNode(writer, prof, c, at);
+        at += prof.node(c).ns;
+    }
+}
+
+} // namespace
+
+void
+writeProfile(ChromeTraceWriter &writer, const Profiler &prof)
+{
+    writer.processName(0, "host time");
+    writer.threadName(0, 0, "profile");
+    writeProfileNode(writer, prof, prof.root(), 0);
+}
+
+} // namespace camo::obs

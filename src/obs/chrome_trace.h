@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Chrome trace-event (Perfetto / chrome://tracing loadable) export.
+ *
+ * One JSON-array file carries two clock domains as separate "process"
+ * rows:
+ *
+ *  - pid 0 "host time": the profiler's node tree rendered as nested
+ *    duration ("X") spans, ts/dur in microseconds of accumulated wall
+ *    time. Children are laid out sequentially inside their parent, so
+ *    the gap at the end of a parent span is its self time.
+ *  - pid 1 "simulated time": the tracer's cycle-stamped event stream,
+ *    with 1 simulated cycle rendered as 1 µs. One thread row per
+ *    core; request lifecycles (LLC miss → response delivered) are
+ *    async ("b"/"e") spans keyed by request id, and the remaining
+ *    events (shaper fakes/stalls, DRAM commands, MC activity) are
+ *    instant ("i") events on their owning row.
+ *
+ * ChromeTraceWriter owns the enclosing array; ChromeTraceSink is a
+ * TraceSink adapter so it can sit behind the existing Tracer ring,
+ * and writeProfile() appends the host-time spans after the run. The
+ * writer's finish() closes the array (ChromeTraceSink::finish() is a
+ * deliberate no-op so profile spans can still be appended after the
+ * tracer flushes).
+ */
+
+#ifndef CAMO_OBS_CHROME_TRACE_H
+#define CAMO_OBS_CHROME_TRACE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_set>
+
+#include "src/obs/prof.h"
+#include "src/obs/tracer.h"
+
+namespace camo::obs {
+
+/** Streams one well-formed trace-event JSON array. */
+class ChromeTraceWriter
+{
+  public:
+    /** @param os stream the caller keeps alive past the writer. */
+    explicit ChromeTraceWriter(std::ostream &os);
+
+    /** Append one raw event object (no enclosing braces needed in
+     *  `fields`, e.g. "\"ph\":\"i\",\"ts\":0"). */
+    void rawEvent(const std::string &fields);
+
+    /** Metadata records naming a process / thread row. */
+    void processName(int pid, const std::string &name);
+    void threadName(int pid, int tid, const std::string &name);
+
+    /** Close the JSON array. Idempotent. */
+    void finish();
+
+  private:
+    std::ostream &os_;
+    bool first_ = true;
+    bool finished_ = false;
+};
+
+/**
+ * TraceSink rendering the simulated-cycle stream (pid 1). Attach via
+ * Tracer::setSink; emits its process/thread metadata lazily on the
+ * first batch.
+ */
+class ChromeTraceSink final : public TraceSink
+{
+  public:
+    ChromeTraceSink(ChromeTraceWriter &writer, std::uint32_t num_cores);
+
+    void write(const Event *events, std::size_t n) override;
+    /** No-op: the writer is finished by its owner, after the profile
+     *  spans (if any) are appended. */
+    void finish() override {}
+
+  private:
+    void writeMeta();
+    int tidOf(const Event &e) const;
+
+    ChromeTraceWriter &writer_;
+    std::uint32_t numCores_;
+    bool wroteMeta_ = false;
+    /** Request ids with an open async span (begin seen, no end). */
+    std::unordered_set<std::uint64_t> open_;
+};
+
+/** Render a profiler tree as nested host-time spans (pid 0). */
+void writeProfile(ChromeTraceWriter &writer, const Profiler &prof);
+
+} // namespace camo::obs
+
+#endif // CAMO_OBS_CHROME_TRACE_H

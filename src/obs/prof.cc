@@ -1,0 +1,99 @@
+#include "src/obs/prof.h"
+
+namespace camo::obs {
+
+Profiler::Profiler()
+{
+    Node root;
+    root.name = "run";
+    nodes_.push_back(std::move(root));
+}
+
+Profiler::NodeId
+Profiler::child(NodeId parent, const std::string &name)
+{
+    for (const NodeId c : nodes_[parent].children) {
+        if (nodes_[c].name == name)
+            return c;
+    }
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    Node n;
+    n.name = name;
+    n.parent = parent;
+    nodes_.push_back(std::move(n));
+    nodes_[parent].children.push_back(id);
+    return id;
+}
+
+std::uint64_t
+Profiler::selfNs(NodeId id) const
+{
+    const Node &n = nodes_[id];
+    std::uint64_t kids = 0;
+    for (const NodeId c : n.children)
+        kids += nodes_[c].ns;
+    return kids > n.ns ? 0 : n.ns - kids;
+}
+
+void
+Profiler::clear()
+{
+    for (Node &n : nodes_) {
+        n.ns = 0;
+        n.calls = 0;
+    }
+}
+
+json::Value
+Profiler::nodeJson(NodeId id) const
+{
+    const Node &n = nodes_[id];
+    json::Value v = json::Value::makeObject();
+    v["name"] = json::Value(n.name);
+    v["calls"] = json::Value(n.calls);
+    v["total_ns"] = json::Value(n.ns);
+    v["self_ns"] = json::Value(selfNs(id));
+    if (!n.children.empty()) {
+        json::Value kids = json::Value::makeArray();
+        for (const NodeId c : n.children)
+            kids.push(nodeJson(c));
+        v["children"] = std::move(kids);
+    }
+    return v;
+}
+
+json::Value
+Profiler::toJson() const
+{
+    json::Value root = json::Value::makeObject();
+    root["schema"] = json::Value("camo-prof-1");
+    root["total_ns"] = json::Value(totalNs());
+    root["root"] = nodeJson(0);
+    return root;
+}
+
+std::string
+Profiler::toFolded() const
+{
+    std::string out;
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        const std::uint64_t self = selfNs(id);
+        if (self == 0)
+            continue;
+        // Stack path from root to this node.
+        std::vector<const std::string *> path;
+        for (NodeId at = id; at != kNoNode; at = nodes_[at].parent)
+            path.push_back(&nodes_[at].name);
+        for (std::size_t i = path.size(); i-- > 0;) {
+            out += *path[i];
+            if (i > 0)
+                out += ';';
+        }
+        out += ' ';
+        out += std::to_string(self);
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace camo::obs

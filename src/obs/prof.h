@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Low-overhead host-time profiler for the simulation kernel.
+ *
+ * The profiler is a small tree of named nodes ("run" at the root,
+ * kernel phases below it, one leaf per component under the per-
+ * component phases) holding accumulated wall-clock nanoseconds and
+ * call counts. The System's loop hooks (src/sim/system.cc) time each
+ * phase with a monotonic stopwatch and add into cached node ids, so
+ * the per-event cost is two steady_clock reads and two additions —
+ * and exactly one pointer test when no profiler is attached.
+ *
+ * Node time is *inclusive* (total); self time is derived as
+ * total - sum(children), so the per-node self times partition the
+ * root's total and sum to the measured run time. Exports: a JSON
+ * tree (total/self/calls per node) and the folded-stack format
+ * ("run;tick;core0 1234") consumed by flamegraph.pl / speedscope /
+ * inferno. Chrome-trace rendering lives in src/obs/chrome_trace.h.
+ */
+
+#ifndef CAMO_OBS_PROF_H
+#define CAMO_OBS_PROF_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+
+namespace camo::obs {
+
+class Profiler
+{
+  public:
+    using NodeId = std::uint32_t;
+    static constexpr NodeId kNoNode = 0xffffffffu;
+
+    struct Node
+    {
+        std::string name;
+        NodeId parent = kNoNode;
+        std::vector<NodeId> children;
+        std::uint64_t ns = 0;    ///< inclusive (total) time
+        std::uint64_t calls = 0;
+    };
+
+    /** Starts with a single root node named "run". */
+    Profiler();
+
+    NodeId root() const { return 0; }
+
+    /** Find-or-create a child of `parent` named `name`. Stable: the
+     *  same (parent, name) always returns the same id. */
+    NodeId child(NodeId parent, const std::string &name);
+
+    /** Accumulate `ns` nanoseconds (and `calls` invocations) on a
+     *  node. Hot path: two additions. */
+    void
+    add(NodeId id, std::uint64_t ns, std::uint64_t calls = 1)
+    {
+        Node &n = nodes_[id];
+        n.ns += ns;
+        n.calls += calls;
+    }
+
+    const std::vector<Node> &nodes() const { return nodes_; }
+    const Node &node(NodeId id) const { return nodes_[id]; }
+
+    /** Inclusive time on the root ("run"). */
+    std::uint64_t totalNs() const { return nodes_[0].ns; }
+
+    /** total - sum(children), clamped at 0 (clock jitter can make a
+     *  child's reading exceed its parent's by a few ns). */
+    std::uint64_t selfNs(NodeId id) const;
+
+    /** Zero all counts; the node tree (and ids) survive. */
+    void clear();
+
+    /**
+     * JSON tree: {"schema": "camo-prof-1", "total_ns": N,
+     * "root": {"name", "calls", "total_ns", "self_ns", "children"}}.
+     */
+    json::Value toJson() const;
+
+    /** Folded-stack flamegraph lines, one per node with nonzero self
+     *  time: "run;tick;core0 <self_ns>\n". */
+    std::string toFolded() const;
+
+    /** Monotonic nanoseconds (steady_clock). */
+    static std::uint64_t
+    clockNs()
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    }
+
+    /** Stopwatch: started at construction. */
+    class Timer
+    {
+      public:
+        Timer() : start_(clockNs()) {}
+        std::uint64_t elapsedNs() const { return clockNs() - start_; }
+
+      private:
+        std::uint64_t start_;
+    };
+
+    /** RAII scope: adds its lifetime to `id` (no-op on null). */
+    class Scope
+    {
+      public:
+        Scope(Profiler *prof, NodeId id) : prof_(prof), id_(id) {}
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+        ~Scope()
+        {
+            if (prof_)
+                prof_->add(id_, timer_.elapsedNs());
+        }
+
+      private:
+        Profiler *prof_;
+        NodeId id_;
+        Timer timer_;
+    };
+
+  private:
+    json::Value nodeJson(NodeId id) const;
+
+    std::vector<Node> nodes_;
+};
+
+} // namespace camo::obs
+
+#endif // CAMO_OBS_PROF_H

@@ -262,7 +262,16 @@ struct System::CreditCheckStation final : Component
     System *sys_;
 };
 
-/** Periodic interval-metrics snapshot. */
+/**
+ * Periodic interval-metrics snapshot. Interval boundaries do NOT
+ * bound the fast-forward (nextEventCycle is kNoCycle): rows whose
+ * boundary falls inside a skipped idle span are synthesized in
+ * skipIdleCycles with the exact values the ticked loop would have
+ * produced — during a provably-idle span only core cycle counters
+ * advance (uniformly, one per cycle), while queue depths, monitor
+ * counts, and shaper credits are all frozen (every shaper's
+ * nextEventCycle stops at its next credit replenishment).
+ */
 struct System::IntervalStation final : Component
 {
     explicit IntervalStation(System *sys)
@@ -277,12 +286,68 @@ struct System::IntervalStation final : Component
             sys_->sampleInterval();
     }
 
+    Cycle nextEventCycle(Cycle, Cycle) const override
+    {
+        return kNoCycle;
+    }
+
+    void
+    skipIdleCycles(Cycle n) override
+    {
+        if (!sys_->interval_)
+            return;
+        // Runs before System::now_ advances: the skipped span is
+        // (start, start + n]. This station is last in graph order,
+        // so the cores' batched accounting has already been applied;
+        // a boundary at cycle b sees core cycle counters rewound by
+        // (start + n - b).
+        const Cycle start = sys_->now_;
+        while (sys_->interval_->nextAt() <= start + n) {
+            const Cycle b = sys_->interval_->nextAt();
+            sys_->sampleIntervalAt(b, start + n - b);
+        }
+    }
+
+    System *sys_;
+};
+
+/**
+ * Online leakage-monitor evaluation point. The station's
+ * nextEventCycle pins a tick on every check boundary, so window
+ * evaluations happen at identical cycles with fast-forward on or
+ * off.
+ */
+struct System::LeakMonStation final : Component
+{
+    explicit LeakMonStation(System *sys)
+        : Component("station.leakmon"), sys_(sys)
+    {
+    }
+
+    void
+    tick(Cycle now) override
+    {
+        obs::LeakMonitor *mon = sys_->leakmon_.get();
+        if (!mon || now < mon->nextCheckAt())
+            return;
+        const std::string alert = mon->poll(now);
+        if (!alert.empty())
+            sys_->onLeakageAlert(alert);
+    }
+
     Cycle
     nextEventCycle(Cycle, Cycle from) const override
     {
-        if (!sys_->interval_)
+        if (!sys_->leakmon_)
             return kNoCycle;
-        return std::max(from, sys_->interval_->nextAt());
+        return std::max(from, sys_->leakmon_->nextCheckAt());
+    }
+
+    void
+    registerStats(obs::StatRegistry &reg) const override
+    {
+        if (sys_->leakmon_)
+            reg.add("leakmon", &sys_->leakmon_->stats());
     }
 
     System *sys_;
@@ -781,6 +846,10 @@ System::enableIntervalStats(Cycle period)
         cols.push_back(prefix + ".req_credits");
         cols.push_back(prefix + ".resp_credits");
     }
+    if (leakmon_) {
+        cols.push_back("leakmon.window_mi_bits");
+        intervalHasLeakCol_ = true;
+    }
     interval_ =
         std::make_unique<obs::IntervalCollector>(period, std::move(cols));
     for (auto &pc : cores_) {
@@ -794,13 +863,25 @@ System::enableIntervalStats(Cycle period)
 void
 System::sampleInterval()
 {
+    sampleIntervalAt(now_, 0);
+}
+
+void
+System::sampleIntervalAt(Cycle at, Cycle cycle_lag)
+{
+    // cycle_lag rewinds the per-core cycle counters for rows
+    // synthesized inside a skipped idle span: at that point the
+    // cores' batched accounting has already advanced them past the
+    // boundary `at`, by exactly cycle_lag cycles each (idle cores
+    // advance one cycle per cycle and retire nothing). Everything
+    // else in the row is frozen during a provably-idle span.
     std::vector<double> row;
     row.reserve(interval_->columns().size());
     row.push_back(static_cast<double>(mem_->readQueueSize()));
     row.push_back(static_cast<double>(mem_->writeQueueSize()));
     for (auto &pc : cores_) {
         const std::uint64_t retired = pc->core->retired();
-        const std::uint64_t cycles = pc->core->cycles();
+        const std::uint64_t cycles = pc->core->cycles() - cycle_lag;
         const std::uint64_t dc = cycles - pc->ivCycles;
         row.push_back(dc ? static_cast<double>(retired - pc->ivRetired) /
                                static_cast<double>(dc)
@@ -820,7 +901,9 @@ System::sampleInterval()
         pc->ivBusReal = real;
         pc->ivBusFake = fake;
     }
-    interval_->addRow(now_, std::move(row));
+    if (intervalHasLeakCol_)
+        row.push_back(leakmon_->lastWindowMiBits());
+    interval_->addRow(at, std::move(row));
 }
 
 hard::ShaperContract
@@ -1126,6 +1209,7 @@ System::applyInjectedFaults()
 void
 System::pollWatchdog(Cycle next_event)
 {
+    obs::Profiler::Scope scope(prof_, prof_ ? profWatchdogNode_ : 0);
     std::vector<hard::CoreProgress> progress;
     progress.reserve(cores_.size());
     for (const auto &pc : cores_) {
@@ -1149,27 +1233,136 @@ System::pollWatchdog(Cycle next_event)
 }
 
 void
+System::enableLeakMonitor(const obs::LeakMonitorConfig &cfg)
+{
+    if (cfg.core >= cores_.size()) {
+        throw hard::ConfigError("leakmon core " +
+                                std::to_string(cfg.core) +
+                                " out of range (have " +
+                                std::to_string(cores_.size()) +
+                                " cores)");
+    }
+    if (leakmon_)
+        throw hard::ConfigError("leakage monitor already enabled");
+    PerCore &pc = *cores_[cfg.core];
+    pc.intrinsicMon.setLogging(true);
+    pc.busMon.setLogging(true);
+    leakmon_ =
+        std::make_unique<obs::LeakMonitor>(cfg, pc.intrinsicMon,
+                                           pc.busMon);
+    graph_.emplace<LeakMonStation>(this);
+}
+
+void
+System::onLeakageAlert(const std::string &msg)
+{
+    stats_.inc("leakmon.alerts");
+    const std::string dump =
+        diagnosticJson("leakage-alert: " + msg).dump(2);
+    if (diagStream_)
+        *diagStream_ << dump << "\n";
+    throw hard::LeakageAlert(msg, dump);
+}
+
+void
+System::setProfiler(obs::Profiler *prof)
+{
+    prof_ = prof;
+    profTickIds_.clear();
+    profSkipIds_.clear();
+    if (!prof_)
+        return;
+    const obs::Profiler::NodeId root = prof_->root();
+    profTickNode_ = prof_->child(root, "tick");
+    profNextEvNode_ = prof_->child(root, "next_event");
+    profSkipNode_ = prof_->child(root, "skip");
+    profWatchdogNode_ = prof_->child(root, "watchdog");
+    syncProfiler();
+}
+
+void
+System::syncProfiler()
+{
+    // Components can be added after setProfiler (stations, late
+    // attachments); extend the cached id vectors to match.
+    const auto &order = graph_.order();
+    for (std::size_t i = profTickIds_.size(); i < order.size(); ++i) {
+        profTickIds_.push_back(
+            prof_->child(profTickNode_, order[i]->name()));
+        profSkipIds_.push_back(
+            prof_->child(profSkipNode_, order[i]->name()));
+    }
+}
+
+void
 System::tick()
 {
     ++now_;
-    graph_.tick(now_);
+    if (!prof_) {
+        graph_.tick(now_);
+        return;
+    }
+    profiledTick();
+}
+
+void
+System::profiledTick()
+{
+    syncProfiler();
+    obs::Profiler::Timer all;
+    const auto &order = graph_.order();
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        obs::Profiler::Timer t;
+        order[i]->tick(now_);
+        prof_->add(profTickIds_[i], t.elapsedNs());
+    }
+    prof_->add(profTickNode_, all.elapsedNs());
 }
 
 Cycle
 System::nextEventCycle() const
 {
-    return graph_.nextEventCycle(now_, now_ + 1);
+    if (!prof_)
+        return graph_.nextEventCycle(now_, now_ + 1);
+    obs::Profiler::Timer t;
+    const Cycle ev = graph_.nextEventCycle(now_, now_ + 1);
+    prof_->add(profNextEvNode_, t.elapsedNs());
+    return ev;
 }
 
 void
 System::skipIdleCycles(Cycle n)
 {
-    graph_.skipIdleCycles(n);
+    if (!prof_) {
+        graph_.skipIdleCycles(n);
+        now_ += n;
+        return;
+    }
+    syncProfiler();
+    obs::Profiler::Timer all;
+    const auto &order = graph_.order();
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        obs::Profiler::Timer t;
+        order[i]->skipIdleCycles(n);
+        prof_->add(profSkipIds_[i], t.elapsedNs());
+    }
+    prof_->add(profSkipNode_, all.elapsedNs());
     now_ += n;
 }
 
 void
 System::run(Cycle cycles)
+{
+    if (!prof_) {
+        runLoop(cycles);
+        return;
+    }
+    obs::Profiler::Scope scope(prof_, prof_->root());
+    runLoop(cycles);
+}
+
+void
+System::runLoop(Cycle cycles)
 {
     const Cycle end = now_ + cycles;
     if (!cfg_.fastForward) {
@@ -1198,14 +1391,26 @@ System::run(Cycle cycles)
         }
         if (now_ >= end)
             break;
-        // Everything before the next event is provably idle: jump
-        // there, batch-applying the skipped ticks' accounting, and
-        // execute the event tick on the next loop iteration.
+        // Probe backoff: when recent probes found no skippable gap
+        // (gap <= 1 cycle), the nextEventCycle fold itself dominates
+        // the loop — in the no-shaping configuration it made
+        // fast-forward a net slowdown. Defer the next probe for an
+        // exponentially growing number of cycles and just tick;
+        // ticking is always bit-exact, so only host time changes. A
+        // successful skip re-arms eager probing.
+        if (!haveEv && now_ < ffProbeAt_)
+            continue;
         if (!haveEv)
             ev = nextEventCycle();
         const Cycle clamped = std::min(ev, end);
-        if (clamped > now_ + 1)
+        if (clamped > now_ + 1) {
             skipIdleCycles(clamped - now_ - 1);
+            ffBackoff_ = 1;
+            ffProbeAt_ = 0;
+        } else {
+            ffProbeAt_ = now_ + ffBackoff_;
+            ffBackoff_ = std::min<Cycle>(ffBackoff_ * 2, kFfMaxBackoff);
+        }
     }
 }
 

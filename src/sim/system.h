@@ -39,6 +39,8 @@
 #include "src/noc/channel.h"
 #include "src/obs/interval.h"
 #include "src/obs/json.h"
+#include "src/obs/leakmon.h"
+#include "src/obs/prof.h"
 #include "src/obs/registry.h"
 #include "src/obs/tracer.h"
 #include "src/security/covert_receiver.h"
@@ -232,6 +234,36 @@ class System
      */
     void registerStats(obs::StatRegistry &reg) const;
 
+    /**
+     * Attach a host-time profiler (borrowed; nullptr detaches; must
+     * outlive the runs it observes). The loop hooks then time every
+     * kernel phase into its node tree: per-component tick, the
+     * fast-forward probe (next_event), per-component idle-skip, and
+     * watchdog polls. Profiled runs stay bit-exact with unprofiled
+     * ones; the cost when detached is a single pointer test per
+     * phase.
+     */
+    void setProfiler(obs::Profiler *prof);
+    obs::Profiler *profiler() { return prof_; }
+
+    /**
+     * Arm the online leakage monitor over cfg.core's intrinsic and
+     * request-channel streams (turns on event logging for both). A
+     * LeakMonStation joins the graph and re-evaluates the sliding MI
+     * window every cfg.checkPeriod cycles; on a sustained threshold
+     * breach the run throws hard::LeakageAlert with a JSON
+     * diagnostic (camosim exit code 6). Enable *before*
+     * enableIntervalStats() to get the "leakmon.window_mi_bits"
+     * interval column.
+     */
+    void enableLeakMonitor(const obs::LeakMonitorConfig &cfg);
+    /** nullptr until enableLeakMonitor() is called. */
+    obs::LeakMonitor *leakMonitor() { return leakmon_.get(); }
+    const obs::LeakMonitor *leakMonitor() const
+    {
+        return leakmon_.get();
+    }
+
     /** Start interval metrics: one snapshot row every `period`
      *  cycles (queue depths, per-core IPC, real/fake bus traffic,
      *  shaper credit occupancy). */
@@ -308,6 +340,7 @@ class System
     struct RespLinkStation;
     struct CreditCheckStation;
     struct IntervalStation;
+    struct LeakMonStation;
 
     /** A response held back by an injected delay fault. */
     struct DelayedResponse
@@ -323,9 +356,20 @@ class System
     void feedResponsePath(PerCore &pc);
     void deliverResponses();
     void sampleInterval();
+    /** Interval row at cycle `at`; core cycle counters are rewound
+     *  by `cycle_lag` (nonzero when a skipped idle span crossed the
+     *  boundary and the batched accounting already ran). */
+    void sampleIntervalAt(Cycle at, Cycle cycle_lag);
     bool coreIsShaped(std::uint32_t i) const;
     /** Jump over `n` provably-idle cycles (see nextEventCycle). */
     void skipIdleCycles(Cycle n);
+    /** run() body (run() adds the profiler's root scope). */
+    void runLoop(Cycle cycles);
+    /** tick() with per-component timing (profiler attached). */
+    void profiledTick();
+    /** Extend the cached per-component profiler node ids. */
+    void syncProfiler();
+    void onLeakageAlert(const std::string &msg);
 
     // Hardening internals.
     void applyInjectedFaults();
@@ -356,6 +400,32 @@ class System
     StatGroup stats_;
     std::unique_ptr<obs::Tracer> tracer_;
     std::unique_ptr<obs::IntervalCollector> interval_;
+    /** Interval rows carry the windowed-MI column (leak monitor was
+     *  armed before enableIntervalStats). */
+    bool intervalHasLeakCol_ = false;
+    std::unique_ptr<obs::LeakMonitor> leakmon_;
+
+    // Host-time profiler (borrowed) + cached node ids, one per
+    // graph component, extended lazily as the graph grows.
+    obs::Profiler *prof_ = nullptr;
+    obs::Profiler::NodeId profTickNode_ = obs::Profiler::kNoNode;
+    obs::Profiler::NodeId profSkipNode_ = obs::Profiler::kNoNode;
+    obs::Profiler::NodeId profNextEvNode_ = obs::Profiler::kNoNode;
+    obs::Profiler::NodeId profWatchdogNode_ = obs::Profiler::kNoNode;
+    std::vector<obs::Profiler::NodeId> profTickIds_;
+    std::vector<obs::Profiler::NodeId> profSkipIds_;
+
+    /**
+     * Fast-forward probe backoff: after a probe finds no skippable
+     * gap, the next probe is deferred (doubling up to kFfMaxBackoff
+     * ticks). Ticking through a deferred probe is always correct, so
+     * bit-exactness is preserved; a successful skip re-arms eager
+     * probing. This is what turned the no-shaping configuration's
+     * fast-forward from a net slowdown into a wash.
+     */
+    static constexpr Cycle kFfMaxBackoff = 64;
+    Cycle ffProbeAt_ = 0;
+    Cycle ffBackoff_ = 1;
 
     std::unique_ptr<hard::CheckerSet> checkers_;
     std::unique_ptr<hard::Watchdog> watchdog_;

@@ -16,19 +16,25 @@
  *   camosim --workloads=mcf,astar,astar,astar --mitigation=bdc \
  *           --checkers --watchdog=200000 \
  *           --inject=corrupt-credits:at=80000:core=0
+ *   camosim --workloads=mcf,astar,astar,astar --mitigation=bdc \
+ *           --profile --profile-out=prof.json --chrome-trace=t.json
+ *   camosim --workloads=covert:5A5A5A5A,apache,apache,apache \
+ *           --leakmon=0.2
  *
  * The command line is table-driven: every flag is one FlagSpec row in
  * flagTable() below, which generates its parsing, value checking, and
  * usage text. To add a flag, add a row.
  *
  * Exit codes: 0 success, 1 runtime error, 2 usage error, 3 invalid
- * configuration, 4 invariant violation, 5 watchdog timeout.
+ * configuration, 4 invariant violation, 5 watchdog timeout, 6 leakage
+ * alert.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -36,9 +42,14 @@
 #include <string>
 #include <vector>
 
+#include "src/common/build_info.h"
 #include "src/common/logging.h"
 #include "src/hard/error.h"
 #include "src/hard/fault_injection.h"
+#include "src/obs/benchdiff.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/leakmon.h"
+#include "src/obs/prof.h"
 #include "src/obs/registry.h"
 #include "src/obs/tracer.h"
 #include "src/sim/parallel.h"
@@ -60,6 +71,7 @@ enum ExitCode
     kExitConfig = 3,
     kExitInvariant = 4,
     kExitWatchdog = 5,
+    kExitLeakage = 6,
 };
 
 /** A command-line problem: reported with usage help, exit code 2. */
@@ -91,6 +103,7 @@ struct Options
     std::uint32_t sweepSeeds = 0; // 0 = single run
     bool fastForward = true;
     bool help = false;
+    bool version = false;
 
     /** Loaded by --config; its SystemConfig is the base every other
      *  flag overrides. */
@@ -102,6 +115,20 @@ struct Options
     std::string statsJsonFile;
     Cycle intervalStats = 0;
     std::string intervalCsvFile;
+
+    // Host-time profiler + Chrome-trace export.
+    bool profile = false;
+    std::string profileOut;
+    std::string profileFolded;
+    std::string chromeTraceFile;
+
+    // Online leakage monitor.
+    bool leakmon = false;
+    double leakmonThreshold =
+        std::numeric_limits<double>::infinity();
+    Cycle leakmonWindow = 0; // 0 = library default
+    std::uint32_t leakmonCore = 0;
+    bool leakmonCoreSet = false;
 
     // Hardening layer.
     bool checkers = false;
@@ -122,6 +149,20 @@ parseU64Flag(const std::string &flag, const std::string &value)
         value[0] == '-') {
         throw UsageError(flag + "=" + value +
                          " is not an unsigned integer");
+    }
+    return v;
+}
+
+/** Strict full-string non-negative double parse. */
+double
+parseDoubleFlag(const std::string &flag, const std::string &value)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (value.empty() || end == value.c_str() || *end != '\0' ||
+        !(v >= 0.0)) {
+        throw UsageError(flag + "=" + value +
+                         " is not a non-negative number");
     }
     return v;
 }
@@ -331,6 +372,55 @@ flagTable()
          [](Options &o, const std::string &v) {
              o.injectSeed = parseU64Flag("--inject-seed", v);
          }},
+        {"profile", A::Bare, "",
+         "host-time profile of the kernel loop;\nprints a per-phase "
+         "summary",
+         [](Options &o, const std::string &) { o.profile = true; }},
+        {"profile-out", A::Value, "FILE",
+         "profile tree as JSON (implies --profile)",
+         [](Options &o, const std::string &v) {
+             o.profile = true;
+             o.profileOut = v;
+         }},
+        {"profile-folded", A::Value, "FILE",
+         "folded stacks for flamegraph.pl /\nspeedscope (implies "
+         "--profile)",
+         [](Options &o, const std::string &v) {
+             o.profile = true;
+             o.profileFolded = v;
+         }},
+        {"chrome-trace", A::Value, "FILE",
+         "Chrome trace-event JSON (load in\nPerfetto); request "
+         "lifecycles in\nsimulated time plus, with --profile,\n"
+         "host-time spans",
+         [](Options &o, const std::string &v) {
+             o.chromeTraceFile = v;
+         }},
+        {"leakmon", A::Either, "BITS",
+         "online windowed-MI leakage monitor;\n=BITS alerts (exit 6) "
+         "above the\nthreshold, bare monitors only",
+         [](Options &o, const std::string &v) {
+             o.leakmon = true;
+             if (!v.empty())
+                 o.leakmonThreshold = parseDoubleFlag("--leakmon", v);
+         }},
+        {"leakmon-window", A::Value, "N",
+         "sliding-window width in cycles\n(default 50000)",
+         [](Options &o, const std::string &v) {
+             o.leakmonWindow = parseU64Flag("--leakmon-window", v);
+             if (o.leakmonWindow == 0)
+                 throw UsageError("--leakmon-window must be > 0");
+         }},
+        {"leakmon-core", A::Value, "N",
+         "core whose streams are monitored\n(default 0)",
+         [](Options &o, const std::string &v) {
+             o.leakmonCore = static_cast<std::uint32_t>(
+                 parseU64Flag("--leakmon-core", v));
+             o.leakmonCoreSet = true;
+         }},
+        {"version", A::Bare, "",
+         "print build provenance and exit",
+         [](Options &o, const std::string &) { o.version = true; }},
     };
     return table;
 }
@@ -459,12 +549,22 @@ parseArgs(int argc, char **argv)
             "--ga needs a Camouflage mitigation (reqc, respc, or "
             "bdc)");
     }
+    if (!opt.chromeTraceFile.empty() && !opt.traceFile.empty()) {
+        throw UsageError(
+            "--chrome-trace and --trace both claim the event stream; "
+            "pick one");
+    }
+    if ((opt.leakmonWindow > 0 || opt.leakmonCoreSet) && !opt.leakmon)
+        throw UsageError(
+            "--leakmon-window/--leakmon-core need --leakmon");
     if (opt.sweepSeeds > 0) {
         if (!opt.traceFile.empty() || !opt.statsJsonFile.empty() ||
-            opt.intervalStats > 0) {
+            opt.intervalStats > 0 || opt.profile ||
+            !opt.chromeTraceFile.empty() || opt.leakmon) {
             throw UsageError(
                 "--sweep-seeds is incompatible with --trace, "
-                "--stats-json, and --interval-stats (single-run "
+                "--stats-json, --interval-stats, --profile, "
+                "--chrome-trace, and --leakmon (single-run "
                 "observability outputs)");
         }
         if (opt.checkers || opt.watchdogWindow > 0) {
@@ -611,18 +711,73 @@ runCamosim(const Options &opt)
         system.tracer().setSink(makeTraceSink(format, trace_os));
         system.tracer().setEnabled(true);
     }
+    // The writer must outlive the run: the sink streams into it from
+    // inside the loop, and the profile spans are appended after.
+    std::ofstream chrome_os;
+    std::unique_ptr<obs::ChromeTraceWriter> chrome_writer;
+    if (!opt.chromeTraceFile.empty()) {
+        chrome_os.open(opt.chromeTraceFile);
+        if (!chrome_os)
+            camo_fatal("cannot open chrome-trace file: ",
+                       opt.chromeTraceFile);
+        chrome_writer =
+            std::make_unique<obs::ChromeTraceWriter>(chrome_os);
+        system.tracer().setSink(std::make_unique<obs::ChromeTraceSink>(
+            *chrome_writer, cfg.numCores));
+        system.tracer().setEnabled(true);
+    }
+    if (opt.leakmon) {
+        // Before enableIntervalStats, so the interval series grows a
+        // leakmon.window_mi_bits column.
+        obs::LeakMonitorConfig lc;
+        lc.core = opt.leakmonCore;
+        lc.alertThresholdBits = opt.leakmonThreshold;
+        if (opt.leakmonWindow > 0) {
+            lc.windowCycles = opt.leakmonWindow;
+            lc.checkPeriod = std::max<Cycle>(1, opt.leakmonWindow / 5);
+        }
+        system.enableLeakMonitor(lc);
+    }
     if (opt.intervalStats > 0)
         system.enableIntervalStats(opt.intervalStats);
 
+    obs::Profiler prof;
+    if (opt.profile)
+        system.setProfiler(&prof);
+
+    const obs::Profiler::Timer wall;
     const auto m = sim::runAndMeasure(system, opt.cycles, opt.warmup);
+    const std::uint64_t wall_ns = wall.elapsedNs();
 
     // End-of-run lifecycle audit: a dropped response shows up here as
     // a leaked (never-retired) request even without the watchdog.
     if (opt.checkers)
         system.checkForLeaks();
 
-    if (!opt.traceFile.empty())
+    if (!opt.traceFile.empty() || chrome_writer)
         system.tracer().flush();
+    if (chrome_writer) {
+        if (opt.profile)
+            obs::writeProfile(*chrome_writer, prof);
+        chrome_writer->finish();
+    }
+    if (!opt.profileOut.empty()) {
+        std::ofstream os(opt.profileOut);
+        if (!os)
+            camo_fatal("cannot open profile file: ", opt.profileOut);
+        obs::json::Value root = obs::json::Value::makeObject();
+        root["schema"] = "camo-profile-report-1";
+        root["wall_ns"] = wall_ns;
+        root["build"] = obs::buildInfoJson();
+        root["profile"] = prof.toJson();
+        os << root.dump(2) << "\n";
+    }
+    if (!opt.profileFolded.empty()) {
+        std::ofstream os(opt.profileFolded);
+        if (!os)
+            camo_fatal("cannot open folded file: ", opt.profileFolded);
+        os << prof.toFolded();
+    }
     if (!opt.intervalCsvFile.empty()) {
         std::ofstream os(opt.intervalCsvFile);
         if (!os)
@@ -676,6 +831,39 @@ runCamosim(const Options &opt)
                     m.avgReadLatency[i], m.alpha[i]);
     }
     std::printf("\nthroughput (sum IPC): %.3f\n", m.throughput());
+
+    if (opt.profile) {
+        const double run_ms =
+            static_cast<double>(prof.totalNs()) / 1e6;
+        const double wall_ms = static_cast<double>(wall_ns) / 1e6;
+        std::printf("\n# profile: run %.1f ms (%.1f%% of %.1f ms "
+                    "wall)\n",
+                    run_ms,
+                    wall_ns ? 100.0 * static_cast<double>(
+                                  prof.totalNs()) /
+                                  static_cast<double>(wall_ns)
+                            : 0.0,
+                    wall_ms);
+        for (const auto id : prof.node(prof.root()).children) {
+            const auto &n = prof.node(id);
+            std::printf("#   %-12s total %9.2f ms  self %9.2f ms  "
+                        "calls %llu\n",
+                        n.name.c_str(),
+                        static_cast<double>(n.ns) / 1e6,
+                        static_cast<double>(prof.selfNs(id)) / 1e6,
+                        static_cast<unsigned long long>(n.calls));
+        }
+    }
+    if (obs::LeakMonitor *mon = system.leakMonitor()) {
+        const security::ShapingMiResult res = mon->cumulativeResult();
+        std::printf("\n# leakmon: cumulative MI %.4f bits over %llu "
+                    "pairs; window last %.4f / peak %.4f bits (%zu "
+                    "windows)\n",
+                    res.miBits,
+                    static_cast<unsigned long long>(res.pairs),
+                    mon->lastWindowMiBits(), mon->peakWindowMiBits(),
+                    mon->history().size());
+    }
     return kExitOk;
 }
 
@@ -702,6 +890,10 @@ main(int argc, char **argv)
         printUsage(stdout, argv[0]);
         return kExitOk;
     }
+    if (opt.version) {
+        std::printf("%s\n", buildVersionLine().c_str());
+        return kExitOk;
+    }
 
     try {
         return runCamosim(opt);
@@ -716,6 +908,9 @@ main(int argc, char **argv)
     } catch (const hard::WatchdogTimeout &e) {
         std::fprintf(stderr, "camosim: watchdog: %s\n", e.what());
         return kExitWatchdog;
+    } catch (const hard::LeakageAlert &e) {
+        std::fprintf(stderr, "camosim: leakage alert: %s\n", e.what());
+        return kExitLeakage;
     } catch (const hard::CamoError &e) {
         std::fprintf(stderr, "camosim: %s error: %s\n",
                      hard::errorKindName(e.kind()), e.what());
