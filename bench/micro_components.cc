@@ -7,11 +7,14 @@
  * simulator's own speed.
  */
 
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "src/camouflage/bin_shaper.h"
 #include "src/dram/device.h"
 #include "src/security/mutual_information.h"
+#include "src/sim/event_scheduler.h"
 #include "src/sim/presets.h"
 
 using namespace camo;
@@ -92,6 +95,64 @@ BM_SystemSimulationRate(benchmark::State &state)
     state.SetLabel("simulated CPU cycles/s");
 }
 BENCHMARK(BM_SystemSimulationRate);
+
+/**
+ * Calendar-queue hot loop: one schedule + one popDue per simulated
+ * cycle across a realistic component population (the System graph is
+ * ~35 components). Catches event-wheel regressions without the noise
+ * of a full-system run.
+ */
+void
+BM_EventSchedulerScheduleAndPop(benchmark::State &state)
+{
+    const std::size_t ids =
+        static_cast<std::size_t>(state.range(0));
+    sim::EventScheduler sched(ids);
+    std::vector<std::uint32_t> due;
+    Cycle now = 0;
+    std::uint64_t v = 99;
+    for (auto _ : state) {
+        ++now;
+        // A component re-arms at a pseudo-random horizon each cycle;
+        // the mix of near and far wakeups exercises bucket wrap.
+        v = v * 6364136223846793005ULL + 1442695040888963407ULL;
+        const std::uint32_t id =
+            static_cast<std::uint32_t>((v >> 33) % ids);
+        sched.scheduleAt(id, now + 1 + ((v >> 17) & 1023));
+        sched.popDue(now, due);
+        benchmark::DoNotOptimize(due.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventSchedulerScheduleAndPop)->Arg(35)->Arg(256);
+
+/**
+ * Same-cycle FIFO ordering cost: N ids land on one cycle, and the
+ * pop must sort them back into scheduling order. This is the
+ * worst-case drain the System sees when a busy cycle wakes the whole
+ * graph.
+ */
+void
+BM_EventSchedulerSameCycleFifo(benchmark::State &state)
+{
+    const std::size_t ids =
+        static_cast<std::size_t>(state.range(0));
+    sim::EventScheduler sched(ids);
+    std::vector<std::uint32_t> due;
+    Cycle now = 0;
+    for (auto _ : state) {
+        ++now;
+        for (std::size_t i = 0; i < ids; ++i)
+            sched.scheduleAt(static_cast<std::uint32_t>(i), now);
+        sched.popDue(now, due);
+        benchmark::DoNotOptimize(due.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * static_cast<std::int64_t>(ids)));
+    state.SetLabel("wakeups/s");
+}
+BENCHMARK(BM_EventSchedulerSameCycleFifo)->Arg(35)->Arg(256);
 
 void
 BM_MutualInformation(benchmark::State &state)

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bench/sweep.h"
+#include "src/camouflage/bin_config.h"
 #include "src/common/logging.h"
 #include "src/obs/benchdiff.h"
 #include "src/obs/json.h"
@@ -108,6 +109,59 @@ main(int argc, char **argv)
         row["speedup"] = obs::json::Value(tps_fast / tps_plain);
         single.push(std::move(row));
     }
+    // --- 1b. DRAM-idle-heavy configurations ---------------------
+    // The event kernel's headline case (ISSUE 7): sparse receivers
+    // probing every 2000 cycles, so almost every cycle is provably
+    // idle. The BDC row programs a sparse shaped distribution to
+    // match (the hypervisor's choice for a low-intensity victim) --
+    // with the default desired() bins BDC saturates DRAM with fakes
+    // and no kernel can skip that work. A longer window than the
+    // busy rows keeps the event-kernel timing above clock
+    // resolution; both modes run the same window, so the bit-exact
+    // assert and the per-row normalization stay valid.
+    const Cycle idle_cycles = cycles * 10;
+    const std::vector<std::string> idle_mix(4, "probe:2000");
+    shaper::BinConfig sparse_bins;
+    sparse_bins.edges = {0, 500, 1000, 2000, 4000};
+    sparse_bins.credits = {0, 4, 8, 4, 1};
+    sparse_bins.replenishPeriod = 30000;
+    for (const auto mit :
+         {sim::Mitigation::None, sim::Mitigation::BDC}) {
+        sim::SystemConfig cfg = sim::paperConfig();
+        cfg.mitigation = mit;
+        cfg.reqBins = sparse_bins;
+        cfg.respBins = sparse_bins;
+
+        cfg.fastForward = false;
+        auto t0 = std::chrono::steady_clock::now();
+        const auto plain = sim::runConfig(cfg, idle_mix, idle_cycles);
+        const double s_plain = secondsSince(t0);
+
+        cfg.fastForward = true;
+        t0 = std::chrono::steady_clock::now();
+        const auto fast = sim::runConfig(cfg, idle_mix, idle_cycles);
+        const double s_fast = secondsSince(t0);
+
+        camo_assert(sameMetrics(plain, fast),
+                    "event kernel diverged for idle-probe ",
+                    sim::mitigationName(mit));
+
+        const std::string label =
+            std::string(sim::mitigationName(mit)) + "/idle-probe";
+        const double tps_plain =
+            static_cast<double>(idle_cycles) / s_plain;
+        const double tps_fast =
+            static_cast<double>(idle_cycles) / s_fast;
+        std::printf("%-22s %14.0f %14.0f %8.2fx\n", label.c_str(),
+                    tps_plain, tps_fast, tps_fast / tps_plain);
+
+        obs::json::Value row = obs::json::Value::makeObject();
+        row["mitigation"] = obs::json::Value(label);
+        row["ticks_per_sec_loop"] = obs::json::Value(tps_plain);
+        row["ticks_per_sec_fastforward"] = obs::json::Value(tps_fast);
+        row["speedup"] = obs::json::Value(tps_fast / tps_plain);
+        single.push(std::move(row));
+    }
     root["single_thread"] = std::move(single);
 
     // --- 2. sweep wall-clock, jobs=1 vs jobs=N ------------------
@@ -146,9 +200,20 @@ main(int argc, char **argv)
         static_cast<std::uint64_t>(jobs.size()));
     sweep["jobs"] = obs::json::Value(
         static_cast<std::uint64_t>(fan));
+    sweep["jobs_effective"] = obs::json::Value(
+        static_cast<std::uint64_t>(fan));
     sweep["wall_clock_jobs1_sec"] = obs::json::Value(s_serial);
     sweep["wall_clock_jobsN_sec"] = obs::json::Value(s_parallel);
-    sweep["speedup"] = obs::json::Value(s_serial / s_parallel);
+    // On a single-hardware-thread host jobs=N degenerates to serial
+    // execution plus thread overhead: a "speedup" figure would be
+    // noise around 1.0, so record a note instead of the number. The
+    // determinism assert above still ran either way.
+    if (fan <= 1) {
+        sweep["note"] =
+            obs::json::Value("skipped_parallel_speedup");
+    } else {
+        sweep["speedup"] = obs::json::Value(s_serial / s_parallel);
+    }
     sweep["results_identical"] = obs::json::Value(true);
     root["sweep"] = std::move(sweep);
 

@@ -133,6 +133,61 @@ DramDevice::canIssue(Cmd cmd, const DramAddress &da, std::uint64_t now) const
     return false;
 }
 
+std::uint64_t
+DramDevice::earliestIssue(Cmd cmd, const DramAddress &da) const
+{
+    // Mirrors canIssue exactly: every check there is a monotone
+    // threshold test `now >= X` (or a state predicate independent of
+    // `now`), so the earliest legal cycle is the max of the
+    // thresholds -- and canIssue(cmd, da, earliestIssue(cmd, da)) is
+    // true whenever the result is not kNever.
+    camo_assert(da.rank < ranks_.size(), "rank out of range");
+    const RankState &rs = ranks_[da.rank];
+    const BankState &bs = bank(da.rank, da.bank);
+    std::uint64_t at = cmdBusFreeAt_;
+
+    switch (cmd) {
+      case Cmd::ACT: {
+        if (bs.open)
+            return kNever;
+        at = std::max(at, bs.nextAct);
+        if (rs.actWindow.size() >= 4)
+            at = std::max(at, rs.actWindow.front() + timing_.tFAW);
+        if (!rs.actWindow.empty())
+            at = std::max(at, rs.actWindow.back() + timing_.tRRD);
+        return at;
+      }
+      case Cmd::PRE:
+        return bs.open ? std::max(at, bs.nextPre) : kNever;
+      case Cmd::RD: {
+        if (!isRowHit(da))
+            return kNever;
+        at = std::max({at, bs.nextRead, rs.nextRead});
+        const std::uint64_t bus = dataBusFreeFor(da.rank);
+        if (bus > timing_.tCL)
+            at = std::max(at, bus - timing_.tCL);
+        return at;
+      }
+      case Cmd::WR: {
+        if (!isRowHit(da))
+            return kNever;
+        at = std::max({at, bs.nextWrite, rs.nextWrite});
+        const std::uint64_t bus = dataBusFreeFor(da.rank);
+        if (bus > timing_.tCWL)
+            at = std::max(at, bus - timing_.tCWL);
+        return at;
+      }
+      case Cmd::REF: {
+        if (!allBanksClosed(rs))
+            return kNever;
+        for (const BankState &b : rs.banks)
+            at = std::max(at, b.nextAct);
+        return at;
+      }
+    }
+    return kNever;
+}
+
 IssueResult
 DramDevice::issue(Cmd cmd, const DramAddress &da, std::uint64_t now)
 {

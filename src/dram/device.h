@@ -98,6 +98,21 @@ class DramDevice final : public sim::Component
      */
     bool canIssue(Cmd cmd, const DramAddress &da, std::uint64_t now) const;
 
+    /** Sentinel for earliestIssue: no cycle can satisfy the command
+     *  in the device's current state (e.g. ACT into an open bank). */
+    static constexpr std::uint64_t kNever = ~std::uint64_t(0);
+
+    /**
+     * Earliest DRAM cycle at which `cmd` could legally issue given the
+     * device's current state and no intervening commands, i.e. the
+     * smallest `t` with canIssue(cmd, da, t). kNever when a
+     * state-dependent precondition fails (closed row for RD/WR, open
+     * bank for ACT, banks still open for REF): those only become
+     * issuable after another command changes the state, and that
+     * command's own issue re-derives the bound.
+     */
+    std::uint64_t earliestIssue(Cmd cmd, const DramAddress &da) const;
+
     /**
      * Issue `cmd` at cycle `now`.
      * @pre canIssue(cmd, da, now).

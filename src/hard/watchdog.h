@@ -55,6 +55,11 @@ class Watchdog
     /** Cheap pre-check: is a full poll due at `now`? */
     bool due(Cycle now) const { return now >= nextPoll_; }
 
+    /** The cycle the next staleness poll falls due — the event-driven
+     *  kernel schedules watchdog polls at this cadence instead of
+     *  probing due() every tick. */
+    Cycle nextPollAt() const { return nextPoll_; }
+
     /**
      * Evaluate forward progress. `next_event` is the System's
      * nextEventCycle() bound (kNoCycle = nothing can ever happen).

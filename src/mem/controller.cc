@@ -183,8 +183,9 @@ MemoryController::manageRefresh(std::uint64_t dram_now)
 }
 
 void
-MemoryController::buildPool(std::deque<Transaction> &queue, SchedView &view,
-                            std::vector<std::size_t> &index_map)
+MemoryController::buildPool(const std::deque<Transaction> &queue,
+                            SchedView &view,
+                            std::vector<std::size_t> &index_map) const
 {
     // Order: highest-priority-mode core first, then token-boosted
     // cores, then normal traffic, then Camouflage fakes (strictly
@@ -195,12 +196,13 @@ MemoryController::buildPool(std::deque<Transaction> &queue, SchedView &view,
     boosted.clear();
     normal.clear();
     fake.clear();
+    const bool any_tokens = !priorityTokens_.empty();
     for (std::size_t i = 0; i < queue.size(); ++i) {
         const Transaction &txn = queue[i];
         const CoreId core = txn.req.core;
         const bool hpm =
             highestPriorityCore_ && core == *highestPriorityCore_;
-        const bool tokens = priorityTokens(core) > 0;
+        const bool tokens = any_tokens && priorityTokens(core) > 0;
         if (cfg_.demoteFakeTraffic && txn.req.isFake)
             fake.push_back(i);
         else if (hpm || tokens)
@@ -392,32 +394,111 @@ MemoryController::popResponses(Cycle now)
     return done;
 }
 
+std::uint64_t
+MemoryController::earliestQueueAction(const std::deque<Transaction> &queue,
+                                      bool is_write,
+                                      std::uint64_t dram_now) const
+{
+    SchedView view;
+    view.now = dram_now;
+    view.device = &device_;
+    view.isWritePool = is_write;
+    boundPool_.clear();
+    view.pool = std::move(boundPool_);
+    boundIndex_.clear();
+    buildPool(queue, view, boundIndex_);
+    const std::uint64_t at = sched_->earliestPick(view);
+    boundPool_ = std::move(view.pool);
+    return at;
+}
+
 Cycle
 MemoryController::nextEventCycle(Cycle now, Cycle from) const
 {
     Cycle ev = kNoCycle;
+    const std::uint64_t dram_now = divider_.derivedTicks();
 
-    // Queued transactions (or write-drain hysteresis that must settle,
-    // or closed-page row management) act on every DRAM-domain tick.
-    bool busy = !readQ_.empty() || !writeQ_.empty() || drainingWrites_;
-    if (!busy && cfg_.pagePolicy == PagePolicy::Closed &&
-        device_.anyRowOpen()) {
-        busy = true;
+    // Earliest future DRAM cycle with controller work. DRAM ticks the
+    // kernel skips under this bound are provably no-ops: no command
+    // can issue (Scheduler::earliestPick lower-bounds every queue, the
+    // loop below lower-bounds closed-page precharges, and the refresh
+    // term at the bottom keeps ticks dense whenever a refresh is owed
+    // and preempting), so skipping them degenerates to the divider
+    // advance skipIdleCycles performs.
+    std::uint64_t act = dram::DramDevice::kNever;
+    if (!readQ_.empty())
+        act = std::min(act, earliestQueueAction(readQ_, false, dram_now));
+    if (!writeQ_.empty() && act > dram_now + 1)
+        act = std::min(act, earliestQueueAction(writeQ_, true, dram_now));
+    // Write-drain hysteresis with both queues empty settles (flips
+    // off) on the next DRAM tick; granting that one dense tick keeps
+    // the flag's history identical to the per-cycle loop's. With a
+    // non-empty queue the flag converges to the same value at the
+    // next processed tick regardless of the skipped evaluations (it is
+    // a pure function of the unchanged queue sizes after one step),
+    // so no extra ticks are needed there.
+    if (drainingWrites_ && readQ_.empty() && writeQ_.empty())
+        act = std::min<std::uint64_t>(act, dram_now + 1);
+    // Closed-page management spends idle command cycles precharging
+    // open rows no queued transaction wants. (Skipped once the bound
+    // already hits the next DRAM tick -- nothing can be earlier.)
+    if (cfg_.pagePolicy == PagePolicy::Closed && act > dram_now + 1) {
+        for (std::uint32_t rank = 0; rank < cfg_.org.ranksPerChannel;
+             ++rank) {
+            for (std::uint32_t b = 0; b < cfg_.org.banksPerRank; ++b) {
+                dram::DramAddress da{0, rank, b, 0, 0};
+                if (!device_.isRowOpen(da))
+                    continue;
+                const std::uint32_t open_row =
+                    device_.bank(rank, b).openRow;
+                auto wants_row =
+                    [&](const std::deque<Transaction> &q) {
+                        for (const Transaction &txn : q) {
+                            if (txn.da.rank == rank &&
+                                txn.da.bank == b &&
+                                txn.da.row == open_row) {
+                                return true;
+                            }
+                        }
+                        return false;
+                    };
+                if (wants_row(readQ_) || wants_row(writeQ_))
+                    continue;
+                da.row = open_row;
+                act = std::min(act,
+                               device_.earliestIssue(dram::Cmd::PRE, da));
+            }
+        }
     }
-    if (busy)
-        ev = now + divider_.ticksUntilFire(1);
+    if (act != dram::DramDevice::kNever) {
+        const std::uint64_t k = act > dram_now ? act - dram_now : 1;
+        ev = std::min(ev, now + divider_.ticksUntilFire(k));
+    }
 
     for (const PendingResponse &r : responses_)
         ev = std::min(ev, std::max(from, r.readyCpu));
 
     // Refresh: the DRAM tick at which the next refresh falls due.
-    const std::uint64_t dram_now = divider_.derivedTicks();
-    for (std::uint32_t rank = 0; rank < cfg_.org.ranksPerChannel;
-         ++rank) {
-        const std::uint64_t due = device_.nextRefreshDue(rank);
-        const std::uint64_t k = due > dram_now ? due - dram_now : 1;
-        ev = std::min(ev, now + divider_.ticksUntilFire(k));
+    // (Already-owed refreshes give k = 1, keeping ticks dense through
+    // the whole refresh-preemption window.) Dominated by the busy
+    // term whenever that already lands on the next DRAM tick.
+    if (act == dram::DramDevice::kNever || act > dram_now + 1) {
+        for (std::uint32_t rank = 0; rank < cfg_.org.ranksPerChannel;
+             ++rank) {
+            const std::uint64_t due = device_.nextRefreshDue(rank);
+            const std::uint64_t k = due > dram_now ? due - dram_now : 1;
+            ev = std::min(ev, now + divider_.ticksUntilFire(k));
+        }
     }
+    return ev;
+}
+
+Cycle
+MemoryController::nextResponseReady() const
+{
+    Cycle ev = kNoCycle;
+    for (const PendingResponse &r : responses_)
+        ev = std::min(ev, r.readyCpu);
     return ev;
 }
 

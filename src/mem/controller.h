@@ -142,14 +142,22 @@ class MemoryController final : public sim::Component
 
     /**
      * Earliest CPU cycle >= `from` at which the controller could do
-     * observable work: the next DRAM-domain tick while transactions
-     * are queued (or write-drain state must settle, or closed-page
-     * management has rows to precharge), the earliest pending response
-     * completion, and the next refresh falling due. kNoCycle when
-     * fully quiescent. `now` is the current CPU cycle (`from` == now
-     * + 1 in the System tick loop).
+     * observable work: the DRAM tick at which the scheduler could
+     * first issue a command for a queued transaction (a sound lower
+     * bound from Scheduler::earliestPick over the device's timing
+     * registers -- DRAM ticks before it are provably no-ops), the
+     * earliest closed-page precharge opportunity, the earliest pending
+     * response completion, and the next refresh falling due. kNoCycle
+     * when fully quiescent. `now` is the current CPU cycle (`from` ==
+     * now + 1 in the System tick loop).
      */
     Cycle nextEventCycle(Cycle now, Cycle from) const override;
+
+    /** Earliest CPU cycle at which a completed response becomes
+     *  visible to popResponses()/drainResponses(), or kNoCycle if no
+     *  response is pending. The event kernel uses this to wake the
+     *  response-routing station exactly when data is ready. */
+    Cycle nextResponseReady() const;
 
     /** Account `n` skipped idle CPU cycles: advance the DRAM clock
      *  crossing exactly as `n` tick() calls on an idle controller
@@ -207,8 +215,13 @@ class MemoryController final : public sim::Component
     void dramTick(Cycle cpu_now);
     bool manageRefresh(std::uint64_t dram_now);
     bool closeIdleRows(std::uint64_t dram_now);
-    void buildPool(std::deque<Transaction> &queue, SchedView &view,
-                   std::vector<std::size_t> &index_map);
+    void buildPool(const std::deque<Transaction> &queue, SchedView &view,
+                   std::vector<std::size_t> &index_map) const;
+    /** Earliest DRAM cycle the scheduler could act on `queue`
+     *  (Scheduler::earliestPick over the same pool dramTick offers). */
+    std::uint64_t earliestQueueAction(const std::deque<Transaction> &queue,
+                                      bool is_write,
+                                      std::uint64_t dram_now) const;
     void execute(const Decision &d, std::deque<Transaction> &queue,
                  const std::vector<std::size_t> &index_map, Cycle cpu_now,
                  std::uint64_t dram_now);
@@ -226,12 +239,18 @@ class MemoryController final : public sim::Component
     std::vector<PendingResponse> responses_;
     /** Scratch buffers reused across dramTick calls (buildPool runs
      *  every DRAM cycle; rebuilding these from scratch dominated the
-     *  busy-path profile). */
-    std::vector<std::size_t> poolBoosted_;
-    std::vector<std::size_t> poolNormal_;
-    std::vector<std::size_t> poolFake_;
+     *  busy-path profile). Mutable: buildPool is const so the event
+     *  kernel's bound derivation (nextEventCycle) can reuse it. */
+    mutable std::vector<std::size_t> poolBoosted_;
+    mutable std::vector<std::size_t> poolNormal_;
+    mutable std::vector<std::size_t> poolFake_;
     std::vector<std::size_t> indexMapScratch_;
     std::vector<const Transaction *> poolScratch_;
+    /** Scratch for earliestQueueAction (kept separate from the
+     *  dramTick loaners so a bound derivation mid-tick cannot clobber
+     *  a live pool). */
+    mutable std::vector<const Transaction *> boundPool_;
+    mutable std::vector<std::size_t> boundIndex_;
     std::map<CoreId, std::uint32_t> priorityTokens_;
     std::optional<CoreId> highestPriorityCore_;
     StatGroup stats_;

@@ -83,6 +83,15 @@ MemorySystem::nextEventCycle(Cycle now, Cycle from) const
     return ev;
 }
 
+Cycle
+MemorySystem::nextResponseReady() const
+{
+    Cycle ev = kNoCycle;
+    for (const auto &mc : channels_)
+        ev = std::min(ev, mc->nextResponseReady());
+    return ev;
+}
+
 void
 MemorySystem::boostPriority(CoreId core, std::uint32_t tokens)
 {

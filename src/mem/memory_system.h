@@ -49,6 +49,11 @@ class MemorySystem final : public sim::Component
      *  MemoryController::nextEventCycle). */
     Cycle nextEventCycle(Cycle now, Cycle from) const override;
 
+    /** Earliest CPU cycle any channel has a completed response ready
+     *  for drainResponses(), or kNoCycle (see
+     *  MemoryController::nextResponseReady). */
+    Cycle nextResponseReady() const;
+
     /** Account `n` skipped idle CPU cycles on every channel. */
     void
     skipIdleCycles(Cycle n) override

@@ -13,6 +13,13 @@ Scheduler::onCasIssued(CoreId core, std::uint64_t now)
     (void)now;
 }
 
+std::uint64_t
+Scheduler::earliestPick(const SchedView &view) const
+{
+    // Dense ticking: always a sound (if useless) lower bound.
+    return view.now + 1;
+}
+
 namespace {
 
 dram::Cmd
@@ -70,6 +77,23 @@ frFcfsSegment(const SchedView &view, std::size_t begin, std::size_t end,
     return false;
 }
 
+/**
+ * The command frFcfsSegment / FcfsScheduler would try to move `txn`
+ * forward: CAS when its row is open, PRE when another row occupies the
+ * bank, ACT when the bank is closed. The branch condition always
+ * satisfies the command's state precondition, so earliestIssue never
+ * returns kNever through this mapping.
+ */
+std::uint64_t
+earliestProgress(const dram::DramDevice &dev, const Transaction &txn)
+{
+    if (dev.isRowHit(txn.da))
+        return dev.earliestIssue(casCmdFor(txn), txn.da);
+    if (dev.isRowOpen(txn.da))
+        return dev.earliestIssue(dram::Cmd::PRE, txn.da);
+    return dev.earliestIssue(dram::Cmd::ACT, txn.da);
+}
+
 } // namespace
 
 bool
@@ -85,6 +109,23 @@ FrFcfsScheduler::pick(const SchedView &view, Decision &out)
     if (frFcfsSegment(view, view.boostedCount, fake_start, out))
         return true;
     return frFcfsSegment(view, fake_start, view.pool.size(), out);
+}
+
+std::uint64_t
+FrFcfsScheduler::earliestPick(const SchedView &view) const
+{
+    // Min over every transaction's progress command. This candidate
+    // set is a superset of what pick() actually tries (segmentation
+    // and claimed-bank filtering only *remove* candidates), so the
+    // minimum can only be early -- a spurious wake, never a missed
+    // one. Priority boosts reorder segments but do not change the set.
+    std::uint64_t at = dram::DramDevice::kNever;
+    for (const Transaction *txn : view.pool) {
+        at = std::min(at, earliestProgress(*view.device, *txn));
+        if (at <= view.now + 1)
+            break; // cannot get earlier than the next DRAM tick
+    }
+    return at;
 }
 
 bool
@@ -124,6 +165,29 @@ FcfsScheduler::pick(const SchedView &view, Decision &out)
         return false; // strictly in order: wait for the head
     }
     return false;
+}
+
+std::uint64_t
+FcfsScheduler::earliestPick(const SchedView &view) const
+{
+    // Only the head of the foremost non-empty segment can ever issue;
+    // its progress command's threshold is exact for this policy. The
+    // head identity depends on boost segmentation, so any boost change
+    // must re-derive this bound (the system wakes the controller when
+    // it grants or drains priority tokens).
+    const std::size_t fake_start =
+        std::min(view.fakeStart, view.pool.size());
+    const std::size_t segments[3][2] = {
+        {0, view.boostedCount},
+        {view.boostedCount, fake_start},
+        {fake_start, view.pool.size()},
+    };
+    for (const auto &seg : segments) {
+        if (seg[0] >= seg[1])
+            continue;
+        return earliestProgress(*view.device, *view.pool[seg[0]]);
+    }
+    return dram::DramDevice::kNever;
 }
 
 TemporalPartitionScheduler::TemporalPartitionScheduler(const TpConfig &cfg)
@@ -183,6 +247,36 @@ TemporalPartitionScheduler::pick(const SchedView &view, Decision &out)
     return true;
 }
 
+std::uint64_t
+TemporalPartitionScheduler::earliestPick(const SchedView &view) const
+{
+    // The turn boundary always re-derives the bound: a new domain's
+    // candidates become eligible there, and the dead-time gate lifts.
+    const std::uint64_t next_turn =
+        (view.now / cfg_.turnLength + 1) * cfg_.turnLength;
+    if (usableRemaining(view.now) == 0)
+        return next_turn;
+
+    SchedView turn_view;
+    turn_view.now = view.now;
+    turn_view.device = view.device;
+    turn_view.isWritePool = view.isWritePool;
+    const std::uint32_t domain = domainAt(view.now);
+    for (const Transaction *txn : view.pool) {
+        const CoreId core = txn->req.core;
+        const std::uint32_t d =
+            core == kNoCore ? 0 : core % cfg_.numDomains;
+        if (d == domain)
+            turn_view.pool.push_back(txn);
+    }
+    if (turn_view.pool.empty())
+        return next_turn;
+    // An inner bound landing in this turn's dead time wakes the
+    // controller to a pick() that declines; the re-derived bound then
+    // lands on the turn boundary. Spurious, not missed.
+    return std::min(inner_.earliestPick(turn_view), next_turn);
+}
+
 FixedServiceScheduler::FixedServiceScheduler(const FsConfig &cfg)
     : cfg_(cfg), nextService_(cfg.numCores, 0)
 {
@@ -228,6 +322,29 @@ FixedServiceScheduler::pick(const SchedView &view, Decision &out)
         return false;
     out = {inner_out.kind, original_index[inner_out.txnIndex]};
     return true;
+}
+
+std::uint64_t
+FixedServiceScheduler::earliestPick(const SchedView &view) const
+{
+    // Cores already due stay due (nextService_ only advances when a
+    // CAS issues, which re-derives the bound); cores not yet due
+    // become candidates exactly at their constant-rate slot.
+    SchedView due_view;
+    due_view.now = view.now;
+    due_view.device = view.device;
+    due_view.isWritePool = view.isWritePool;
+    std::uint64_t at = dram::DramDevice::kNever;
+    for (const Transaction *txn : view.pool) {
+        const CoreId core = txn->req.core;
+        if (coreDue(core, view.now))
+            due_view.pool.push_back(txn);
+        else
+            at = std::min(at, nextService_[core]);
+    }
+    if (!due_view.pool.empty())
+        at = std::min(at, inner_.earliestPick(due_view));
+    return at;
 }
 
 void

@@ -74,6 +74,17 @@ class Scheduler
      */
     virtual bool pick(const SchedView &view, Decision &out) = 0;
 
+    /**
+     * Earliest DRAM cycle at which pick() could return true for this
+     * view, assuming no intervening commands alter the device state
+     * and no transactions arrive or leave. A sound lower bound: the
+     * policy may still decline at the returned cycle (spurious wakes
+     * are safe; late bounds are not). dram::DramDevice::kNever when no
+     * candidate exists. The default ticks densely (`now + 1`), which
+     * is always sound.
+     */
+    virtual std::uint64_t earliestPick(const SchedView &view) const;
+
     /** Notification that a CAS was executed for `core` at `now`. */
     virtual void onCasIssued(CoreId core, std::uint64_t now);
 };
@@ -88,6 +99,7 @@ class FrFcfsScheduler : public Scheduler
   public:
     const char *name() const override { return "FR-FCFS"; }
     bool pick(const SchedView &view, Decision &out) override;
+    std::uint64_t earliestPick(const SchedView &view) const override;
 };
 
 /**
@@ -101,6 +113,7 @@ class FcfsScheduler : public Scheduler
   public:
     const char *name() const override { return "FCFS"; }
     bool pick(const SchedView &view, Decision &out) override;
+    std::uint64_t earliestPick(const SchedView &view) const override;
 };
 
 /** Configuration for temporal partitioning. */
@@ -127,6 +140,7 @@ class TemporalPartitionScheduler : public Scheduler
     explicit TemporalPartitionScheduler(const TpConfig &cfg);
     const char *name() const override { return "TP"; }
     bool pick(const SchedView &view, Decision &out) override;
+    std::uint64_t earliestPick(const SchedView &view) const override;
 
     /** Domain that owns DRAM cycle `now`. */
     std::uint32_t domainAt(std::uint64_t now) const;
@@ -162,6 +176,7 @@ class FixedServiceScheduler : public Scheduler
     explicit FixedServiceScheduler(const FsConfig &cfg);
     const char *name() const override { return "FS"; }
     bool pick(const SchedView &view, Decision &out) override;
+    std::uint64_t earliestPick(const SchedView &view) const override;
     void onCasIssued(CoreId core, std::uint64_t now) override;
 
     std::uint64_t nextSlot(CoreId core) const;

@@ -39,7 +39,9 @@ SharedChannel::tick(Cycle now)
     // (bounded; back-pressure holds them in the pipe).
     while (!pipe_.empty() && pipe_.front().arrivesAt <= now &&
            egress_.canAccept()) {
-        egress_.push(pipe_.pop());
+        // Cycle-stamped delivery: wakes the subscribed consumer
+        // (the downstream link station) at `now`.
+        egress_.push(pipe_.pop(), now);
     }
 
     // Round-robin arbitration: one grant per cycle.

@@ -48,6 +48,22 @@ class SharedChannel final : public sim::Component
     bool canAccept(std::uint32_t port) const;
     void push(std::uint32_t port, MemRequest req);
 
+    /** Cycle-stamped push: additionally schedules this channel to
+     *  arbitrate at `now` through its WakeSink (event kernel). */
+    void
+    push(std::uint32_t port, MemRequest req, Cycle now)
+    {
+        push(port, std::move(req));
+        scheduleAt(now);
+    }
+
+    /** Wake `consumer` whenever a flit lands on the egress queue
+     *  (the downstream link station); nullptr unsubscribes. */
+    void subscribeEgress(sim::Component *consumer)
+    {
+        egress_.subscribe(consumer);
+    }
+
     /** Arbitrate (1 grant/cycle) and advance the pipeline. */
     void tick(Cycle now) override;
 
@@ -55,10 +71,27 @@ class SharedChannel final : public sim::Component
     const MemRequest &egressFront() const;
     MemRequest popEgress();
 
+    /** Cycle-stamped pop: additionally reschedules the channel so a
+     *  pipeline flit held back by the freed egress slot advances on
+     *  the next cycle (event kernel; matches the per-cycle order where
+     *  the channel ticks before the consuming link station). */
+    MemRequest
+    popEgress(Cycle now)
+    {
+        MemRequest req = popEgress();
+        if (!pipe_.empty())
+            scheduleAt(std::max(now + 1, pipe_.front().arrivesAt));
+        return req;
+    }
+
     /**
-     * Earliest cycle >= `from` at which the channel (or its consumer)
-     * could do work: immediately while ingress or egress holds flits,
-     * at the head-of-pipe arrival otherwise, kNoCycle when empty.
+     * Earliest cycle >= `from` at which the channel itself could do
+     * work: immediately while any ingress holds flits (a grant happens
+     * every cycle), at the head-of-pipe arrival while the egress queue
+     * has space, kNoCycle otherwise. A pipeline blocked on a full
+     * egress queue sleeps until popEgress(now) reschedules it, and a
+     * non-empty egress queue alone is the consumer's work, not ours
+     * (the consuming link station carries its own bound).
      * Idle cycles have no per-cycle accounting, so no skip hook.
      */
     Cycle
@@ -68,9 +101,7 @@ class SharedChannel final : public sim::Component
             if (!q.empty())
                 return from; // a grant happens every cycle
         }
-        if (!egress_.empty())
-            return from; // the consumer drains one flit per cycle
-        if (!pipe_.empty())
+        if (!pipe_.empty() && egress_.canAccept())
             return std::max(from, pipe_.front().arrivesAt);
         return kNoCycle;
     }

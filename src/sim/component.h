@@ -16,6 +16,7 @@
 #ifndef CAMO_SIM_COMPONENT_H
 #define CAMO_SIM_COMPONENT_H
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
@@ -36,11 +37,32 @@ class CheckerSet;
 namespace camo::sim {
 
 /**
+ * Receives wakeup requests from components (and from wires that have
+ * a subscribed consumer). The System's event kernel implements this:
+ * it resolves the request against the in-flight cycle (a wake for the
+ * cycle currently being processed lands in the due set if the target
+ * has not run yet this cycle, or on the next cycle if it has — the
+ * same visibility order the topology-ordered tick loop gave) and
+ * otherwise forwards to the EventScheduler calendar.
+ */
+class WakeSink
+{
+  public:
+    virtual ~WakeSink() = default;
+
+    /** Run `id` no later than `at` (min-merge; kNoCycle = no-op). */
+    virtual void wakeAt(std::uint32_t id, Cycle at) = 0;
+
+    /** Replace `id`'s pending wakeup with `at` (kNoCycle cancels). */
+    virtual void rescheduleAt(std::uint32_t id, Cycle at) = 0;
+};
+
+/**
  * One block of the simulated machine.
  *
  * The cycle-advancement contract:
- *  - tick(now) advances the component by one CPU cycle. Components
- *    are ticked in topology order, once per cycle.
+ *  - tick(now) advances the component by one CPU cycle. Within a
+ *    processed cycle, components run in topology order.
  *  - nextEventCycle(now, from) returns the earliest cycle >= `from`
  *    at which tick() could do observable work, or kNoCycle if none is
  *    possible without new input. Cycles strictly before the returned
@@ -49,6 +71,16 @@ namespace camo::sim {
  *  - skipIdleCycles(n) batch-applies the accounting that `n` tick()
  *    calls in the current (provably idle) state would have produced.
  *    Must be bit-exact with ticking; the default accounts nothing.
+ *
+ * Self-scheduling: under the event-driven kernel each component is
+ * attached to a WakeSink and owns its wakeups. After every tick the
+ * kernel re-arms the component from its nextEventCycle() bound; a
+ * component (or a wire delivering into it) can pull that wakeup
+ * earlier at any time with scheduleAt(). Because scheduling is
+ * min-merge and ticking a provably-idle cycle is bit-exact with
+ * skipping it, spurious extra wakeups are always safe — only a
+ * *missed* wakeup (a bound that overshoots the next observable
+ * event) can change behaviour.
  */
 class Component
 {
@@ -60,6 +92,36 @@ class Component
     Component &operator=(const Component &) = delete;
 
     const std::string &name() const { return name_; }
+
+    // ----- self-scheduling (event-driven kernel) -------------------
+
+    /** Attach this component to the scheduler `sink` as `id`;
+     *  nullptr detaches. */
+    void
+    attachWakeSink(WakeSink *sink, std::uint32_t id)
+    {
+        wakeSink_ = sink;
+        wakeId_ = id;
+    }
+
+    std::uint32_t wakeId() const { return wakeId_; }
+
+    /** Request a wakeup no later than `at` (min-merge; no-op when
+     *  detached or `at` == kNoCycle). */
+    void
+    scheduleAt(Cycle at)
+    {
+        if (wakeSink_ != nullptr)
+            wakeSink_->wakeAt(wakeId_, at);
+    }
+
+    /** Replace any pending wakeup with `at` (kNoCycle cancels). */
+    void
+    reschedule(Cycle at)
+    {
+        if (wakeSink_ != nullptr)
+            wakeSink_->rescheduleAt(wakeId_, at);
+    }
 
     /** Advance one CPU cycle. */
     virtual void tick(Cycle now) { (void)now; }
@@ -112,6 +174,8 @@ class Component
 
   private:
     std::string name_;
+    WakeSink *wakeSink_ = nullptr;
+    std::uint32_t wakeId_ = 0;
 };
 
 /**

@@ -1,0 +1,170 @@
+#include "src/sim/event_scheduler.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/common/logging.h"
+
+namespace camo::sim {
+
+void
+EventScheduler::reset(std::size_t ids)
+{
+    buckets_.assign(kBuckets, {});
+    nonEmpty_.assign(kBuckets / 64, 0);
+    wake_.assign(ids, kNoCycle);
+    dueScratch_.clear();
+    seq_ = 0;
+    scheduled_ = 0;
+    cachedNext_ = kNoCycle;
+    cacheValid_ = false;
+}
+
+void
+EventScheduler::insert(std::uint32_t id, Cycle at)
+{
+    const std::size_t b = bucketOf(at);
+    buckets_[b].push_back(Entry{at, seq_++, id});
+    nonEmpty_[b >> 6] |= std::uint64_t{1} << (b & 63);
+}
+
+void
+EventScheduler::markUnscheduled(std::uint32_t id)
+{
+    if (wake_[id] != kNoCycle) {
+        wake_[id] = kNoCycle;
+        --scheduled_;
+    }
+}
+
+void
+EventScheduler::scheduleAt(std::uint32_t id, Cycle at)
+{
+    if (at == kNoCycle)
+        return;
+    camo_assert(id < wake_.size(), "scheduleAt: id out of range");
+    const Cycle cur = wake_[id];
+    if (cur <= at)
+        return; // already due no later than `at`
+    if (cur == kNoCycle)
+        ++scheduled_;
+    wake_[id] = at;
+    insert(id, at);
+    // The global minimum can only move to `at` (it got earlier), so
+    // the memo stays exact.
+    if (cacheValid_ && at < cachedNext_)
+        cachedNext_ = at;
+}
+
+void
+EventScheduler::reschedule(std::uint32_t id, Cycle at)
+{
+    if (at == kNoCycle) {
+        cancel(id);
+        return;
+    }
+    camo_assert(id < wake_.size(), "reschedule: id out of range");
+    const Cycle cur = wake_[id];
+    if (cur == at)
+        return;
+    if (cur == kNoCycle)
+        ++scheduled_;
+    else if (cacheValid_ && cur == cachedNext_)
+        cacheValid_ = false; // the old wake may have been the minimum
+    wake_[id] = at;
+    insert(id, at); // the old bucket entry goes stale; dropped lazily
+    if (cacheValid_ && at < cachedNext_)
+        cachedNext_ = at;
+}
+
+void
+EventScheduler::cancel(std::uint32_t id)
+{
+    camo_assert(id < wake_.size(), "cancel: id out of range");
+    if (wake_[id] == kNoCycle)
+        return;
+    if (cacheValid_ && wake_[id] == cachedNext_)
+        cacheValid_ = false;
+    markUnscheduled(id);
+}
+
+Cycle
+EventScheduler::nextDueCycle() const
+{
+    if (scheduled_ == 0)
+        return kNoCycle;
+    if (cacheValid_)
+        return cachedNext_;
+    // Scan only buckets the bitmap marks as possibly occupied; prune
+    // stale entries (superseded by a later reschedule/pop) on the way.
+    Cycle best = kNoCycle;
+    for (std::size_t w = 0; w < nonEmpty_.size(); ++w) {
+        std::uint64_t bits = nonEmpty_[w];
+        while (bits != 0) {
+            const std::size_t b =
+                (w << 6) +
+                static_cast<std::size_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            auto &bucket =
+                const_cast<std::vector<Entry> &>(buckets_[b]);
+            for (std::size_t i = 0; i < bucket.size();) {
+                const Entry &e = bucket[i];
+                if (wake_[e.id] != e.at) { // stale
+                    bucket[i] = bucket.back();
+                    bucket.pop_back();
+                    continue;
+                }
+                best = std::min(best, e.at);
+                ++i;
+            }
+            if (bucket.empty())
+                const_cast<std::uint64_t &>(nonEmpty_[w]) &=
+                    ~(std::uint64_t{1} << (b & 63));
+        }
+    }
+    cachedNext_ = best;
+    cacheValid_ = true;
+    return best;
+}
+
+void
+EventScheduler::popDue(Cycle cycle, std::vector<std::uint32_t> &out)
+{
+    out.clear();
+    const std::size_t b = bucketOf(cycle);
+    auto &bucket = buckets_[b];
+    // Collect live entries due now; drop stale ones; keep the rest
+    // (same bucket, different calendar year).
+    static_assert(sizeof(Entry) <= 24, "Entry stays pop-cheap");
+    std::vector<Entry> &due = dueScratch_;
+    due.clear();
+    for (std::size_t i = 0; i < bucket.size();) {
+        const Entry &e = bucket[i];
+        if (wake_[e.id] != e.at) { // stale
+            bucket[i] = bucket.back();
+            bucket.pop_back();
+            continue;
+        }
+        if (e.at == cycle) {
+            due.push_back(e);
+            markUnscheduled(e.id);
+            bucket[i] = bucket.back();
+            bucket.pop_back();
+            continue;
+        }
+        ++i;
+    }
+    if (bucket.empty())
+        nonEmpty_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+    if (cacheValid_ && cachedNext_ == cycle)
+        cacheValid_ = false;
+    std::sort(due.begin(), due.end(),
+              [](const Entry &a, const Entry &b_) {
+                  return a.seq < b_.seq;
+              });
+    out.reserve(due.size());
+    for (const Entry &e : due)
+        out.push_back(e.id);
+}
+
+} // namespace camo::sim

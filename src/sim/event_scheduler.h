@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The discrete-event calendar queue at the heart of the kernel.
+ *
+ * An EventScheduler tracks, for a fixed set of integer ids (the
+ * System uses the component-graph index), the earliest cycle at which
+ * each id wants to run. Wakeups land in a calendar of power-of-two
+ * buckets keyed by `cycle & (kBuckets - 1)`, so draining one cycle
+ * touches one bucket instead of the whole pending set; a per-id
+ * authority array (`wakeOf`) makes superseded bucket entries cheap to
+ * drop lazily instead of searching for them at reschedule time.
+ *
+ * Ordering contract: popDue() returns the ids due at a cycle in the
+ * order their wakeups were scheduled (FIFO within a cycle, by a
+ * monotonic sequence number). The System kernel additionally sorts
+ * the due set into topology order before ticking; generic users get
+ * the FIFO guarantee directly.
+ *
+ * scheduleAt() is a min-merge: it only ever moves a wakeup earlier.
+ * That makes redundant wake notifications (a wire delivery to a
+ * component that is already due sooner) free, and means a stale later
+ * entry can never mask an earlier one. reschedule() is the
+ * authoritative form used when a caller has recomputed its bound and
+ * wants to replace the previous wakeup outright.
+ */
+
+#ifndef CAMO_SIM_EVENT_SCHEDULER_H
+#define CAMO_SIM_EVENT_SCHEDULER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace camo::sim {
+
+class EventScheduler
+{
+  public:
+    /** Calendar width; one bucket per cycle modulo this. */
+    static constexpr std::size_t kBuckets = 256;
+
+    explicit EventScheduler(std::size_t ids = 0) { reset(ids); }
+
+    /** Drop every wakeup and resize to `ids` schedulable ids. */
+    void reset(std::size_t ids);
+
+    std::size_t ids() const { return wake_.size(); }
+
+    /** Number of ids currently scheduled. */
+    std::size_t scheduled() const { return scheduled_; }
+    bool empty() const { return scheduled_ == 0; }
+
+    /** The cycle `id` will next run, or kNoCycle if unscheduled. */
+    Cycle wakeOf(std::uint32_t id) const { return wake_[id]; }
+
+    /**
+     * Wake `id` no later than `at` (min-merge; keeps an earlier
+     * pending wakeup). `at == kNoCycle` is a no-op, so callers can
+     * feed nextEventCycle() bounds through unconditionally.
+     */
+    void scheduleAt(std::uint32_t id, Cycle at);
+
+    /** Replace `id`'s wakeup with `at` (kNoCycle cancels). */
+    void reschedule(std::uint32_t id, Cycle at);
+
+    /** Remove `id`'s wakeup, if any. */
+    void cancel(std::uint32_t id);
+
+    /** Earliest scheduled cycle across all ids (kNoCycle if none). */
+    Cycle nextDueCycle() const;
+
+    /**
+     * Pop every id due exactly at `cycle` into `out` (cleared first),
+     * FIFO by scheduling order. Popped ids become unscheduled.
+     */
+    void popDue(Cycle cycle, std::vector<std::uint32_t> &out);
+
+  private:
+    struct Entry {
+        Cycle at;
+        std::uint64_t seq;
+        std::uint32_t id;
+    };
+
+    static std::size_t bucketOf(Cycle at)
+    {
+        return static_cast<std::size_t>(at) & (kBuckets - 1);
+    }
+
+    void insert(std::uint32_t id, Cycle at);
+    void markUnscheduled(std::uint32_t id);
+
+    std::vector<std::vector<Entry>> buckets_;
+    /** One bit per bucket: may hold entries (possibly all stale). */
+    std::vector<std::uint64_t> nonEmpty_;
+    std::vector<Cycle> wake_;
+    std::vector<Entry> dueScratch_; // popDue working set, reused
+    std::uint64_t seq_ = 0;
+    std::size_t scheduled_ = 0;
+
+    // nextDueCycle() memo; any mutation that could move the minimum
+    // invalidates it (scheduleAt earlier than the memo refreshes it
+    // in place, since the minimum can only have become `at`).
+    mutable Cycle cachedNext_ = kNoCycle;
+    mutable bool cacheValid_ = false;
+};
+
+} // namespace camo::sim
+
+#endif // CAMO_SIM_EVENT_SCHEDULER_H

@@ -8,6 +8,13 @@
  * builder binds both ends of each link to a Wire with connect().
  * Components never name their peers — only their ports — so the
  * topology stays data, not code.
+ *
+ * Event-driven delivery: a wire may subscribe a consumer Component.
+ * The cycle-stamped push(v, at) overload then wakes that consumer at
+ * the delivery cycle through its WakeSink, so data landing on a wire
+ * is itself the scheduling event — no consumer ever polls an empty
+ * wire. The plain push(v) stays for paths where the producer's
+ * station already runs the consumer in the same call chain.
  */
 
 #ifndef CAMO_SIM_PORT_H
@@ -18,6 +25,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/sim/component.h"
 
 namespace camo::sim {
 
@@ -31,11 +39,26 @@ class Wire
     /** Backpressure: can one more element be pushed? */
     bool canAccept() const { return cap_ == 0 || q_.size() < cap_; }
 
+    /** Wake `consumer` whenever a cycle-stamped push lands here;
+     *  nullptr unsubscribes. */
+    void subscribe(Component *consumer) { consumer_ = consumer; }
+    Component *consumer() const { return consumer_; }
+
     void
     push(T v)
     {
         camo_assert(canAccept(), "push into a full wire");
         q_.push_back(std::move(v));
+    }
+
+    /** Push a delivery that lands at cycle `at`, scheduling the
+     *  subscribed consumer (if any) to run at that cycle. */
+    void
+    push(T v, Cycle at)
+    {
+        push(std::move(v));
+        if (consumer_ != nullptr)
+            consumer_->scheduleAt(at);
     }
 
     bool empty() const { return q_.empty(); }
@@ -69,6 +92,7 @@ class Wire
   private:
     std::deque<T> q_;
     std::size_t cap_;
+    Component *consumer_ = nullptr;
 };
 
 /** Producer endpoint of a link. */
@@ -86,6 +110,14 @@ class OutPort
     {
         camo_assert(wire_ != nullptr, "push through an unbound port");
         wire_->push(std::move(v));
+    }
+
+    /** Cycle-stamped push: wakes the wire's subscribed consumer. */
+    void
+    push(T v, Cycle at)
+    {
+        camo_assert(wire_ != nullptr, "push through an unbound port");
+        wire_->push(std::move(v), at);
     }
 
   private:

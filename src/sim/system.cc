@@ -1,6 +1,7 @@
 #include "src/sim/system.h"
 
 #include <algorithm>
+#include <bit>
 #include <iostream>
 #include <sstream>
 
@@ -61,6 +62,15 @@ struct System::PerCore
     std::uint64_t ivBusReal = 0;
     std::uint64_t ivBusFake = 0;
 
+    /** Graph indices the event kernel's glue needs (set by
+     *  buildTopology; kNoIndex = absent). */
+    static constexpr std::size_t kNoIndex = SIZE_MAX;
+    std::size_t coreIdx = kNoIndex;
+    std::size_t corePipeIdx = kNoIndex;
+    std::size_t respPipeIdx = kNoIndex;
+    std::size_t reqShaperIdx = kNoIndex;
+    std::size_t respShaperIdx = kNoIndex;
+
     PerCore(const std::vector<Cycle> &edges)
         : intrinsicMon(edges), busMon(edges), respMon(edges)
     {
@@ -85,14 +95,19 @@ struct System::FaultApplyStation final : Component
     }
 
     void
-    tick(Cycle) override
+    tick(Cycle now) override
     {
-        if (sys_->injector_)
-            sys_->applyInjectedFaults();
+        if (!sys_->injector_)
+            return;
+        sys_->applyInjectedFaults();
+        // Injected state (corrupted credits, armed one-shots, wedges)
+        // is observed by the pipe stations and the credit checker:
+        // wake them so detection lands on the injection cycle itself.
+        sys_->wakeFaultTargets(now);
     }
 
     /** Scheduled faults must fire at their programmed cycle, not at
-     *  whatever tick the fast-forward happens to execute next. */
+     *  whatever tick the event kernel happens to execute next. */
     Cycle
     nextEventCycle(Cycle, Cycle from) const override
     {
@@ -121,7 +136,7 @@ struct System::CorePipeStation final : Component
     }
 
     Cycle
-    nextEventCycle(Cycle, Cycle from) const override
+    nextEventCycle(Cycle now, Cycle from) const override
     {
         // Buffered misses move the moment the next stage can take
         // them (every cycle while it can).
@@ -130,7 +145,34 @@ struct System::CorePipeStation final : Component
             (!pc.reqShaper || pc.reqShaper->canAccept())) {
             return from;
         }
+        if (pc.reqShaper) {
+            // A wedged shaper is ticked (and wedge-early-returns)
+            // every cycle: none of those cycles is provably idle.
+            if (sys_->injector_ &&
+                sys_->injector_->reqShaperWedged(core_, now)) {
+                return from;
+            }
+            // With this port's ingress queue full the shaper ticks
+            // ready=false, which skips its stall accounting — those
+            // cycles must stay real ticks. (Only this station pushes
+            // to the port, so not-full cannot regress while asleep.)
+            if (!sys_->reqChannel_->canAccept(core_))
+                return from;
+            // The shaper drives its own schedule (replenishments,
+            // eligibility, stall events) through the station.
+            return pc.reqShaper->nextEventCycle(from);
+        }
         return kNoCycle;
+    }
+
+    /** The paired shaper is driven by this station: its batched idle
+     *  accounting rides the station's. */
+    void
+    skipIdleCycles(Cycle n) override
+    {
+        PerCore &pc = *sys_->cores_[core_];
+        if (pc.reqShaper)
+            pc.reqShaper->skipIdleCycles(n);
     }
 
     /** Epoch service counters live on the pipe, not the core. */
@@ -161,12 +203,35 @@ struct System::ReqLinkStation final : Component
         if (ch.hasEgress(now) &&
             sys_->mem_->canAccept(ch.egressFront().addr,
                                   ch.egressFront().isWrite)) {
-            sys_->mem_->enqueue(ch.popEgress(), now);
+            // enqueue() stamps the transaction with the controller's
+            // clock-divider state; bring the controller to the state
+            // it has at this point of the per-cycle loop (its own
+            // tick this cycle has not yet run) before mutating it.
+            sys_->catchUp(sys_->memIdx_, now - 1);
+            sys_->mem_->enqueue(ch.popEgress(now), now);
+            // The controller must arbitrate the new arrival this
+            // cycle, exactly as the tick loop had it.
+            sys_->mem_->scheduleAt(now);
         }
     }
 
-    /** The channel's own bound covers pending egress. */
-    Cycle nextEventCycle(Cycle, Cycle) const override { return kNoCycle; }
+    /** Pending egress drains one flit per cycle while the MC has
+     *  queue space for the head flit. When the MC queue is full the
+     *  station sleeps: canAccept only transitions back to true inside
+     *  an MC tick, and the post-mem wake glue re-wakes us then. New
+     *  egress arrivals wake us through the channel's egress
+     *  subscription. */
+    Cycle
+    nextEventCycle(Cycle, Cycle from) const override
+    {
+        const noc::SharedChannel &ch = *sys_->reqChannel_;
+        if (ch.egressDepth() == 0)
+            return kNoCycle;
+        return sys_->mem_->canAccept(ch.egressFront().addr,
+                                     ch.egressFront().isWrite)
+                   ? from
+                   : kNoCycle;
+    }
 
     System *sys_;
 };
@@ -187,6 +252,11 @@ struct System::MemRouteStation final : Component
         Cycle ev = kNoCycle;
         for (const DelayedResponse &d : sys_->delayedResp_)
             ev = std::min(ev, std::max(from, d.releaseAt));
+        // Completed DRAM reads route back the cycle they become
+        // ready (the post-mem wake glue covers responses minted
+        // after this bound was taken).
+        ev = std::min(ev,
+                      std::max(from, sys_->mem_->nextResponseReady()));
         return ev;
     }
 
@@ -209,18 +279,37 @@ struct System::RespPipeStation final : Component
     }
 
     Cycle
-    nextEventCycle(Cycle, Cycle from) const override
+    nextEventCycle(Cycle now, Cycle from) const override
     {
         const PerCore &pc = *sys_->cores_[core_];
         if (!pc.respBuffer.empty() &&
             (!pc.respShaper || pc.respShaper->canAccept())) {
             return from;
         }
-        // Accumulated priority warnings are forwarded to the
-        // scheduler on the next tick.
-        if (pc.respShaper && pc.respShaper->hasPendingBoost())
-            return from;
+        if (pc.respShaper) {
+            // Accumulated priority warnings are forwarded to the
+            // scheduler on the next tick.
+            if (pc.respShaper->hasPendingBoost())
+                return from;
+            if (sys_->injector_ &&
+                sys_->injector_->respShaperWedged(core_, now)) {
+                return from;
+            }
+            // ready=false ticks (full ingress) bypass the shaper's
+            // stall accounting; see CorePipeStation.
+            if (!sys_->respChannel_->canAccept(core_))
+                return from;
+            return pc.respShaper->nextEventCycle(from);
+        }
         return kNoCycle;
+    }
+
+    void
+    skipIdleCycles(Cycle n) override
+    {
+        PerCore &pc = *sys_->cores_[core_];
+        if (pc.respShaper)
+            pc.respShaper->skipIdleCycles(n);
     }
 
     System *sys_;
@@ -237,7 +326,12 @@ struct System::RespLinkStation final : Component
 
     void tick(Cycle) override { sys_->deliverResponses(); }
 
-    Cycle nextEventCycle(Cycle, Cycle) const override { return kNoCycle; }
+    /** One delivery per cycle while the egress queue holds flits. */
+    Cycle
+    nextEventCycle(Cycle, Cycle from) const override
+    {
+        return sys_->respChannel_->egressDepth() > 0 ? from : kNoCycle;
+    }
 
     System *sys_;
 };
@@ -263,14 +357,11 @@ struct System::CreditCheckStation final : Component
 };
 
 /**
- * Periodic interval-metrics snapshot. Interval boundaries do NOT
- * bound the fast-forward (nextEventCycle is kNoCycle): rows whose
- * boundary falls inside a skipped idle span are synthesized in
- * skipIdleCycles with the exact values the ticked loop would have
- * produced — during a provably-idle span only core cycle counters
- * advance (uniformly, one per cycle), while queue depths, monitor
- * counts, and shaper credits are all frozen (every shaper's
- * nextEventCycle stops at its next credit replenishment).
+ * Periodic interval-metrics snapshot. The station schedules itself at
+ * each boundary (nextEventCycle pins interval_->nextAt()); before
+ * sampling it catches every earlier component up through the
+ * boundary, so rows read the exact state the per-cycle loop would
+ * have shown there.
  */
 struct System::IntervalStation final : Component
 {
@@ -283,29 +374,15 @@ struct System::IntervalStation final : Component
     tick(Cycle now) override
     {
         if (sys_->interval_ && sys_->interval_->due(now))
-            sys_->sampleInterval();
+            sys_->sampleIntervalAt(now);
     }
 
-    Cycle nextEventCycle(Cycle, Cycle) const override
-    {
-        return kNoCycle;
-    }
-
-    void
-    skipIdleCycles(Cycle n) override
+    Cycle
+    nextEventCycle(Cycle, Cycle from) const override
     {
         if (!sys_->interval_)
-            return;
-        // Runs before System::now_ advances: the skipped span is
-        // (start, start + n]. This station is last in graph order,
-        // so the cores' batched accounting has already been applied;
-        // a boundary at cycle b sees core cycle counters rewound by
-        // (start + n - b).
-        const Cycle start = sys_->now_;
-        while (sys_->interval_->nextAt() <= start + n) {
-            const Cycle b = sys_->interval_->nextAt();
-            sys_->sampleIntervalAt(b, start + n - b);
-        }
+            return kNoCycle;
+        return std::max(from, sys_->interval_->nextAt());
     }
 
     System *sys_;
@@ -488,28 +565,51 @@ System::buildTopology(const std::vector<std::string> &workloads)
 
     // Lay the components into the graph in Figure-5 tick order. The
     // subsystems are borrowed (the PerCore / System unique_ptrs above
-    // own them); the stations are graph-owned.
+    // own them); the stations are graph-owned. Graph indices and wire
+    // subscriptions recorded here are the event kernel's wiring: a
+    // delivery onto a subscribed wire wakes the consuming station at
+    // the delivery cycle.
     graph_.emplace<FaultApplyStation>(this);
     for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
         PerCore &pc = *cores_[i];
         graph_.add(pc.core.get());
+        pc.coreIdx = graph_.size() - 1;
         graph_.add(pc.cache.get());
-        if (pc.reqShaper)
+        if (pc.reqShaper) {
             graph_.add(pc.reqShaper.get());
-        graph_.emplace<CorePipeStation>(this, i);
+            pc.reqShaperIdx = graph_.size() - 1;
+        }
+        CorePipeStation *cp = graph_.emplace<CorePipeStation>(this, i);
+        pc.corePipeIdx = graph_.size() - 1;
+        pc.missBuffer.subscribe(cp);
+        faultWakeIds_.push_back(
+            static_cast<std::uint32_t>(pc.corePipeIdx));
     }
     graph_.add(reqChannel_.get());
-    graph_.emplace<ReqLinkStation>(this);
+    ReqLinkStation *rl = graph_.emplace<ReqLinkStation>(this);
+    reqLinkIdx_ = graph_.size() - 1;
+    reqChannel_->subscribeEgress(rl);
     graph_.add(mem_.get());
+    memIdx_ = graph_.size() - 1;
     graph_.emplace<MemRouteStation>(this);
+    memRouteIdx_ = graph_.size() - 1;
     for (std::uint32_t i = 0; i < cfg_.numCores; ++i) {
-        if (cores_[i]->respShaper)
-            graph_.add(cores_[i]->respShaper.get());
-        graph_.emplace<RespPipeStation>(this, i);
+        PerCore &pc = *cores_[i];
+        if (pc.respShaper) {
+            graph_.add(pc.respShaper.get());
+            pc.respShaperIdx = graph_.size() - 1;
+        }
+        RespPipeStation *rp = graph_.emplace<RespPipeStation>(this, i);
+        pc.respPipeIdx = graph_.size() - 1;
+        pc.respBuffer.subscribe(rp);
+        faultWakeIds_.push_back(
+            static_cast<std::uint32_t>(pc.respPipeIdx));
     }
     graph_.add(respChannel_.get());
-    graph_.emplace<RespLinkStation>(this);
+    RespLinkStation *rsl = graph_.emplace<RespLinkStation>(this);
+    respChannel_->subscribeEgress(rsl);
     graph_.emplace<CreditCheckStation>(this);
+    faultWakeIds_.push_back(static_cast<std::uint32_t>(graph_.size() - 1));
     graph_.emplace<IntervalStation>(this);
 
     // One fan-out wires the tracer into every component (sticky:
@@ -653,7 +753,7 @@ System::drainCacheOutgoing(PerCore &pc)
         return;
     for (MemRequest &req : out) {
         pc.intrinsicMon.record(now_);
-        pc.missBuffer.push(std::move(req));
+        pc.missBuffer.push(std::move(req), now_);
     }
     pc.cache->clearOutgoing();
 }
@@ -719,7 +819,7 @@ System::routeMcResponses()
                 const std::uint32_t c = it->resp.core;
                 camo_assert(c < cores_.size(),
                             "response for unknown core");
-                cores_[c]->respBuffer.push(std::move(it->resp));
+                cores_[c]->respBuffer.push(std::move(it->resp), now_);
                 it = delayedResp_.erase(it);
             } else {
                 ++it;
@@ -744,13 +844,13 @@ System::routeMcResponses()
                 continue;
               case hard::FaultInjector::RespAction::Duplicate:
                 stats_.inc("hard.resp_duplicated");
-                cores_[c]->respBuffer.push(resp); // extra copy
+                cores_[c]->respBuffer.push(resp, now_); // extra copy
                 break;
               case hard::FaultInjector::RespAction::Pass:
                 break;
             }
         }
-        cores_[c]->respBuffer.push(std::move(resp));
+        cores_[c]->respBuffer.push(std::move(resp), now_);
     }
 }
 
@@ -768,6 +868,10 @@ System::feedResponsePath(PerCore &pc)
         if (const std::uint32_t boost =
                 pc.respShaper->takePriorityWarning()) {
             mem_->boostPriority(port, boost);
+            // Boost tokens re-segment the controller's candidate
+            // pool, which can advance its earliest-pick bound (the
+            // FCFS-family head changes); re-derive it this cycle.
+            mem_->scheduleAt(now_);
         }
         const bool ready = respChannel_->canAccept(port);
         if (auto released = pc.respShaper->tick(now_, ready))
@@ -788,7 +892,7 @@ System::deliverResponses()
     // One delivery per cycle: the return channel's bandwidth.
     if (!respChannel_->hasEgress(now_))
         return;
-    MemRequest resp = respChannel_->popEgress();
+    MemRequest resp = respChannel_->popEgress(now_);
     const std::uint32_t c = resp.core;
     camo_assert(c < cores_.size(), "response for unknown core");
     PerCore &pc = *cores_[c];
@@ -819,8 +923,15 @@ System::deliverResponses()
     pc.latencySum += resp.totalLatency();
     if (cfg_.recordLatencies)
         pc.latencies.push_back({now_, resp.totalLatency()});
+    // The fill mutates the core from a later graph position: settle
+    // the core's batched idle accounting first (its pre-fill stall
+    // state is what those cycles looked like), then apply the fill;
+    // the wake lands next cycle — exactly when the tick loop's core
+    // would have seen it.
+    catchUp(pc.coreIdx, now_);
     const Cycle usable = pc.cache->onFill(resp.addr, now_);
     pc.core->onFill(resp.addr, usable);
+    pc.core->scheduleAt(now_);
     // Fills can displace dirty lines: collect the writebacks.
     drainCacheOutgoing(pc);
 }
@@ -861,27 +972,22 @@ System::enableIntervalStats(Cycle period)
 }
 
 void
-System::sampleInterval()
+System::sampleIntervalAt(Cycle at)
 {
-    sampleIntervalAt(now_, 0);
-}
-
-void
-System::sampleIntervalAt(Cycle at, Cycle cycle_lag)
-{
-    // cycle_lag rewinds the per-core cycle counters for rows
-    // synthesized inside a skipped idle span: at that point the
-    // cores' batched accounting has already advanced them past the
-    // boundary `at`, by exactly cycle_lag cycles each (idle cores
-    // advance one cycle per cycle and retire nothing). Everything
-    // else in the row is frozen during a provably-idle span.
+    // Under the event kernel the interval station runs near the end
+    // of the graph: every component due this cycle has already
+    // ticked, and catching the rest up through the boundary settles
+    // their batched idle accounting, so the row reads exactly what
+    // the per-cycle loop would have shown at `at`.
+    if (kernelActive_ && inCycle_)
+        syncAllThrough(at, procIdx_);
     std::vector<double> row;
     row.reserve(interval_->columns().size());
     row.push_back(static_cast<double>(mem_->readQueueSize()));
     row.push_back(static_cast<double>(mem_->writeQueueSize()));
     for (auto &pc : cores_) {
         const std::uint64_t retired = pc->core->retired();
-        const std::uint64_t cycles = pc->core->cycles() - cycle_lag;
+        const std::uint64_t cycles = pc->core->cycles();
         const std::uint64_t dc = cycles - pc->ivCycles;
         row.push_back(dc ? static_cast<double>(retired - pc->ivRetired) /
                                static_cast<double>(dc)
@@ -1042,6 +1148,12 @@ System::degradeShaper(std::uint32_t i)
             checkers_->respConservation().setContract(i,
                                                       contractOf(safe));
     }
+    // A mid-run degradation swaps the shapers' schedules out from
+    // under the driving stations: force both to requery their bounds.
+    if (kernelActive_) {
+        wakeAt(static_cast<std::uint32_t>(pc.corePipeIdx), now_ + 1);
+        wakeAt(static_cast<std::uint32_t>(pc.respPipeIdx), now_ + 1);
+    }
     // Fake generation is deliberately left untouched: degradation must
     // never reveal more than the schedule it replaces.
     camo_warn("core ", i, " shapers degraded to the fail-secure ",
@@ -1088,6 +1200,7 @@ System::onShaperViolation(std::uint32_t core, const std::string &msg)
         degradeShaper(core);
         return;
     }
+    syncForDiagnostic();
     const std::string dump =
         diagnosticJson("shaper-invariant: " + msg).dump(2);
     if (diagStream_)
@@ -1119,7 +1232,7 @@ System::pushToReqChannel(PerCore &pc, MemRequest req,
     if (!req.isFake && !req.isWrite)
         ++pc.inflightReads;
     pc.busMon.record(now_, req.isFake);
-    reqChannel_->push(port, std::move(req));
+    reqChannel_->push(port, std::move(req), now_);
 }
 
 void
@@ -1138,7 +1251,7 @@ System::pushToRespChannel(PerCore &pc, MemRequest resp,
         if (!v.empty())
             onShaperViolation(port, v);
     }
-    respChannel_->push(port, std::move(resp));
+    respChannel_->push(port, std::move(resp), now_);
 }
 
 void
@@ -1225,6 +1338,7 @@ System::pollWatchdog(Cycle next_event)
     if (const auto reason =
             watchdog_->poll(now_, progress, next_event)) {
         stats_.inc("hard.watchdog_fired");
+        syncForDiagnostic();
         const std::string dump = diagnosticJson(*reason).dump(2);
         if (diagStream_)
             *diagStream_ << dump << "\n";
@@ -1257,6 +1371,7 @@ void
 System::onLeakageAlert(const std::string &msg)
 {
     stats_.inc("leakmon.alerts");
+    syncForDiagnostic();
     const std::string dump =
         diagnosticJson("leakage-alert: " + msg).dump(2);
     if (diagStream_)
@@ -1331,26 +1446,6 @@ System::nextEventCycle() const
 }
 
 void
-System::skipIdleCycles(Cycle n)
-{
-    if (!prof_) {
-        graph_.skipIdleCycles(n);
-        now_ += n;
-        return;
-    }
-    syncProfiler();
-    obs::Profiler::Timer all;
-    const auto &order = graph_.order();
-    for (std::size_t i = 0; i < order.size(); ++i) {
-        obs::Profiler::Timer t;
-        order[i]->skipIdleCycles(n);
-        prof_->add(profSkipIds_[i], t.elapsedNs());
-    }
-    prof_->add(profSkipNode_, all.elapsedNs());
-    now_ += n;
-}
-
-void
 System::run(Cycle cycles)
 {
     if (!prof_) {
@@ -1375,43 +1470,240 @@ System::runLoop(Cycle cycles)
         }
         return;
     }
-    while (now_ < end) {
-        tick();
-        Cycle ev = kNoCycle;
-        bool haveEv = false;
-        if (watchdog_) {
-            ev = nextEventCycle();
-            haveEv = true;
-            // Poll on schedule, and immediately when no component
-            // reports a future event — a hard deadlock the
-            // fast-forward below would otherwise silently skip to
-            // end-of-run, turning a hang into a wrong result.
-            if (watchdog_->due(now_) || ev == kNoCycle)
-                pollWatchdog(ev);
+    // Event-driven kernel: pop due cycles off the calendar queue and
+    // jump the clock between them. No per-cycle polling, no probe
+    // backoff — components self-schedule and every wake source is a
+    // sound lower bound, so spurious wakes cost host time only while
+    // missed wakes cannot happen.
+    rebuildWakes();
+    struct KernelGuard
+    {
+        System *s;
+        ~KernelGuard()
+        {
+            s->kernelActive_ = false;
+            s->inCycle_ = false;
         }
-        if (now_ >= end)
+    } guard{this};
+    while (now_ < end) {
+        const Cycle next = sched_.nextDueCycle();
+        if (next == kNoCycle) {
+            // No component reports any future event. With pending work
+            // this is a hard deadlock the clock jump would otherwise
+            // silently skip to end-of-run — let the watchdog decide.
+            if (watchdog_)
+                pollWatchdog(kNoCycle);
             break;
-        // Probe backoff: when recent probes found no skippable gap
-        // (gap <= 1 cycle), the nextEventCycle fold itself dominates
-        // the loop — in the no-shaping configuration it made
-        // fast-forward a net slowdown. Defer the next probe for an
-        // exponentially growing number of cycles and just tick;
-        // ticking is always bit-exact, so only host time changes. A
-        // successful skip re-arms eager probing.
-        if (!haveEv && now_ < ffProbeAt_)
+        }
+        if (next > end)
+            break;
+        processCycle(next);
+        if (watchdog_ && watchdog_->due(now_))
+            pollWatchdog(sched_.nextDueCycle());
+    }
+    // Settle every component's idle accounting at end-of-run so stats
+    // match the per-cycle reference loop bit for bit.
+    syncAllThrough(end, graph_.order().size());
+    now_ = end;
+}
+
+void
+System::wakeAt(std::uint32_t id, Cycle at)
+{
+    if (!kernelActive_ || at == kNoCycle || driven_[id])
+        return;
+    if (inCycle_ && at <= procCycle_) {
+        // Visibility rule reproducing topology-order semantics of the
+        // per-cycle loop: later components in the graph still tick
+        // this cycle; earlier ones already ticked, so the state they
+        // would have seen materialises next cycle; the in-flight
+        // component re-queries its own bound right after its tick.
+        if (id > procIdx_) {
+            dueBits_[id >> 6] |= 1ULL << (id & 63);
+            return;
+        }
+        if (id == procIdx_)
+            return;
+        sched_.scheduleAt(id, procCycle_ + 1);
+        return;
+    }
+    const Cycle floor = inCycle_ ? procCycle_ + 1 : now_ + 1;
+    sched_.scheduleAt(id, std::max(at, floor));
+}
+
+void
+System::rescheduleAt(std::uint32_t id, Cycle at)
+{
+    if (!kernelActive_ || driven_[id])
+        return;
+    const Cycle floor = inCycle_ ? procCycle_ + 1 : now_ + 1;
+    sched_.reschedule(id, at == kNoCycle ? kNoCycle : std::max(at, floor));
+}
+
+void
+System::catchUp(std::size_t i, Cycle through)
+{
+    if (!kernelActive_)
+        return;
+    const Cycle synced = lastSync_[i];
+    if (synced >= through)
+        return;
+    Component *c = graph_.order()[i];
+    lastSync_[i] = through;
+    if (!prof_) {
+        c->skipIdleCycles(through - synced);
+        return;
+    }
+    obs::Profiler::Timer t;
+    c->skipIdleCycles(through - synced);
+    const std::uint64_t ns = t.elapsedNs();
+    prof_->add(profSkipNode_, ns);
+    prof_->add(profSkipIds_[i], ns);
+}
+
+void
+System::syncAllThrough(Cycle through, std::size_t limit)
+{
+    for (std::size_t i = 0; i < limit; ++i) {
+        if (!driven_[i])
+            catchUp(i, through);
+    }
+}
+
+void
+System::syncForDiagnostic()
+{
+    // Bring every component to the state the per-cycle loop would
+    // show at this point of cycle procCycle_: components at or before
+    // procIdx_ have ticked it, later ones have only finished the
+    // previous cycle.
+    if (!kernelActive_)
+        return;
+    const std::size_t n = graph_.order().size();
+    for (std::size_t i = 0; i < n && i < lastSync_.size(); ++i) {
+        if (driven_[i])
             continue;
-        if (!haveEv)
-            ev = nextEventCycle();
-        const Cycle clamped = std::min(ev, end);
-        if (clamped > now_ + 1) {
-            skipIdleCycles(clamped - now_ - 1);
-            ffBackoff_ = 1;
-            ffProbeAt_ = 0;
-        } else {
-            ffProbeAt_ = now_ + ffBackoff_;
-            ffBackoff_ = std::min<Cycle>(ffBackoff_ * 2, kFfMaxBackoff);
+        const Cycle through =
+            inCycle_ ? (i <= procIdx_ ? procCycle_ : procCycle_ - 1)
+                     : now_;
+        catchUp(i, through);
+    }
+}
+
+void
+System::wakeFaultTargets(Cycle at)
+{
+    for (const std::uint32_t id : faultWakeIds_)
+        wakeAt(id, at);
+}
+
+void
+System::rebuildWakes()
+{
+    const auto &order = graph_.order();
+    const std::size_t n = order.size();
+    // Shapers are "driven": only their owning pipe station ticks,
+    // skips, and bounds them, so the kernel never schedules them.
+    driven_.assign(n, 0);
+    for (const auto &pc : cores_) {
+        if (pc->reqShaperIdx != PerCore::kNoIndex)
+            driven_[pc->reqShaperIdx] = 1;
+        if (pc->respShaperIdx != PerCore::kNoIndex)
+            driven_[pc->respShaperIdx] = 1;
+    }
+    // A core tick can mint an LLC miss into the cache's outgoing
+    // buffer (a plain vector nobody subscribes to) and a mem tick can
+    // retire a response; wake the draining station in both cases.
+    wakeAfterTick_.assign(n, kNoTarget);
+    for (const auto &pc : cores_)
+        wakeAfterTick_[pc->coreIdx] =
+            static_cast<std::uint32_t>(pc->corePipeIdx);
+    wakeAfterTick_[memIdx_] = static_cast<std::uint32_t>(memRouteIdx_);
+    lastSync_.assign(n, now_);
+    dueBits_.assign((n + 63) / 64, 0);
+    sched_.reset(n);
+    kernelActive_ = true;
+    inCycle_ = false;
+    for (std::size_t i = 0; i < n; ++i) {
+        order[i]->attachWakeSink(this, static_cast<std::uint32_t>(i));
+        if (driven_[i])
+            continue;
+        const Cycle b = order[i]->nextEventCycle(now_, now_ + 1);
+        if (b != kNoCycle)
+            sched_.scheduleAt(static_cast<std::uint32_t>(i),
+                              std::max(b, now_ + 1));
+    }
+    if (prof_)
+        syncProfiler();
+}
+
+void
+System::processCycle(Cycle cycle)
+{
+    now_ = cycle;
+    procCycle_ = cycle;
+    inCycle_ = true;
+    sched_.popDue(cycle, dueScratch_);
+    for (const std::uint32_t id : dueScratch_)
+        dueBits_[id >> 6] |= 1ULL << (id & 63);
+    const auto &order = graph_.order();
+    // Scan the due bitmask in index order = topology order; same-cycle
+    // wakes of later components land in the mask and still run this
+    // cycle, exactly as the per-cycle loop would tick them.
+    for (std::size_t w = 0; w < dueBits_.size(); ++w) {
+        while (dueBits_[w] != 0) {
+            const unsigned b =
+                static_cast<unsigned>(std::countr_zero(dueBits_[w]));
+            dueBits_[w] &= dueBits_[w] - 1;
+            const std::size_t i = (w << 6) | b;
+            procIdx_ = i;
+            Component *c = order[i];
+            catchUp(i, cycle - 1);
+            if (prof_) {
+                obs::Profiler::Timer t;
+                c->tick(cycle);
+                const std::uint64_t ns = t.elapsedNs();
+                prof_->add(profTickNode_, ns);
+                prof_->add(profTickIds_[i], ns);
+            } else {
+                c->tick(cycle);
+            }
+            lastSync_[i] = cycle;
+            // Re-arm with a min-merge (NOT reschedule): a future
+            // self-wake issued during the tick must survive. The
+            // clamp to cycle+1 guards now-based bound arithmetic.
+            const Cycle nb = c->nextEventCycle(cycle, cycle + 1);
+            if (nb != kNoCycle)
+                sched_.scheduleAt(static_cast<std::uint32_t>(i),
+                                  std::max(nb, cycle + 1));
+            const std::uint32_t tgt = wakeAfterTick_[i];
+            if (tgt != kNoTarget) {
+                if (i == memIdx_) {
+                    // The route station only has work when a response
+                    // is (or becomes) ready; waking it on every
+                    // controller tick would reintroduce per-cycle
+                    // polling on the DRAM-busy path.
+                    const Cycle ready = mem_->nextResponseReady();
+                    if (ready != kNoCycle)
+                        wakeAt(tgt, std::max(cycle, ready));
+                    // A reqlink blocked on a full MC queue sleeps
+                    // (its bound is kNoCycle); canAccept only flips
+                    // back inside an MC tick, so re-wake it here. The
+                    // station's index precedes memIdx_, so the wake
+                    // lands on cycle+1 — the per-cycle loop likewise
+                    // used the freed slot one cycle later.
+                    if (reqChannel_->egressDepth() > 0 &&
+                        mem_->canAccept(reqChannel_->egressFront().addr,
+                                        reqChannel_->egressFront().isWrite))
+                        wakeAt(static_cast<std::uint32_t>(reqLinkIdx_),
+                               cycle);
+                } else {
+                    wakeAt(tgt, cycle);
+                }
+            }
         }
     }
+    inCycle_ = false;
 }
 
 } // namespace camo::sim

@@ -7,12 +7,18 @@
  * kernel (src/sim/component.h): construction instantiates N cores x M
  * memory channels from a SystemConfig/TopologyConfig and lays the
  * subsystems plus thin glue "stations" into one ordered
- * ComponentGraph. The per-cycle tick loop, the fast-forward lower
- * bound, idle-cycle batching, stat registration, and tracer /
- * fault-injector / checker fan-out are each a single iteration over
- * that graph — adding a component (see addComponent()) requires no
- * edits to any of those paths. See README.md for the architecture
- * diagram and DESIGN.md §11 for the kernel contract.
+ * ComponentGraph. Execution is event-driven: run() seeds an
+ * EventScheduler calendar from every component's nextEventCycle()
+ * bound, then pops due batches and jumps the clock straight to the
+ * next scheduled cycle — components self-schedule their wakeups
+ * (wire deliveries wake consumers; ticked components are re-armed
+ * from their bounds), and per-component lazy catch-up replays the
+ * skipped idle accounting bit-exactly. Stat registration and tracer /
+ * fault-injector / checker fan-out remain single iterations over the
+ * graph — adding a component (see addComponent()) requires no edits
+ * to any of those paths. See README.md for the architecture diagram,
+ * DESIGN.md §11 for the component contract, and DESIGN.md §13 for
+ * the event kernel.
  */
 
 #ifndef CAMO_SIM_SYSTEM_H
@@ -45,6 +51,7 @@
 #include "src/obs/tracer.h"
 #include "src/security/covert_receiver.h"
 #include "src/sim/component.h"
+#include "src/sim/event_scheduler.h"
 #include "src/sim/port.h"
 #include "src/trace/trace.h"
 
@@ -100,11 +107,12 @@ struct SystemConfig
     bool recordTraffic = false;   ///< full traffic event logs
 
     /**
-     * Idle-cycle fast-forward in run(): when every component reports
-     * no work before cycle E, jump straight to E, batch-applying the
-     * per-cycle accounting the skipped ticks would have produced.
-     * Bit-exact with the per-cycle loop (tests pin this); disable to
-     * force the plain loop when debugging.
+     * Event-driven execution in run(): the calendar-queue kernel pops
+     * scheduled component wakeups and jumps the clock directly,
+     * batch-applying the per-cycle accounting the skipped ticks would
+     * have produced. Bit-exact with the per-cycle reference loop
+     * (tests pin this); disable to force the plain validation loop
+     * when debugging.
      */
     bool fastForward = true;
 };
@@ -121,7 +129,7 @@ struct TopologyConfig
 };
 
 /** The simulated machine. */
-class System
+class System : public WakeSink
 {
   public:
     /**
@@ -137,11 +145,28 @@ class System
     System(const System &) = delete;
     System &operator=(const System &) = delete;
 
-    /** Advance one CPU cycle (one iteration over the graph). */
+    /** Advance one CPU cycle (one full iteration over the graph —
+     *  the per-cycle reference semantics run() is bit-exact with). */
     void tick();
-    /** Advance `cycles` CPU cycles (fast-forwarding provably-idle
-     *  stretches when cfg.fastForward is set). */
+    /** Advance `cycles` CPU cycles on the event-driven kernel (or,
+     *  with cfg.fastForward off, the plain per-cycle reference
+     *  loop). */
     void run(Cycle cycles);
+
+    // ----- WakeSink (the event kernel's scheduling funnel) ---------
+
+    /**
+     * Schedule component `id` (graph index) to run no later than
+     * `at`. Called by components and subscribed wires; resolves
+     * in-flight cycles with the same visibility order the
+     * topology-ordered tick loop had: a wake at the cycle currently
+     * being processed lands in this cycle's due set when the target
+     * has not run yet, and on the next cycle when it has. No-op
+     * outside an event-driven run.
+     */
+    void wakeAt(std::uint32_t id, Cycle at) override;
+    /** Authoritative re-arm (used by the kernel after each tick). */
+    void rescheduleAt(std::uint32_t id, Cycle at) override;
 
     /**
      * Earliest cycle > now() at which any component could do
@@ -355,14 +380,9 @@ class System
     void routeMcResponses();
     void feedResponsePath(PerCore &pc);
     void deliverResponses();
-    void sampleInterval();
-    /** Interval row at cycle `at`; core cycle counters are rewound
-     *  by `cycle_lag` (nonzero when a skipped idle span crossed the
-     *  boundary and the batched accounting already ran). */
-    void sampleIntervalAt(Cycle at, Cycle cycle_lag);
+    /** Interval row at cycle `at` (every component synced first). */
+    void sampleIntervalAt(Cycle at);
     bool coreIsShaped(std::uint32_t i) const;
-    /** Jump over `n` provably-idle cycles (see nextEventCycle). */
-    void skipIdleCycles(Cycle n);
     /** run() body (run() adds the profiler's root scope). */
     void runLoop(Cycle cycles);
     /** tick() with per-component timing (profiler attached). */
@@ -370,6 +390,28 @@ class System
     /** Extend the cached per-component profiler node ids. */
     void syncProfiler();
     void onLeakageAlert(const std::string &msg);
+
+    // ----- event kernel internals ----------------------------------
+
+    /** (Re)attach every component to the calendar and seed it from
+     *  the components' nextEventCycle() bounds. Called at every
+     *  event-driven run() entry, so inter-run mutation (direct
+     *  tick(), GA reconfiguration, added components) needs no
+     *  incremental bookkeeping. */
+    void rebuildWakes();
+    /** Process every component due at `cycle` in topology order. */
+    void processCycle(Cycle cycle);
+    /** Batch-account component `i`'s provably-idle cycles up to and
+     *  including `through` (no-op when already synced). */
+    void catchUp(std::size_t i, Cycle through);
+    /** catchUp every non-driven component with index < `limit`. */
+    void syncAllThrough(Cycle through, std::size_t limit);
+    /** Bring the machine to the exact state the per-cycle loop would
+     *  show at the current point (used before diagnostic dumps). */
+    void syncForDiagnostic();
+    /** Wake the per-core pipe stations + the credit checker at `at`
+     *  (fault-application glue). */
+    void wakeFaultTargets(Cycle at);
 
     // Hardening internals.
     void applyInjectedFaults();
@@ -415,17 +457,37 @@ class System
     std::vector<obs::Profiler::NodeId> profTickIds_;
     std::vector<obs::Profiler::NodeId> profSkipIds_;
 
-    /**
-     * Fast-forward probe backoff: after a probe finds no skippable
-     * gap, the next probe is deferred (doubling up to kFfMaxBackoff
-     * ticks). Ticking through a deferred probe is always correct, so
-     * bit-exactness is preserved; a successful skip re-arms eager
-     * probing. This is what turned the no-shaping configuration's
-     * fast-forward from a net slowdown into a wash.
-     */
-    static constexpr Cycle kFfMaxBackoff = 64;
-    Cycle ffProbeAt_ = 0;
-    Cycle ffBackoff_ = 1;
+    // ----- event kernel state --------------------------------------
+    // Valid between rebuildWakes() (run() entry) and run() exit; the
+    // public tick() bypasses it entirely and the next run() rebuilds.
+
+    EventScheduler sched_;
+    /** Cycle through which component i is fully accounted (ticked or
+     *  idle-skipped). Lazy: non-due components fall behind and are
+     *  caught up in one skipIdleCycles() batch on demand. */
+    std::vector<Cycle> lastSync_;
+    /** Components ticked by a station rather than the kernel (the
+     *  shapers): never scheduled or caught up independently. */
+    std::vector<std::uint8_t> driven_;
+    /** After ticking index i, wake wakeAfterTick_[i] at the same
+     *  cycle (kNoTarget = none): cores wake their request pipe (a
+     *  tick may mint cache misses), the memory system wakes the
+     *  response router. */
+    std::vector<std::uint32_t> wakeAfterTick_;
+    static constexpr std::uint32_t kNoTarget = 0xffffffffu;
+    /** Due set for the cycle in flight (bitmask over graph indices,
+     *  scanned in ascending order = topology order). */
+    std::vector<std::uint64_t> dueBits_;
+    std::vector<std::uint32_t> dueScratch_; ///< popDue working set
+    bool kernelActive_ = false; ///< inside an event-driven run()
+    bool inCycle_ = false;      ///< inside processCycle()
+    Cycle procCycle_ = 0;       ///< cycle being processed
+    std::size_t procIdx_ = 0;   ///< graph index being ticked
+    /** Graph indices the kernel glue needs by role. */
+    std::size_t memIdx_ = 0;
+    std::size_t memRouteIdx_ = 0;
+    std::size_t reqLinkIdx_ = 0;
+    std::vector<std::uint32_t> faultWakeIds_; ///< pipes + creditcheck
 
     std::unique_ptr<hard::CheckerSet> checkers_;
     std::unique_ptr<hard::Watchdog> watchdog_;

@@ -160,8 +160,10 @@ workloadNames()
 bool
 isKnownWorkload(const std::string &name)
 {
-    if (name == "probe" || name.rfind("covert:", 0) == 0)
+    if (name == "probe" || name.rfind("probe:", 0) == 0 ||
+        name.rfind("covert:", 0) == 0) {
         return true;
+    }
     const auto &names = workloadNames();
     if (std::find(names.begin(), names.end(), name) != names.end())
         return true;
@@ -177,8 +179,19 @@ workloadParams(const std::string &name)
 std::unique_ptr<TraceSource>
 makeWorkload(const std::string &name, std::uint64_t seed, Addr addr_base)
 {
-    if (name == "probe") {
+    if (name == "probe" || name.rfind("probe:", 0) == 0) {
         ProbeParams p;
+        if (name.size() > 6) {
+            // "probe:N" probes every N CPU cycles; the default 150 is
+            // the paper's dense receiver, large N gives the sparse
+            // (DRAM-idle-heavy) receiver.
+            char *end = nullptr;
+            const unsigned long every =
+                std::strtoul(name.c_str() + 6, &end, 10);
+            if (end == nullptr || *end != '\0' || every == 0)
+                camo_fatal("bad probe cadence: ", name);
+            p.probeEveryCycles = every;
+        }
         p.base += addr_base;
         return std::make_unique<ProbeWorkload>(p);
     }

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Event-scheduler edge cases (ISSUE 7 satellite): calendar-queue
+ * unit semantics -- same-cycle FIFO determinism, min-merge vs
+ * reschedule vs cancel, far-future wakeups wrapping the calendar --
+ * plus system-level properties of pure event execution: wakeups that
+ * cross interval-stats/leakage-monitor boundaries, fault-injection
+ * events landing inside a clock jump, and watchdog staleness when the
+ * kernel jumps over long idle windows.
+ */
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/hard/error.h"
+#include "src/hard/fault_injection.h"
+#include "src/hard/watchdog.h"
+#include "src/obs/leakmon.h"
+#include "src/obs/registry.h"
+#include "src/sim/event_scheduler.h"
+#include "src/sim/presets.h"
+#include "src/sim/system.h"
+
+namespace camo::sim {
+namespace {
+
+// ------------------------------------------- calendar-queue units
+
+TEST(EventScheduler, SameCycleFifoByScheduleOrder)
+{
+    EventScheduler sched(16);
+    sched.scheduleAt(5, 10);
+    sched.scheduleAt(2, 10);
+    sched.scheduleAt(9, 10);
+    // A redundant min-merge must not reorder id 2 behind id 9.
+    sched.scheduleAt(2, 10);
+    EXPECT_EQ(sched.nextDueCycle(), 10u);
+
+    std::vector<std::uint32_t> due;
+    sched.popDue(10, due);
+    EXPECT_EQ(due, (std::vector<std::uint32_t>{5, 2, 9}));
+    EXPECT_TRUE(sched.empty());
+    EXPECT_EQ(sched.nextDueCycle(), kNoCycle);
+}
+
+TEST(EventScheduler, MinMergeOnlyMovesEarlier)
+{
+    EventScheduler sched(4);
+    sched.scheduleAt(1, 100);
+    sched.scheduleAt(1, 200); // later: no-op
+    EXPECT_EQ(sched.wakeOf(1), 100u);
+    sched.scheduleAt(1, 50); // earlier: wins
+    EXPECT_EQ(sched.wakeOf(1), 50u);
+    EXPECT_EQ(sched.nextDueCycle(), 50u);
+    // kNoCycle bounds feed through as no-ops.
+    sched.scheduleAt(1, kNoCycle);
+    EXPECT_EQ(sched.wakeOf(1), 50u);
+}
+
+TEST(EventScheduler, RescheduleReplacesAndCancels)
+{
+    EventScheduler sched(4);
+    sched.scheduleAt(0, 30);
+    sched.reschedule(0, 90); // authoritative: moves LATER too
+    EXPECT_EQ(sched.wakeOf(0), 90u);
+    EXPECT_EQ(sched.nextDueCycle(), 90u);
+
+    // The superseded cycle-30 entry is stale: popping its cycle
+    // must not surface id 0.
+    std::vector<std::uint32_t> due;
+    sched.popDue(30, due);
+    EXPECT_TRUE(due.empty());
+    EXPECT_EQ(sched.scheduled(), 1u);
+
+    sched.reschedule(0, kNoCycle); // cancels
+    EXPECT_EQ(sched.wakeOf(0), kNoCycle);
+    EXPECT_TRUE(sched.empty());
+
+    sched.scheduleAt(2, 40);
+    sched.cancel(2);
+    sched.popDue(40, due);
+    EXPECT_TRUE(due.empty());
+    EXPECT_EQ(sched.nextDueCycle(), kNoCycle);
+}
+
+TEST(EventScheduler, FarFutureWakeupsWrapTheCalendar)
+{
+    EventScheduler sched(8);
+    // Same bucket (congruent mod kBuckets), different calendar year:
+    // popping the near cycle must leave the far entry pending.
+    const Cycle near = 7;
+    const Cycle far = 7 + 1000 * EventScheduler::kBuckets;
+    sched.scheduleAt(3, far);
+    sched.scheduleAt(4, near);
+    EXPECT_EQ(sched.nextDueCycle(), near);
+
+    std::vector<std::uint32_t> due;
+    sched.popDue(near, due);
+    EXPECT_EQ(due, (std::vector<std::uint32_t>{4}));
+    EXPECT_EQ(sched.scheduled(), 1u);
+    EXPECT_EQ(sched.nextDueCycle(), far);
+    sched.popDue(far, due);
+    EXPECT_EQ(due, (std::vector<std::uint32_t>{3}));
+    EXPECT_TRUE(sched.empty());
+}
+
+// --------------------------------------- system-level event model
+
+constexpr Cycle kCycles = 300000;
+
+/** A sparse-receiver machine: probes every 2000 cycles, so kernel
+ *  wakeups routinely jump across interval/leakmon check boundaries
+ *  and most of the run is one long clock jump. */
+SystemConfig
+sparseConfig()
+{
+    SystemConfig cfg = paperConfig();
+    cfg.numCores = 2;
+    cfg.mitigation = Mitigation::None;
+    return cfg;
+}
+
+std::vector<std::string>
+sparseMix()
+{
+    return {"probe:2000", "probe:2000"};
+}
+
+/** Full observable surface of a run (metrics, stats tree, interval
+ *  CSV, leakmon evaluations) for plain-loop vs event-kernel diffs. */
+std::string
+surface(SystemConfig cfg, bool fast_forward,
+        hard::FaultInjector *injector = nullptr)
+{
+    cfg.fastForward = fast_forward;
+    System system(cfg, sparseMix());
+    system.setDiagnosticStream(nullptr);
+    obs::LeakMonitorConfig lm;
+    lm.windowCycles = 10000;
+    lm.checkPeriod = 1000;
+    system.enableLeakMonitor(lm); // before intervals: MI column armed
+    system.enableIntervalStats(500);
+    if (injector)
+        system.setFaultInjector(injector);
+    system.run(kCycles);
+
+    obs::StatRegistry reg;
+    system.registerStats(reg);
+    std::ostringstream all;
+    all << "now=" << system.now() << "\n";
+    for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+        all << "core" << c << " served=" << system.servedReads(c)
+            << " lat=" << system.avgReadLatency(c) << "\n";
+    }
+    all << reg.toJson().dump(2) << "\n";
+    all << system.intervalStats()->toCsv();
+    return all.str();
+}
+
+TEST(EventKernel, FarFutureWakeupsCrossIntervalAndLeakmonBoundaries)
+{
+    // Probe wakeups (every 2000 cycles) straddle many 500-cycle
+    // interval snapshots and 1000-cycle leakmon checks; both cadenced
+    // observers must see exactly what the per-cycle loop shows them.
+    const std::string plain = surface(sparseConfig(), false);
+    const std::string fast = surface(sparseConfig(), true);
+    EXPECT_EQ(plain, fast);
+}
+
+TEST(EventKernel, FaultInsideClockJumpFiresBitExactly)
+{
+    // The credit-corruption fault lands at one exact cycle that no
+    // component scheduled a wakeup for -- deep inside an idle jump.
+    // The kernel must split the jump and apply it on time.
+    SystemConfig cfg = sparseConfig();
+    cfg.mitigation = Mitigation::BDC; // shapers give credits to corrupt
+    const auto plan =
+        hard::FaultPlan::parse("corrupt-credits:at=123457:core=0", 7);
+
+    hard::FaultInjector inj_plain(plan);
+    const std::string plain = surface(cfg, false, &inj_plain);
+    hard::FaultInjector inj_fast(plan);
+    const std::string fast = surface(cfg, true, &inj_fast);
+    EXPECT_EQ(plain, fast);
+    EXPECT_EQ(inj_fast.totalFired(), 1u);
+}
+
+TEST(EventKernel, WatchdogQuietWhenWindowCoversIdleJumps)
+{
+    // Pure event execution jumps ~2000 cycles between probe wakeups.
+    // With the window above the gap the watchdog's periodic poll must
+    // keep observing forward progress (not a stale mid-jump snapshot)
+    // and stay quiet to the end of the run.
+    SystemConfig cfg = sparseConfig();
+    cfg.fastForward = true;
+    System system(cfg, sparseMix());
+    system.setDiagnosticStream(nullptr);
+    hard::WatchdogConfig wc;
+    wc.window = 10000; // > the 2000-cycle probe gap
+    system.enableWatchdog(wc);
+    EXPECT_NO_THROW(system.run(kCycles));
+    EXPECT_EQ(system.now(), kCycles);
+    EXPECT_GT(system.servedReads(0), 0u);
+}
+
+TEST(EventKernel, WatchdogStillFiresOnStallUnderEventExecution)
+{
+    // A window smaller than the probe gap treats the wait between
+    // probes as a genuine stall (the per-cycle loop fires on this
+    // config too). Event execution must not sleep through the
+    // deadline: the kernel's watchdog poll has to detect the stale
+    // progress counter and raise WatchdogTimeout mid-run.
+    SystemConfig cfg = sparseConfig();
+    cfg.fastForward = true;
+    System system(cfg, sparseMix());
+    system.setDiagnosticStream(nullptr);
+    hard::WatchdogConfig wc;
+    wc.window = 500; // << the 2000-cycle probe gap
+    system.enableWatchdog(wc);
+    EXPECT_THROW(system.run(kCycles), hard::WatchdogTimeout);
+    EXPECT_LT(system.now(), kCycles);
+}
+
+} // namespace
+} // namespace camo::sim
