@@ -430,14 +430,21 @@ MemoryController::nextEventCycle(Cycle now, Cycle from) const
         act = std::min(act, earliestQueueAction(readQ_, false, dram_now));
     if (!writeQ_.empty() && act > dram_now + 1)
         act = std::min(act, earliestQueueAction(writeQ_, true, dram_now));
-    // Write-drain hysteresis with both queues empty settles (flips
-    // off) on the next DRAM tick; granting that one dense tick keeps
-    // the flag's history identical to the per-cycle loop's. With a
-    // non-empty queue the flag converges to the same value at the
-    // next processed tick regardless of the skipped evaluations (it is
-    // a pure function of the unchanged queue sizes after one step),
-    // so no extra ticks are needed there.
-    if (drainingWrites_ && readQ_.empty() && writeQ_.empty())
+    // Write-drain hysteresis: the per-cycle loop evaluates the flip
+    // predicate at every DRAM tick, so when it currently holds, the
+    // flag flips on the very next tick -- that tick must stay dense
+    // or an enqueue landing inside the skipped span can move the
+    // flip (the flag has memory; it is not a pure function of the
+    // queue sizes at the next processed tick). When the predicate
+    // does not hold, it can only become true at a state change
+    // (enqueue or a processed tick), both of which re-evaluate this
+    // bound, so no extra ticks are needed then.
+    const bool drain_would_flip =
+        drainingWrites_
+            ? writeQ_.size() <= cfg_.writeDrainLow
+            : (writeQ_.size() >= cfg_.writeDrainHigh ||
+               (readQ_.empty() && !writeQ_.empty()));
+    if (drain_would_flip)
         act = std::min<std::uint64_t>(act, dram_now + 1);
     // Closed-page management spends idle command cycles precharging
     // open rows no queued transaction wants. (Skipped once the bound

@@ -134,10 +134,11 @@ sparseMix()
  *  CSV, leakmon evaluations) for plain-loop vs event-kernel diffs. */
 std::string
 surface(SystemConfig cfg, bool fast_forward,
-        hard::FaultInjector *injector = nullptr)
+        hard::FaultInjector *injector = nullptr,
+        const std::vector<std::string> &mix = sparseMix())
 {
     cfg.fastForward = fast_forward;
-    System system(cfg, sparseMix());
+    System system(cfg, mix);
     system.setDiagnosticStream(nullptr);
     obs::LeakMonitorConfig lm;
     lm.windowCycles = 10000;
@@ -187,6 +188,25 @@ TEST(EventKernel, FaultInsideClockJumpFiresBitExactly)
     const std::string fast = surface(cfg, true, &inj_fast);
     EXPECT_EQ(plain, fast);
     EXPECT_EQ(inj_fast.totalFired(), 1u);
+}
+
+TEST(EventKernel, WriteDrainHysteresisFlipsBitExactly)
+{
+    // The MC's write-drain flag has memory: the per-cycle loop
+    // evaluates the flip predicate at every DRAM tick, so a flip
+    // lands on the first tick its condition holds even when no
+    // command can issue there. An enqueue inside a skipped span must
+    // not move the flip. Regression: the 4-core no-shaping adversary
+    // run diverged once enough writebacks accumulated (~250k cycles)
+    // -- a write landing mid-skip with the drain flag armed at the
+    // low watermark kept the event kernel draining writes while the
+    // per-cycle loop had already flipped back to reads.
+    SystemConfig cfg = paperConfig();
+    cfg.mitigation = Mitigation::None;
+    const std::vector<std::string> mix = adversaryMix("mcf", "astar");
+    const std::string plain = surface(cfg, false, nullptr, mix);
+    const std::string fast = surface(cfg, true, nullptr, mix);
+    EXPECT_EQ(plain, fast);
 }
 
 TEST(EventKernel, WatchdogQuietWhenWindowCoversIdleJumps)
