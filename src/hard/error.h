@@ -63,39 +63,50 @@ class ConfigError : public CamoError
 /**
  * A runtime invariant checker fired. `diagnostic()` optionally
  * carries the structured dump (stats tree + trace tail + queue
- * occupancy) captured at the point of failure.
+ * occupancy) captured at the point of failure; `dumpPath()` names
+ * the uniquely-named dump file when the System was given a
+ * diagnostic directory (empty otherwise).
  */
 class InvariantViolation : public CamoError
 {
   public:
     explicit InvariantViolation(const std::string &msg,
-                                std::string diagnostic = {})
+                                std::string diagnostic = {},
+                                std::string dump_path = {})
         : CamoError(ErrorKind::Invariant, msg),
-          diagnostic_(std::move(diagnostic))
+          diagnostic_(std::move(diagnostic)),
+          dumpPath_(std::move(dump_path))
     {
     }
 
     const std::string &diagnostic() const { return diagnostic_; }
+    const std::string &dumpPath() const { return dumpPath_; }
 
   private:
     std::string diagnostic_;
+    std::string dumpPath_;
 };
 
-/** The watchdog detected a no-forward-progress window. */
+/** The watchdog detected a no-forward-progress window. `dumpPath()`
+ *  names the per-instance dump file when one was written. */
 class WatchdogTimeout : public CamoError
 {
   public:
     explicit WatchdogTimeout(const std::string &msg,
-                             std::string diagnostic = {})
+                             std::string diagnostic = {},
+                             std::string dump_path = {})
         : CamoError(ErrorKind::Watchdog, msg),
-          diagnostic_(std::move(diagnostic))
+          diagnostic_(std::move(diagnostic)),
+          dumpPath_(std::move(dump_path))
     {
     }
 
     const std::string &diagnostic() const { return diagnostic_; }
+    const std::string &dumpPath() const { return dumpPath_; }
 
   private:
     std::string diagnostic_;
+    std::string dumpPath_;
 };
 
 /**
@@ -109,16 +120,20 @@ class LeakageAlert : public CamoError
 {
   public:
     explicit LeakageAlert(const std::string &msg,
-                          std::string diagnostic = {})
+                          std::string diagnostic = {},
+                          std::string dump_path = {})
         : CamoError(ErrorKind::Leakage, msg),
-          diagnostic_(std::move(diagnostic))
+          diagnostic_(std::move(diagnostic)),
+          dumpPath_(std::move(dump_path))
     {
     }
 
     const std::string &diagnostic() const { return diagnostic_; }
+    const std::string &dumpPath() const { return dumpPath_; }
 
   private:
     std::string diagnostic_;
+    std::string dumpPath_;
 };
 
 /** A per-job fault worth retrying with a re-derived seed. */

@@ -29,15 +29,32 @@ defaultParam(FaultKind kind)
     }
 }
 
+/** A spec token plus its byte offset in the full --inject string, so
+ *  parse errors can point at the exact spot that failed. */
+struct SpecToken
+{
+    std::string text;
+    std::size_t offset = 0;
+};
+
+/** "token 'X' at byte N" — the common suffix of every parse error. */
+std::string
+where(const SpecToken &tok)
+{
+    std::ostringstream os;
+    os << "token '" << tok.text << "' at byte " << tok.offset;
+    return os.str();
+}
+
 FaultKind
-parseKind(const std::string &token)
+parseKind(const SpecToken &token)
 {
     for (std::size_t i = 0; i < kNumFaultKinds; ++i) {
-        if (token == kKindNames[i])
+        if (token.text == kKindNames[i])
             return static_cast<FaultKind>(i);
     }
     std::ostringstream os;
-    os << "unknown fault kind '" << token << "' (expected one of";
+    os << "unknown fault kind " << where(token) << " (expected one of";
     for (const char *name : kKindNames)
         os << " " << name;
     os << ")";
@@ -45,42 +62,47 @@ parseKind(const std::string &token)
 }
 
 std::uint64_t
-parseU64(const std::string &value, const std::string &field)
+parseU64(const std::string &value, const std::string &field,
+         const SpecToken &tok)
 {
     char *end = nullptr;
     const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
     if (end == value.c_str() || *end != '\0') {
         throw ConfigError("fault field " + field + "=" + value +
-                          " is not an unsigned integer");
+                          " is not an unsigned integer (" + where(tok) +
+                          ")");
     }
     return v;
 }
 
 double
-parseRate(const std::string &value)
+parseRate(const std::string &value, const SpecToken &tok)
 {
     char *end = nullptr;
     const double v = std::strtod(value.c_str(), &end);
     if (end == value.c_str() || *end != '\0' || v < 0.0 || v > 1.0) {
         throw ConfigError("fault rate=" + value +
-                          " is not a probability in [0, 1]");
+                          " is not a probability in [0, 1] (" +
+                          where(tok) + ")");
     }
     return v;
 }
 
-/** Split on `sep`, keeping empty tokens (they are spec errors). */
-std::vector<std::string>
-split(const std::string &s, char sep)
+/** Split on `sep`, keeping empty tokens (they are spec errors) and
+ *  recording each token's byte offset relative to the full spec
+ *  (`base` = offset of `s` within it). */
+std::vector<SpecToken>
+split(const std::string &s, char sep, std::size_t base)
 {
-    std::vector<std::string> out;
+    std::vector<SpecToken> out;
     std::size_t start = 0;
     while (start <= s.size()) {
         const auto pos = s.find(sep, start);
         if (pos == std::string::npos) {
-            out.push_back(s.substr(start));
+            out.push_back({s.substr(start), base + start});
             break;
         }
-        out.push_back(s.substr(start, pos - start));
+        out.push_back({s.substr(start, pos - start), base + start});
         start = pos + 1;
     }
     return out;
@@ -146,35 +168,42 @@ FaultPlan::parse(const std::string &spec, std::uint64_t seed)
     plan.seed = seed;
     if (spec.empty())
         return plan;
-    for (const std::string &entry : split(spec, ',')) {
-        const std::vector<std::string> fields = split(entry, ':');
-        if (fields.empty() || fields[0].empty())
-            throw ConfigError("empty fault entry in spec '" + spec +
-                              "'");
+    for (const SpecToken &entry : split(spec, ',', 0)) {
+        const std::vector<SpecToken> fields =
+            split(entry.text, ':', entry.offset);
+        if (fields.empty() || fields[0].text.empty()) {
+            std::ostringstream os;
+            os << "empty fault entry at byte " << entry.offset
+               << " in spec '" << spec << "'";
+            throw ConfigError(os.str());
+        }
         FaultSpec fs;
         fs.kind = parseKind(fields[0]);
         fs.param = defaultParam(fs.kind);
         for (std::size_t i = 1; i < fields.size(); ++i) {
-            const auto eq = fields[i].find('=');
+            const SpecToken &field = fields[i];
+            const auto eq = field.text.find('=');
             if (eq == std::string::npos) {
-                throw ConfigError("fault field '" + fields[i] +
-                                  "' is not key=value");
+                throw ConfigError("fault field " + where(field) +
+                                  " is not key=value");
             }
-            const std::string key = fields[i].substr(0, eq);
-            const std::string value = fields[i].substr(eq + 1);
+            const std::string key = field.text.substr(0, eq);
+            const std::string value = field.text.substr(eq + 1);
             if (key == "rate") {
-                fs.rate = parseRate(value);
+                fs.rate = parseRate(value, field);
             } else if (key == "at") {
-                fs.at = parseU64(value, key);
+                fs.at = parseU64(value, key, field);
             } else if (key == "core") {
-                fs.core = static_cast<CoreId>(parseU64(value, key));
+                fs.core =
+                    static_cast<CoreId>(parseU64(value, key, field));
             } else if (key == "param") {
-                fs.param = parseU64(value, key);
+                fs.param = parseU64(value, key, field);
             } else if (key == "index") {
-                fs.index = parseU64(value, key);
+                fs.index = parseU64(value, key, field);
             } else {
                 throw ConfigError("unknown fault field '" + key +
-                                  "' (expected rate, at, core, param, "
+                                  "' (" + where(field) +
+                                  "; expected rate, at, core, param, "
                                   "or index)");
             }
         }
@@ -182,16 +211,18 @@ FaultPlan::parse(const std::string &spec, std::uint64_t seed)
             if (fs.at != kNoCycle || fs.rate > 0.0) {
                 throw ConfigError(
                     std::string(faultKindName(fs.kind)) +
-                    " selects jobs by index, not by cycle or rate");
+                    " selects jobs by index, not by cycle or rate (" +
+                    where(entry) + ")");
             }
         } else if (isStochasticKind(fs.kind)) {
             if (fs.rate == 0.0 && fs.at == kNoCycle) {
                 throw ConfigError(std::string(faultKindName(fs.kind)) +
-                                  " needs rate= or at=");
+                                  " needs rate= or at= (" +
+                                  where(entry) + ")");
             }
         } else if (fs.at == kNoCycle) {
             throw ConfigError(std::string(faultKindName(fs.kind)) +
-                              " needs at=CYCLE");
+                              " needs at=CYCLE (" + where(entry) + ")");
         }
         plan.faults.push_back(fs);
     }

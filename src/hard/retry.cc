@@ -1,0 +1,62 @@
+#include "src/hard/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace camo::hard {
+
+namespace {
+
+/** splitmix64 finalizer: the same mixing discipline as
+ *  sim::deriveSeed, reused here so jitter draws are independent,
+ *  well-distributed pure functions of (seed, job, attempt). */
+std::uint64_t
+mix(std::uint64_t z)
+{
+    z ^= z >> 30;
+    z *= 0xBF58476D1CE4E5B9ull;
+    z ^= z >> 27;
+    z *= 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    return z;
+}
+
+} // namespace
+
+std::uint64_t
+RetryPolicy::delayUsFor(std::uint64_t job, unsigned attempt) const
+{
+    if (attempt == 0 || baseDelayUs == 0)
+        return 0;
+    // min(max, base << (attempt-1)) without shift overflow: once the
+    // un-jittered delay reaches the ceiling, further doubling is moot.
+    std::uint64_t delay = baseDelayUs;
+    for (unsigned k = 1; k < attempt && delay < maxDelayUs; ++k)
+        delay *= 2;
+    delay = std::min(delay, maxDelayUs);
+
+    const double j = std::clamp(jitter, 0.0, 1.0);
+    if (j == 0.0)
+        return delay;
+    const std::uint64_t h =
+        mix(seed + 0x9E3779B97F4A7C15ull * (job + 1) +
+            0xBF58476D1CE4E5B9ull * (attempt + 1));
+    // 53 mantissa bits -> uniform u in [0, 1); factor in [1-j, 1+j].
+    const double u =
+        static_cast<double>(h >> 11) / 9007199254740992.0;
+    const double factor = 1.0 - j + 2.0 * j * u;
+    const auto scaled =
+        static_cast<std::uint64_t>(static_cast<double>(delay) * factor);
+    return std::max<std::uint64_t>(scaled, 1);
+}
+
+void
+backoffSleep(std::uint64_t us)
+{
+    if (us == 0)
+        return;
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+} // namespace camo::hard

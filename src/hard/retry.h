@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Bounded-exponential-backoff retry policy with seed-derived jitter.
+ *
+ * One policy object serves both recovery layers: the in-process
+ * parallel engine (parallelMapRetry waits between TransientFault
+ * attempts instead of busy-respawning the job) and the camosimd
+ * experiment service (supervisors wait before re-forking a worker
+ * that died transiently). Determinism contract: the delay for
+ * (job, attempt) is a pure function of the policy fields and those
+ * two integers — never of wall-clock time, thread scheduling, or a
+ * shared RNG — so retried batches stay byte-identical across
+ * jobs=1 / jobs=N and across runs.
+ */
+
+#ifndef CAMO_HARD_RETRY_H
+#define CAMO_HARD_RETRY_H
+
+#include <cstdint>
+
+namespace camo::hard {
+
+/**
+ * Retry schedule for transient per-job faults.
+ *
+ * Attempt k (k >= 1 is the first retry) waits
+ *   delay = min(maxDelayUs, baseDelayUs << (k - 1))
+ * scaled by a jittered factor in [1 - jitter, 1 + jitter], where the
+ * jitter draw is a splitmix-style hash of (seed, job, attempt). With
+ * many jobs faulting at once (a transient-fault storm) the jitter
+ * de-synchronizes their retries instead of stampeding them onto the
+ * same instant.
+ */
+struct RetryPolicy
+{
+    /** Attempts per job before a TransientFault becomes permanent
+     *  (attempt indices 0 .. attempts-1; 0 is treated as 1). */
+    unsigned attempts = 3;
+    /** Wait before the first retry, microseconds (0 = no waiting:
+     *  the pre-backoff busy-respawn behaviour). */
+    std::uint64_t baseDelayUs = 1000;
+    /** Backoff ceiling, microseconds. */
+    std::uint64_t maxDelayUs = 200000;
+    /** Jitter fraction in [0, 1]: each delay is scaled by a
+     *  deterministic factor in [1 - jitter, 1 + jitter]. */
+    double jitter = 0.5;
+    /** Jitter stream seed (independent of the simulation seeds). */
+    std::uint64_t seed = 1;
+
+    /**
+     * Microseconds to wait before attempt `attempt` of job `job`
+     * (attempt 0 is the initial run: always 0). Pure function of its
+     * arguments and the policy fields.
+     */
+    std::uint64_t delayUsFor(std::uint64_t job, unsigned attempt) const;
+};
+
+/** Sleep for `us` microseconds (no-op when us == 0). Split out so
+ *  tests can compute schedules without actually waiting. */
+void backoffSleep(std::uint64_t us);
+
+} // namespace camo::hard
+
+#endif // CAMO_HARD_RETRY_H

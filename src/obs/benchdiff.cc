@@ -208,6 +208,27 @@ diffBenchReports(const json::Value &before, const json::Value &after,
                    spec.higherIsBetter, spec.ratio && gate_sweep);
     }
 
+    // The chaos-soak report (BENCH_server.json). Correctness ratios
+    // (every job accounted, results byte-identical, clean drain) are
+    // gated: they are machine-independent and must stay at 1.0.
+    // Throughput and latency are machine-dependent absolutes, so
+    // they stay informational rows.
+    if (before.find("server")) {
+        static const std::vector<MetricSpec> kServer = {
+            {"jobs_per_sec", true, false},
+            {"p99_latency_ms", false, false},
+            {"accounted_ratio", true, true},
+            {"byte_identical", true, true},
+            {"clean_exit", true, true},
+        };
+        for (const MetricSpec &spec : kServer) {
+            compareOne(report, opts, "server." + spec.name,
+                       findPath(before, {"server", spec.name}),
+                       findPath(after, {"server", spec.name}),
+                       spec.higherIsBetter, spec.ratio);
+        }
+    }
+
     return report;
 }
 

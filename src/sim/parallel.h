@@ -20,11 +20,13 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/ga/genetic.h"
 #include "src/hard/error.h"
 #include "src/hard/fault_injection.h"
+#include "src/hard/retry.h"
 #include "src/sim/runner.h"
 #include "src/sim/system.h"
 
@@ -127,27 +129,33 @@ parallelMap(std::size_t n, unsigned jobs, Fn &&fn)
 
 /**
  * parallelMap with structured recovery: fn(i, attempt) is retried on
- * hard::TransientFault up to `attempts` times per job (attempt = 0,
- * 1, ...). Every other exception — ConfigError, InvariantViolation,
+ * hard::TransientFault up to policy.attempts times per job (attempt =
+ * 0, 1, ...), waiting policy.delayUsFor(i, attempt) before each retry
+ * so a transient-fault storm backs off instead of busy-respawning.
+ * Every other exception — ConfigError, InvariantViolation,
  * WatchdogTimeout, std::exception — propagates immediately through
  * forEachIndex's first-exception path; only faults declared transient
  * are worth re-running. The attempt number is passed to fn so it can
  * re-derive seeds (deriveSeed(seed, kRetrySeedStream, attempt)):
  * retrying a genuinely nondeterministic fault with the exact same RNG
  * sequence would just replay it. Deterministic: the retry decision
- * depends only on what fn(i, attempt) throws, never on thread timing.
+ * depends only on what fn(i, attempt) throws, and the backoff delay
+ * only on (policy, i, attempt) — never on thread timing — so results
+ * stay byte-identical across jobs=1 / jobs=N.
  */
 template <typename Fn>
 auto
-parallelMapRetry(std::size_t n, unsigned jobs, unsigned attempts,
-                 Fn &&fn) -> std::vector<decltype(fn(std::size_t{0},
-                                                     unsigned{0}))>
+parallelMapRetry(std::size_t n, unsigned jobs,
+                 const hard::RetryPolicy &policy, Fn &&fn)
+    -> std::vector<decltype(fn(std::size_t{0}, unsigned{0}))>
 {
     std::vector<decltype(fn(std::size_t{0}, unsigned{0}))> out(n);
     WorkerPool pool(jobs);
-    const unsigned tries = attempts == 0 ? 1 : attempts;
+    const unsigned tries = policy.attempts == 0 ? 1 : policy.attempts;
     pool.forEachIndex(n, [&](std::size_t i) {
         for (unsigned attempt = 0;; ++attempt) {
+            if (attempt > 0)
+                hard::backoffSleep(policy.delayUsFor(i, attempt));
             try {
                 out[i] = fn(i, attempt);
                 return;
@@ -158,6 +166,19 @@ parallelMapRetry(std::size_t n, unsigned jobs, unsigned attempts,
         }
     });
     return out;
+}
+
+/** parallelMapRetry with just an attempt budget: the default backoff
+ *  schedule (RetryPolicy{}) with `attempts` substituted. */
+template <typename Fn>
+auto
+parallelMapRetry(std::size_t n, unsigned jobs, unsigned attempts,
+                 Fn &&fn) -> std::vector<decltype(fn(std::size_t{0},
+                                                     unsigned{0}))>
+{
+    hard::RetryPolicy policy;
+    policy.attempts = attempts;
+    return parallelMapRetry(n, jobs, policy, std::forward<Fn>(fn));
 }
 
 /** One independent simulation of a batch. */

@@ -1,9 +1,15 @@
 #include "src/sim/system.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
 #include <iostream>
 #include <sstream>
+
+#include <unistd.h>
 
 #include "src/camouflage/config_port.h"
 #include "src/common/logging.h"
@@ -432,9 +438,22 @@ struct System::LeakMonStation final : Component
 
 // ---------------------------------------------------------------------
 
+namespace {
+
+/** Process-unique System instance id for diagnostic dump names. */
+std::uint64_t
+nextDiagInstance()
+{
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
 System::System(const SystemConfig &cfg,
                const std::vector<std::string> &workloads)
-    : cfg_(cfg), diagStream_(&std::cerr)
+    : cfg_(cfg), diagStream_(&std::cerr),
+      diagInstance_(nextDiagInstance())
 {
     if (cfg_.numCores < 1)
         throw hard::ConfigError("numCores must be >= 1, got 0");
@@ -1063,6 +1082,53 @@ System::enableWatchdog(const hard::WatchdogConfig &cfg)
     watchdog_ = std::make_unique<hard::Watchdog>(cfg);
 }
 
+void
+System::setDiagnosticDir(const std::string &dir)
+{
+    diagDir_ = dir;
+    if (dir.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    // A failure here is not fatal: emitDiagnostic falls back to the
+    // diagnostic stream when the dump file cannot be opened.
+}
+
+std::string
+System::emitDiagnostic(const std::string &tag,
+                       const std::string &dump) const
+{
+    if (diagDir_.empty()) {
+        if (diagStream_)
+            *diagStream_ << dump << "\n";
+        return {};
+    }
+    // Sanitize the tag into a filename fragment (reasons carry
+    // spaces/colons); uniqueness comes from (pid, instance, seq).
+    std::string safe;
+    for (const char c : tag) {
+        if (safe.size() >= 40)
+            break;
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-' || c == '_';
+        safe.push_back(ok ? c : '-');
+    }
+    std::ostringstream name;
+    name << diagDir_ << "/camo-diag-p" << ::getpid() << "-i"
+         << diagInstance_ << "-" << diagSeq_++ << "-" << safe
+         << ".json";
+    std::ofstream os(name.str());
+    if (!os) {
+        // Never mask the error being raised: fall back to the stream.
+        if (diagStream_)
+            *diagStream_ << dump << "\n";
+        return {};
+    }
+    os << dump << "\n";
+    return name.str();
+}
+
 obs::json::Value
 System::diagnosticJson(const std::string &reason) const
 {
@@ -1186,8 +1252,9 @@ System::checkForLeaks() const
     }
     if (leaks.size() > shown)
         os << " ...";
-    throw hard::InvariantViolation(
-        os.str(), diagnosticJson("request-leak").dump(2));
+    const std::string dump = diagnosticJson("request-leak").dump(2);
+    const std::string path = emitDiagnostic("request-leak", dump);
+    throw hard::InvariantViolation(os.str(), dump, path);
 }
 
 void
@@ -1203,9 +1270,8 @@ System::onShaperViolation(std::uint32_t core, const std::string &msg)
     syncForDiagnostic();
     const std::string dump =
         diagnosticJson("shaper-invariant: " + msg).dump(2);
-    if (diagStream_)
-        *diagStream_ << dump << "\n";
-    throw hard::InvariantViolation(msg, dump);
+    const std::string path = emitDiagnostic("shaper-invariant", dump);
+    throw hard::InvariantViolation(msg, dump, path);
 }
 
 void
@@ -1340,9 +1406,8 @@ System::pollWatchdog(Cycle next_event)
         stats_.inc("hard.watchdog_fired");
         syncForDiagnostic();
         const std::string dump = diagnosticJson(*reason).dump(2);
-        if (diagStream_)
-            *diagStream_ << dump << "\n";
-        throw hard::WatchdogTimeout(*reason, dump);
+        const std::string path = emitDiagnostic("watchdog", dump);
+        throw hard::WatchdogTimeout(*reason, dump, path);
     }
 }
 
@@ -1374,9 +1439,8 @@ System::onLeakageAlert(const std::string &msg)
     syncForDiagnostic();
     const std::string dump =
         diagnosticJson("leakage-alert: " + msg).dump(2);
-    if (diagStream_)
-        *diagStream_ << dump << "\n";
-    throw hard::LeakageAlert(msg, dump);
+    const std::string path = emitDiagnostic("leakage-alert", dump);
+    throw hard::LeakageAlert(msg, dump, path);
 }
 
 void

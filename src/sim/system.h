@@ -327,6 +327,20 @@ class System : public WakeSink
     void setDiagnosticStream(std::ostream *os) { diagStream_ = os; }
 
     /**
+     * Directory receiving diagnostic dump *files*. When set, each
+     * firing writes its JSON dump to a uniquely-named file
+     * (camo-diag-p<pid>-i<instance>-<seq>-<tag>.json; the instance id
+     * is process-unique per System, so concurrent Systems in one
+     * process never overwrite each other's dumps) instead of the
+     * diagnostic stream, and the thrown error's dumpPath() names the
+     * file. Empty (the default) keeps the stream behaviour. The
+     * directory is created if missing; if it cannot be created,
+     * dumps fall back to the stream.
+     */
+    void setDiagnosticDir(const std::string &dir);
+    const std::string &diagnosticDir() const { return diagDir_; }
+
+    /**
      * Structured diagnostic snapshot: reason, cycle, per-queue
      * occupancy, the full stats tree, and the trace tail (when the
      * tracer is enabled).
@@ -489,10 +503,23 @@ class System : public WakeSink
     std::size_t reqLinkIdx_ = 0;
     std::vector<std::uint32_t> faultWakeIds_; ///< pipes + creditcheck
 
+    /**
+     * Write the diagnostic dump for `tag` and return where it went:
+     * a uniquely-named file under diagDir_ (its path is returned for
+     * the error's dumpPath()) or the diagnostic stream (empty
+     * return). Never throws — a failing dump must not mask the error
+     * being raised.
+     */
+    std::string emitDiagnostic(const std::string &tag,
+                               const std::string &dump) const;
+
     std::unique_ptr<hard::CheckerSet> checkers_;
     std::unique_ptr<hard::Watchdog> watchdog_;
     hard::FaultInjector *injector_ = nullptr;
     std::ostream *diagStream_; ///< defaults to &std::cerr (ctor)
+    std::string diagDir_;      ///< empty = dump to diagStream_
+    const std::uint64_t diagInstance_; ///< process-unique System id
+    mutable std::uint64_t diagSeq_ = 0; ///< per-instance dump counter
     std::vector<DelayedResponse> delayedResp_;
     std::uint64_t forcedFakes_ = 0; ///< ids for injected fakes
 };

@@ -5,10 +5,15 @@
  *  watchdog, with a structured diagnostic) or survived via a
  *  documented recovery — never a silent wrong result, never a hang. */
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <fstream>
 #include <memory>
+#include <mutex>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -739,6 +744,164 @@ TEST(FailSecure, DegradedScheduleLeaksNoMoreThanDesired)
     EXPECT_LE(degraded.miBits, desired.miBits + 0.02)
         << "desired=" << desired.miBits
         << " degraded=" << degraded.miBits;
+}
+
+// ------------------------------- parse diagnostics ------------------
+
+TEST(FaultPlanParse, ErrorsCarryTokenAndByteOffset)
+{
+    // A bad --inject in a long spec must say which token broke and
+    // where, so the user fixes the spec instead of bisecting it.
+    auto messageOf = [](const std::string &spec) -> std::string {
+        try {
+            FaultPlan::parse(spec, 1);
+        } catch (const ConfigError &e) {
+            return e.what();
+        }
+        return "";
+    };
+
+    const std::string unknownKind =
+        messageOf("drop-resp:rate=0.001,no-such:at=5");
+    EXPECT_NE(unknownKind.find("'no-such'"), std::string::npos)
+        << unknownKind;
+    EXPECT_NE(unknownKind.find("at byte 21"), std::string::npos)
+        << unknownKind;
+
+    const std::string badValue = messageOf("drop-resp:rate=x");
+    EXPECT_NE(badValue.find("'rate=x'"), std::string::npos)
+        << badValue;
+    EXPECT_NE(badValue.find("at byte 10"), std::string::npos)
+        << badValue;
+
+    const std::string emptyEntry =
+        messageOf("worker-kill:param=1,,drop-resp:rate=0.1");
+    EXPECT_NE(emptyEntry.find("at byte 20"), std::string::npos)
+        << emptyEntry;
+}
+
+// ------------------------------- retry policy -----------------------
+
+TEST(RetryPolicy, ScheduleIsPureBoundedAndJittered)
+{
+    hard::RetryPolicy p;
+    p.baseDelayUs = 1000;
+    p.maxDelayUs = 8000;
+    p.jitter = 0.5;
+
+    // Attempt 0 is the initial run: never delayed.
+    EXPECT_EQ(p.delayUsFor(7, 0), 0u);
+
+    // Pure function: same inputs, same delay, every time.
+    for (unsigned a = 1; a < 6; ++a)
+        EXPECT_EQ(p.delayUsFor(7, a), p.delayUsFor(7, a));
+
+    // Jittered exponential within [1-j, 1+j] of the nominal step,
+    // capped at maxDelayUs.
+    EXPECT_GE(p.delayUsFor(7, 1), 500u);
+    EXPECT_LE(p.delayUsFor(7, 1), 1500u);
+    EXPECT_GE(p.delayUsFor(7, 10), 4000u);
+    EXPECT_LE(p.delayUsFor(7, 10), 12000u);
+
+    // Jitter de-synchronizes a retry storm: not every job waits the
+    // same time before attempt 1.
+    bool diverged = false;
+    for (std::uint64_t job = 1; job < 32 && !diverged; ++job)
+        diverged = p.delayUsFor(job, 1) != p.delayUsFor(0, 1);
+    EXPECT_TRUE(diverged);
+
+    // jitter=0 is the exact doubling schedule.
+    p.jitter = 0.0;
+    EXPECT_EQ(p.delayUsFor(3, 1), 1000u);
+    EXPECT_EQ(p.delayUsFor(3, 2), 2000u);
+    EXPECT_EQ(p.delayUsFor(3, 3), 4000u);
+    EXPECT_EQ(p.delayUsFor(3, 4), 8000u);
+    EXPECT_EQ(p.delayUsFor(3, 5), 8000u); // capped
+
+    // baseDelayUs=0 restores the no-wait behaviour.
+    p.baseDelayUs = 0;
+    EXPECT_EQ(p.delayUsFor(3, 4), 0u);
+}
+
+TEST(ParallelRetry, BackoffScheduleIsDeterministicAcrossJobCounts)
+{
+    // The backoff must not break the engine's core contract: results
+    // (and the set of attempts made) are identical at jobs=1 and
+    // jobs=N, because delays are pure functions of (job, attempt).
+    hard::RetryPolicy policy;
+    policy.attempts = 3;
+    policy.baseDelayUs = 100;
+    policy.maxDelayUs = 400;
+    policy.jitter = 0.5;
+
+    auto runWith = [&](unsigned jobs,
+                       std::vector<std::pair<std::size_t, unsigned>>
+                           *calls) {
+        std::mutex m;
+        auto out = sim::parallelMapRetry(
+            12, jobs, policy,
+            [&](std::size_t i, unsigned attempt) -> int {
+                {
+                    std::lock_guard<std::mutex> lk(m);
+                    calls->push_back({i, attempt});
+                }
+                if (attempt < i % 3)
+                    throw hard::TransientFault("flaky");
+                return static_cast<int>(i * 100 + attempt);
+            });
+        return out;
+    };
+
+    std::vector<std::pair<std::size_t, unsigned>> serialCalls;
+    std::vector<std::pair<std::size_t, unsigned>> parallelCalls;
+    const auto serial = runWith(1, &serialCalls);
+    const auto parallel = runWith(4, &parallelCalls);
+    EXPECT_EQ(serial, parallel);
+    // Same attempts executed, merely in a different interleaving.
+    std::sort(serialCalls.begin(), serialCalls.end());
+    std::sort(parallelCalls.begin(), parallelCalls.end());
+    EXPECT_EQ(serialCalls, parallelCalls);
+}
+
+// ------------------------------- diagnostic dump files --------------
+
+TEST(DiagnosticDumps, WatchdogWritesPerInstanceJsonFiles)
+{
+    // With a dump directory configured, a watchdog failure must
+    // leave a structured JSON post-mortem on disk and name it in
+    // the exception, instead of scrolling it past on stderr.
+    const std::string dir = ::testing::TempDir();
+    auto provoke = [&]() -> std::string {
+        FaultInjector inj(
+            FaultPlan::parse("wedge-req:at=60000:core=0", 9));
+        auto sys = makeHardened(twoCoreBdc(), &inj, false, 100000);
+        sys->setDiagnosticDir(dir);
+        try {
+            sys->run(500000);
+        } catch (const WatchdogTimeout &e) {
+            return e.dumpPath();
+        }
+        return "";
+    };
+
+    const std::string first = provoke();
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first.rfind(dir, 0), 0u) << first;
+    EXPECT_NE(first.find("watchdog"), std::string::npos) << first;
+
+    std::ifstream is(first);
+    ASSERT_TRUE(is.good()) << "dump file missing: " << first;
+    std::ostringstream text;
+    text << is.rdbuf();
+    const auto doc = obs::json::tryParse(text.str());
+    ASSERT_TRUE(doc.has_value()) << "dump is not valid JSON";
+    EXPECT_NE(doc->find("reason"), nullptr);
+
+    // A second System instance must never reuse the first one's
+    // file names (per-instance counter in the name).
+    const std::string second = provoke();
+    ASSERT_FALSE(second.empty());
+    EXPECT_NE(first, second);
 }
 
 } // namespace

@@ -136,6 +136,7 @@ struct Options
     Cycle watchdogWindow = 0; // 0 = off
     std::string injectSpec;
     std::uint64_t injectSeed = 0; // 0 = use --seed
+    std::string diagDir; // "" = dumps go to stderr
 };
 
 /** Strict full-string unsigned parse; rejects "12x", "", "-3". */
@@ -372,6 +373,10 @@ flagTable()
          [](Options &o, const std::string &v) {
              o.injectSeed = parseU64Flag("--inject-seed", v);
          }},
+        {"diag-dir", A::Value, "DIR",
+         "write watchdog/invariant/leakage\ndiagnostic dumps as "
+         "uniquely-named JSON\nfiles in DIR instead of stderr",
+         [](Options &o, const std::string &v) { o.diagDir = v; }},
         {"profile", A::Bare, "",
          "host-time profile of the kernel loop;\nprints a per-phase "
          "summary",
@@ -698,6 +703,8 @@ runCamosim(const Options &opt)
     }
     if (injector)
         system.setFaultInjector(injector.get());
+    if (!opt.diagDir.empty())
+        system.setDiagnosticDir(opt.diagDir);
 
     std::ofstream trace_os;
     if (!opt.traceFile.empty()) {
@@ -904,12 +911,21 @@ main(int argc, char **argv)
     } catch (const hard::InvariantViolation &e) {
         std::fprintf(stderr, "camosim: invariant violation: %s\n",
                      e.what());
+        if (!e.dumpPath().empty())
+            std::fprintf(stderr, "camosim: diagnostic dump: %s\n",
+                         e.dumpPath().c_str());
         return kExitInvariant;
     } catch (const hard::WatchdogTimeout &e) {
         std::fprintf(stderr, "camosim: watchdog: %s\n", e.what());
+        if (!e.dumpPath().empty())
+            std::fprintf(stderr, "camosim: diagnostic dump: %s\n",
+                         e.dumpPath().c_str());
         return kExitWatchdog;
     } catch (const hard::LeakageAlert &e) {
         std::fprintf(stderr, "camosim: leakage alert: %s\n", e.what());
+        if (!e.dumpPath().empty())
+            std::fprintf(stderr, "camosim: diagnostic dump: %s\n",
+                         e.dumpPath().c_str());
         return kExitLeakage;
     } catch (const hard::CamoError &e) {
         std::fprintf(stderr, "camosim: %s error: %s\n",
