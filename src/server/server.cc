@@ -54,6 +54,11 @@ Server::Server(const ServerConfig &cfg)
 
 Server::~Server()
 {
+    // Quiesce the service first: supervisors fire the completion
+    // hook, which write()s to completionPipe_ — after stop() joins
+    // them, nothing can touch the fds we close below (a hook call
+    // after close would hit a closed — or worse, reused — fd).
+    service_.stop();
     for (auto &[fd, conn] : conns_)
         ::close(fd);
     if (listenFd_ >= 0) {
@@ -343,6 +348,8 @@ Server::handleRequest(int fd, const obs::json::Value &req)
                         static_cast<unsigned>(n);
                 else if (key == "cache_entries")
                     limits.maxCacheEntries = n;
+                else if (key == "terminal_jobs")
+                    limits.maxTerminalJobs = n;
                 else
                     return errorResponse("unknown limit '" + key +
                                          "'");
@@ -426,12 +433,30 @@ Server::closeConn(int fd)
 int
 Server::run()
 {
+    // Once drained, responses still buffered on slow connections
+    // (the drain ack itself, a final status) get this long to flush
+    // before the clean exit stops caring.
+    constexpr std::uint64_t kFlushGraceMs = 2000;
+    std::uint64_t flushDeadlineMs = 0;
     for (;;) {
         // Exit condition: a requested shutdown that has finished
         // draining. Checked first so a drain with no jobs exits
         // without waiting for traffic.
-        if (shutdownRequested_ && service_.drained())
-            return 0;
+        if (shutdownRequested_ && service_.drained()) {
+            bool pendingOut = false;
+            for (const auto &[fd, conn] : conns_) {
+                if (!conn.out.empty()) {
+                    pendingOut = true;
+                    break;
+                }
+            }
+            if (!pendingOut)
+                return 0;
+            if (flushDeadlineMs == 0)
+                flushDeadlineMs = nowMs() + kFlushGraceMs;
+            else if (nowMs() >= flushDeadlineMs)
+                return 0; // stuck client; don't hold the exit
+        }
 
         std::vector<struct pollfd> fds;
         fds.push_back({listenFd_, POLLIN, 0});

@@ -7,6 +7,10 @@ namespace camo::server {
 
 namespace {
 
+/** Recent-latency ring size: bounds both stats memory and the
+ *  per-stats-call sort for p99. */
+constexpr std::size_t kLatencyWindow = 2048;
+
 std::uint64_t
 nowMs()
 {
@@ -29,6 +33,15 @@ Service::Service(const ServiceConfig &cfg) : cfg_(cfg)
 
 Service::~Service()
 {
+    stop();
+}
+
+void
+Service::stop()
+{
+    if (stopped_)
+        return;
+    stopped_ = true;
     {
         std::unique_lock<std::mutex> lk(m_);
         stopping_ = true;
@@ -132,31 +145,36 @@ void
 Service::supervisorLoop()
 {
     for (;;) {
-        std::uint64_t id = 0;
+        Job *job = nullptr;
         {
             std::unique_lock<std::mutex> lk(m_);
             work_.wait(lk,
                        [&] { return stopping_ || !queue_.empty(); });
             if (queue_.empty())
                 return; // stopping
-            id = queue_.front();
+            const std::uint64_t id = queue_.front();
             queue_.pop_front();
             auto it = jobs_.find(id);
             if (it == jobs_.end() ||
                 jobStateTerminal(it->second.state))
                 continue; // canceled while queued
             it->second.state = JobState::Running;
+            // Captured under the lock: std::map references stay
+            // valid across concurrent inserts, and only terminal
+            // jobs are ever erased, so a Running job's address is
+            // stable for the whole unlocked execution.
+            job = &it->second;
         }
-        runJob(jobs_.find(id)->second);
+        runJob(*job);
     }
 }
 
 void
 Service::runJob(Job &job)
 {
-    // `job` lives in jobs_, which never erases entries, so holding
-    // the reference across unlocked sections is safe; only this
-    // supervisor mutates a Running job.
+    // `job` lives in jobs_, which only erases terminal entries, so
+    // holding the reference to this Running job across unlocked
+    // sections is safe; only this supervisor mutates a Running job.
     for (unsigned attempt = 0;; ++attempt) {
         std::uint64_t timeout_ms = 0;
         hard::RetryPolicy retry;
@@ -264,6 +282,10 @@ Service::finishLocked(std::unique_lock<std::mutex> &lk, Job &job,
         to_notify.push_back(jid);
     }
     job.joiners.clear();
+    // Retention: past this point nothing dereferences `job` or the
+    // joiners, so evicting — even one of the jobs just finished,
+    // under a tiny cap — is safe.
+    evictTerminalLocked();
 
     cv_.notify_all();
     const auto hook = completionHook_;
@@ -281,7 +303,26 @@ Service::noteTerminalLocked(Job &job)
     const double ms =
         static_cast<double>(job.endMs - job.submitMs);
     latencySumMs_ += ms;
-    latenciesMs_.push_back(ms);
+    ++latencyCount_;
+    if (latencyWindow_.size() < kLatencyWindow) {
+        latencyWindow_.push_back(ms);
+    } else {
+        latencyWindow_[latencyWindowNext_] = ms;
+        latencyWindowNext_ =
+            (latencyWindowNext_ + 1) % kLatencyWindow;
+    }
+    terminalFifo_.push_back(job.id);
+}
+
+void
+Service::evictTerminalLocked()
+{
+    if (cfg_.maxTerminalJobs == 0)
+        return;
+    while (terminalFifo_.size() > cfg_.maxTerminalJobs) {
+        jobs_.erase(terminalFifo_.front());
+        terminalFifo_.pop_front();
+    }
 }
 
 JobStatus
@@ -338,9 +379,17 @@ Service::waitTerminal(std::uint64_t id, std::uint64_t timeout_ms,
     if (it == jobs_.end())
         return false;
     if (timeout_ms > 0) {
+        // Re-find on every wakeup: retention may evict the record
+        // (necessarily already terminal) while we wait, which would
+        // invalidate a held iterator.
         cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms), [&] {
-            return jobStateTerminal(it->second.state);
+            auto jit = jobs_.find(id);
+            return jit == jobs_.end() ||
+                   jobStateTerminal(jit->second.state);
         });
+        it = jobs_.find(id);
+        if (it == jobs_.end())
+            return false; // went terminal, then evicted
     }
     *out = snapshotLocked(it->second);
     return true;
@@ -453,10 +502,12 @@ Service::reload(const ServiceConfig &cfg)
     cfg_.retry = cfg.retry;
     cfg_.maxCacheEntries = cfg.maxCacheEntries;
     cfg_.diagDir = cfg.diagDir;
+    cfg_.maxTerminalJobs = cfg.maxTerminalJobs;
     while (cache_.size() > cfg_.maxCacheEntries) {
         cache_.erase(cacheLru_.back());
         cacheLru_.pop_back();
     }
+    evictTerminalLocked();
     ++reloads_;
 }
 
@@ -486,10 +537,12 @@ Service::statsJson() const
         t[name] = n;
     v["terminal"] = t;
     obs::json::Value lat = obs::json::Value::makeObject();
-    if (!latenciesMs_.empty()) {
+    if (latencyCount_ > 0) {
+        // Mean is over every terminal job; p99 is over the bounded
+        // recent window, so stats cost stays O(window) forever.
         lat["mean"] = latencySumMs_ /
-                      static_cast<double>(latenciesMs_.size());
-        std::vector<double> sorted = latenciesMs_;
+                      static_cast<double>(latencyCount_);
+        std::vector<double> sorted = latencyWindow_;
         std::sort(sorted.begin(), sorted.end());
         const std::size_t p99 = std::min(
             sorted.size() - 1,
@@ -501,6 +554,7 @@ Service::statsJson() const
         lat["p99"] = 0.0;
     }
     v["latency_ms"] = lat;
+    v["retained_jobs"] = static_cast<std::uint64_t>(jobs_.size());
     return v;
 }
 

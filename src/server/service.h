@@ -61,6 +61,14 @@ struct ServiceConfig
     std::size_t maxCacheEntries = 128;
     /** Diagnostic-dump directory handed to workers ("" = stderr). */
     std::string diagDir;
+    /**
+     * Terminal job records retained for status/result queries
+     * (0 = unbounded). Oldest-terminal-first eviction keeps a
+     * long-lived daemon's memory bounded; querying an evicted id
+     * reports it unknown. Cumulative counters are unaffected.
+     * Reloadable.
+     */
+    std::size_t maxTerminalJobs = 4096;
 };
 
 /** Observable snapshot of one job. */
@@ -91,8 +99,17 @@ class Service
 {
   public:
     explicit Service(const ServiceConfig &cfg);
-    /** Joins supervisors; pending jobs are canceled. */
+    /** Calls stop(). */
     ~Service();
+
+    /**
+     * Cancel pending jobs and join the supervisors. Idempotent.
+     * After it returns no supervisor thread is alive, so the
+     * completion hook can never fire again — callers that hand the
+     * hook resources they are about to tear down (the server's
+     * completion pipe) stop() the service first.
+     */
+    void stop();
 
     Service(const Service &) = delete;
     Service &operator=(const Service &) = delete;
@@ -184,6 +201,10 @@ class Service
     void finishLocked(std::unique_lock<std::mutex> &lk, Job &job,
                       JobState state);
     void noteTerminalLocked(Job &job);
+    /** Erase oldest terminal job records past maxTerminalJobs.
+     *  Only call when no Job reference is held across it: evicted
+     *  records are destroyed. */
+    void evictTerminalLocked();
     JobStatus snapshotLocked(const Job &job) const;
 
     ServiceConfig cfg_;
@@ -201,9 +222,12 @@ class Service
     std::list<std::string> cacheLru_; ///< front = most recent
     std::vector<std::thread> supervisors_;
     std::function<void(std::uint64_t)> completionHook_;
+    /** Terminal job ids, oldest first — the eviction order. */
+    std::deque<std::uint64_t> terminalFifo_;
     std::uint64_t nextId_ = 1;
     bool draining_ = false;
     bool stopping_ = false;
+    bool stopped_ = false; ///< stop() ran; supervisors joined
 
     // Accounting (under m_).
     std::uint64_t submitted_ = 0;
@@ -215,8 +239,14 @@ class Service
     std::uint64_t retries_ = 0;
     std::uint64_t reloads_ = 0;
     std::map<std::string, std::uint64_t> terminal_;
-    double latencySumMs_ = 0.0;
-    std::vector<double> latenciesMs_; ///< for p99 in statsJson
+    double latencySumMs_ = 0.0;       ///< cumulative, for the mean
+    std::uint64_t latencyCount_ = 0;  ///< cumulative, for the mean
+    /** Ring of the most recent kLatencyWindow terminal latencies;
+     *  statsJson's p99 is over this window so a long-lived daemon
+     *  neither grows nor re-sorts its whole history per stats
+     *  call. */
+    std::vector<double> latencyWindow_;
+    std::size_t latencyWindowNext_ = 0;
 };
 
 } // namespace camo::server

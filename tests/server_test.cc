@@ -474,6 +474,39 @@ TEST(ServiceStateMachine, ReloadSwapsLimitsWithoutDroppingJobs)
     EXPECT_EQ(stats.find("reloads")->asNumber(), 1.0);
 }
 
+TEST(ServiceStateMachine, TerminalRetentionEvictsOldestRecords)
+{
+    ServiceConfig cfg = testServiceConfig(2);
+    cfg.maxTerminalJobs = 2;
+    cfg.maxCacheEntries = 0; // every submit runs, no Cached dupes
+    Service svc(cfg);
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 4; ++i) {
+        const SubmitResult r = svc.submit(smallSpec(60 + i));
+        ASSERT_TRUE(r.accepted);
+        ids.push_back(r.id);
+        waitDone(svc, r.id);
+    }
+    // Only the newest maxTerminalJobs records survive; evicted ids
+    // report unknown, the survivors keep their results.
+    JobStatus s;
+    EXPECT_FALSE(svc.status(ids[0], &s));
+    EXPECT_FALSE(svc.status(ids[1], &s));
+    ASSERT_TRUE(svc.status(ids[3], &s));
+    EXPECT_EQ(s.state, JobState::Succeeded);
+    std::string text;
+    EXPECT_TRUE(svc.result(ids[3], &text));
+    EXPECT_FALSE(text.empty());
+    // Cumulative accounting is not rewritten by eviction.
+    const auto stats = svc.statsJson();
+    double terminalSum = 0;
+    for (const auto &[name, n] :
+         stats.find("terminal")->asObject())
+        terminalSum += n.asNumber();
+    EXPECT_EQ(terminalSum, 4.0);
+    EXPECT_EQ(stats.find("retained_jobs")->asNumber(), 2.0);
+}
+
 TEST(ServiceStateMachine, StatsAccountEveryJobExactlyOnce)
 {
     Service svc(testServiceConfig(2));

@@ -69,6 +69,10 @@ printUsage(std::FILE *out, const char *argv0)
         "                      crashes (default 3)\n"
         "  --cache=N           result-cache entries (default 128, "
         "0 = off)\n"
+        "  --terminal-jobs=N   terminal job records retained for "
+        "status/result\n"
+        "                      queries (default 4096, 0 = "
+        "unbounded)\n"
         "  --diag-dir=DIR      per-instance diagnostic dump files\n"
         "  --version           print build provenance and exit\n",
         argv0);
@@ -127,6 +131,8 @@ parseArgs(int argc, char **argv, Options *opt, std::string *err)
                 static_cast<unsigned>(n);
         } else if (name == "cache") {
             opt->server.service.maxCacheEntries = n;
+        } else if (name == "terminal-jobs") {
+            opt->server.service.maxTerminalJobs = n;
         } else {
             *err = "unknown option '--" + name + "'";
             return false;
