@@ -1,0 +1,56 @@
+#include "src/dram/rowhammer.h"
+
+#include "src/common/logging.h"
+
+namespace camo::dram {
+
+RowHammerDefense::RowHammerDefense(const RowHammerConfig &cfg,
+                                   const DramOrganization &org)
+    : cfg_(cfg),
+      banksPerRank_(org.banksPerRank),
+      counts_(static_cast<std::size_t>(org.ranksPerChannel) *
+                  org.banksPerRank,
+              0)
+{
+    camo_assert(cfg_.actThreshold > 0,
+                "RowHammer activation threshold must be positive");
+}
+
+void
+RowHammerDefense::onActivate(const DramAddress &da,
+                             std::uint64_t dram_now)
+{
+    std::uint32_t &count =
+        counts_[static_cast<std::size_t>(da.rank) * banksPerRank_ +
+                da.bank];
+    ++count;
+    stats_.inc("activations");
+    if (count < cfg_.actThreshold)
+        return;
+    // Threshold reached: refresh the bank's victim rows. The
+    // operation occupies the channel; the controller defers all
+    // scheduling until busyUntil().
+    count = 0;
+    busyUntil_ = dram_now + cfg_.rfmDramCycles;
+    stats_.inc("rfm.issued");
+    stats_.inc("rfm.stall_dram_cycles", cfg_.rfmDramCycles);
+}
+
+void
+RowHammerDefense::onRefresh(std::uint32_t rank)
+{
+    const std::size_t base =
+        static_cast<std::size_t>(rank) * banksPerRank_;
+    for (std::size_t b = 0; b < banksPerRank_; ++b)
+        counts_[base + b] = 0;
+}
+
+std::uint32_t
+RowHammerDefense::activationCount(std::uint32_t rank,
+                                  std::uint32_t bank) const
+{
+    return counts_[static_cast<std::size_t>(rank) * banksPerRank_ +
+                   bank];
+}
+
+} // namespace camo::dram

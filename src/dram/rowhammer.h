@@ -1,0 +1,89 @@
+/**
+ * @file
+ * TRR/PRAC-style RowHammer mitigation with activation-count-dependent
+ * refresh-management (RFM) stalls.
+ *
+ * The defense keeps a per-(rank,bank) activation counter. When a
+ * bank's counter reaches `actThreshold`, the device performs a
+ * refresh-management operation (victim-row refresh) that occupies the
+ * channel for `rfmDramCycles` DRAM cycles: the controller may not
+ * schedule any command while the operation is in flight. Counters
+ * reset on the bank's RFM and on every regular REF to the rank (the
+ * TRR sampling window).
+ *
+ * This is the timing-channel surface studied by "Understanding and
+ * Mitigating Covert and Side Channel Vulnerabilities Introduced by
+ * RowHammer Defenses" (arXiv 2503.17891): the stall rate is
+ * proportional to the activation rate, so one core's row-conflict
+ * storm modulates every other core's latency. The scenario subsystem
+ * (src/scenario) measures that channel open and under shaping.
+ */
+
+#ifndef CAMO_DRAM_ROWHAMMER_H
+#define CAMO_DRAM_ROWHAMMER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/dram/address.h"
+#include "src/dram/timing.h"
+
+namespace camo::dram {
+
+/** RowHammer-defense knobs (off by default). */
+struct RowHammerConfig
+{
+    bool enabled = false;
+    /** Bank activations per sampling window before an RFM fires. */
+    std::uint32_t actThreshold = 16;
+    /** DRAM cycles one refresh-management operation blocks the
+     *  channel (order of a victim-row refresh pair). */
+    std::uint64_t rfmDramCycles = 180;
+};
+
+/**
+ * The mitigation state machine. Pure bookkeeping over DRAM-cycle
+ * timestamps: deterministic, and safe for the event kernel (an idle
+ * skip never crosses a stall with queued work, because the
+ * controller's scheduling bound is clamped to busyUntil()).
+ */
+class RowHammerDefense
+{
+  public:
+    RowHammerDefense(const RowHammerConfig &cfg,
+                     const DramOrganization &org);
+
+    /** Account an ACT to `da`'s bank; may start an RFM stall. */
+    void onActivate(const DramAddress &da, std::uint64_t dram_now);
+
+    /** A regular REF to `rank` restarts its sampling window. */
+    void onRefresh(std::uint32_t rank);
+
+    /** Is the channel blocked by an in-flight RFM operation? */
+    bool
+    busy(std::uint64_t dram_now) const
+    {
+        return dram_now < busyUntil_;
+    }
+
+    /** First DRAM cycle the channel is free again (0 = never
+     *  stalled). Scheduling bounds clamp to this. */
+    std::uint64_t busyUntil() const { return busyUntil_; }
+
+    std::uint32_t activationCount(std::uint32_t rank,
+                                  std::uint32_t bank) const;
+
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    RowHammerConfig cfg_;
+    std::uint32_t banksPerRank_;
+    std::vector<std::uint32_t> counts_; ///< rank-major per-bank ACTs
+    std::uint64_t busyUntil_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace camo::dram
+
+#endif // CAMO_DRAM_ROWHAMMER_H

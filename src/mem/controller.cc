@@ -48,6 +48,10 @@ MemoryController::MemoryController(const ControllerConfig &cfg,
       divider_(cfg.cpuPerDramNum, cfg.cpuPerDramDen),
       sched_(makeScheduler(cfg))
 {
+    if (cfg_.rowhammer.enabled) {
+        rowhammer_ = std::make_unique<dram::RowHammerDefense>(
+            cfg_.rowhammer, cfg_.org);
+    }
     camo_assert(cfg_.writeDrainLow < cfg_.writeDrainHigh &&
                     cfg_.writeDrainHigh <= cfg_.writeQueueDepth,
                 "bad write drain watermarks");
@@ -66,6 +70,8 @@ MemoryController::registerStats(obs::StatRegistry &reg) const
 {
     reg.add(name(), &stats_);
     reg.add(name() + ".dram", &device_.stats());
+    if (rowhammer_)
+        reg.add(name() + ".rowhammer", &rowhammer_->stats());
 }
 
 void
@@ -165,6 +171,8 @@ MemoryController::manageRefresh(std::uint64_t dram_now)
                              dram_now)) {
             device_.issue(dram::Cmd::REF, {0, rank, 0, 0, 0}, dram_now);
             stats_.inc("refresh.issued");
+            if (rowhammer_)
+                rowhammer_->onRefresh(rank);
             return true;
         }
         for (std::uint32_t b = 0; b < cfg_.org.banksPerRank; ++b) {
@@ -237,6 +245,8 @@ MemoryController::execute(const Decision &d, std::deque<Transaction> &queue,
     switch (d.kind) {
       case Decision::Kind::Act:
         device_.issue(dram::Cmd::ACT, txn.da, dram_now);
+        if (rowhammer_)
+            rowhammer_->onActivate(txn.da, dram_now);
         return;
       case Decision::Kind::Pre:
         device_.issue(dram::Cmd::PRE, txn.da, dram_now);
@@ -281,6 +291,15 @@ MemoryController::dramTick(Cycle cpu_now)
     device_.setCpuTime(cpu_now);
 
     if (manageRefresh(dram_now))
+        return;
+
+    // An in-flight RowHammer refresh-management operation blocks the
+    // channel: no scheduling, no hysteresis flip, no closed-page
+    // precharges until it completes. The early return mutates
+    // nothing, so stalled ticks behave identically in the per-cycle
+    // loop and under event execution (whose scheduling bound is
+    // clamped to busyUntil() in nextEventCycle).
+    if (rowhammer_ && rowhammer_->busy(dram_now))
         return;
 
     // Write-drain hysteresis: serve reads normally; switch to writes
@@ -477,6 +496,15 @@ MemoryController::nextEventCycle(Cycle now, Cycle from) const
             }
         }
     }
+    // A RowHammer RFM stall defers every scheduling action above
+    // (dramTick returns before the hysteresis flip, try_schedule and
+    // closed-page management while busy), so the first cycle any of
+    // them can execute is the stall's end. Raising the bound there is
+    // exact: the per-cycle loop's stalled ticks are no-ops too, and
+    // refresh/response terms below stay unclamped (they still fire
+    // mid-stall).
+    if (rowhammer_ && act != dram::DramDevice::kNever)
+        act = std::max(act, rowhammer_->busyUntil());
     if (act != dram::DramDevice::kNever) {
         const std::uint64_t k = act > dram_now ? act - dram_now : 1;
         ev = std::min(ev, now + divider_.ticksUntilFire(k));

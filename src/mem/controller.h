@@ -25,6 +25,7 @@
 #include "src/common/types.h"
 #include "src/dram/address.h"
 #include "src/dram/device.h"
+#include "src/dram/rowhammer.h"
 #include "src/dram/timing.h"
 #include "src/mem/request.h"
 #include "src/mem/schedulers.h"
@@ -105,6 +106,14 @@ struct ControllerConfig
      * the victim's activity. Use only when fakes are trusted inputs.
      */
     bool demoteFakeTraffic = false;
+
+    /**
+     * TRR/PRAC-style RowHammer mitigation (src/dram/rowhammer.h),
+     * off by default. When enabled, refresh-management stalls defer
+     * all command scheduling — the activation-count-dependent timing
+     * channel the scenario subsystem measures.
+     */
+    dram::RowHammerConfig rowhammer;
 };
 
 /** One DRAM channel's controller. */
@@ -183,6 +192,11 @@ class MemoryController final : public sim::Component
 
     const ControllerConfig &config() const { return cfg_; }
     const dram::DramDevice &device() const { return device_; }
+    /** The RowHammer defense, or nullptr when not enabled. */
+    const dram::RowHammerDefense *rowhammer() const
+    {
+        return rowhammer_.get();
+    }
     const Scheduler &scheduler() const { return *sched_; }
     const StatGroup &stats() const { return stats_; }
 
@@ -232,6 +246,7 @@ class MemoryController final : public sim::Component
     dram::DramDevice device_;
     ClockDivider divider_;
     std::unique_ptr<Scheduler> sched_;
+    std::unique_ptr<dram::RowHammerDefense> rowhammer_;
 
     std::deque<Transaction> readQ_;
     std::deque<Transaction> writeQ_;

@@ -208,6 +208,62 @@ diffBenchReports(const json::Value &before, const json::Value &after,
                    spec.higherIsBetter, spec.ratio && gate_sweep);
     }
 
+    // The attack-scenario catalog (BENCH_scenarios.json). Rows are
+    // matched by scenario name, like single_thread rows, so adding a
+    // scenario is a note on old baselines rather than a failure. The
+    // two indicator columns are simulated-time booleans and must stay
+    // at 1.0 (the channel still opens unshaped; shaping still closes
+    // it); slowdown is a simulated ratio and is gated too. Raw
+    // BER/MI/capacity numbers shift with legitimate model tuning, so
+    // they ride along informationally.
+    const json::Value *scen_rows = before.find("scenarios");
+    if (scen_rows && scen_rows->isArray()) {
+        static const std::vector<MetricSpec> kScenario = {
+            {"ber_open", false, false},
+            {"ber_shaped", true, false},
+            {"capacity_open_bits_per_pulse", true, false},
+            {"capacity_shaped_bits_per_pulse", false, false},
+            {"window_mi_open_bits", true, false},
+            {"window_mi_shaped_bits", false, false},
+            {"slowdown", false, true},
+            {"channel_open", true, true},
+            {"shaping_effective", true, true},
+        };
+        for (const json::Value &rb : scen_rows->asArray()) {
+            const json::Value *nm = rb.find("name");
+            if (!nm || !nm->isString())
+                continue;
+            const std::string &name = nm->asString();
+            const json::Value *ra = nullptr;
+            const json::Value *after_rows = after.find("scenarios");
+            if (after_rows && after_rows->isArray()) {
+                for (const json::Value &row : after_rows->asArray()) {
+                    const json::Value *m = row.find("name");
+                    if (m && m->isString() && m->asString() == name) {
+                        ra = &row;
+                        break;
+                    }
+                }
+            }
+            if (!ra) {
+                report.notes.push_back("scenarios row '" + name +
+                                       "' missing in new report "
+                                       "(skipped)");
+                continue;
+            }
+            for (const MetricSpec &spec : kScenario) {
+                // Covert-only columns are absent from key-less rows;
+                // skip silently rather than noting each.
+                if (!rb.find(spec.name) && !ra->find(spec.name))
+                    continue;
+                compareOne(report, opts,
+                           "scenarios." + name + "." + spec.name,
+                           rb.find(spec.name), ra->find(spec.name),
+                           spec.higherIsBetter, spec.ratio);
+            }
+        }
+    }
+
     // The chaos-soak report (BENCH_server.json). Correctness ratios
     // (every job accounted, results byte-identical, clean drain) are
     // gated: they are machine-independent and must stay at 1.0.

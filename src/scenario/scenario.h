@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The attack-scenario registry: named, self-contained timing-channel
+ * experiments beyond the Camouflage paper's own evaluation.
+ *
+ * A scenario bundles everything one experiment needs: an *open*
+ * topology (the channel demonstrably present), a *shaped* topology
+ * (the same machine under one of the paper's mitigations), and the
+ * measurement recipe (which core transmits, which core probes, the
+ * pulse length and key). evaluateScenario() runs both topologies and
+ * reduces them to the numbers the catalog reports:
+ *
+ *  - BER: the covert decoder's bit-error rate on the probe core's
+ *    latency log (0.5 = dead channel), plus the implied binary-channel
+ *    capacity 1 - H2(BER) in bits per pulse;
+ *  - windowed MI between the victim core's intrinsic traffic and the
+ *    probe's latencies (the Figure 2 attack-surface leakage, also
+ *    defined for key-less trace scenarios);
+ *  - slowdown: max slowdown of the benign cores under shaping
+ *    (the price of closing the channel).
+ *
+ * Shipped scenarios (see scenarios()):
+ *  - "rowhammer-trr": a TRR/PRAC RowHammer defense in the DRAM model
+ *    (src/dram/rowhammer.h) whose refresh-management stalls are
+ *    activation-count-dependent; a row-conflict hammer sender
+ *    modulates the stall rate (arXiv 2503.17891).
+ *  - "pim-covert": a PIM-command source (src/trace/pim.h) whose
+ *    row-sized ops buy far more occupancy per host instruction,
+ *    supporting pulses 4x shorter than Algorithm 1 (arXiv 2404.11284).
+ *  - "trace-replay": real-trace ingestion (src/trace/file_trace.h);
+ *    DRAMSim2- and ChampSim-format traces drive cores while a probe
+ *    measures what their phase structure leaks.
+ *
+ * Topologies are embedded JSON (and shipped verbatim under
+ * examples/topologies/), so `camosim --scenario=NAME` and the daemon's
+ * JobSpec scenario field work from any directory.
+ */
+
+#ifndef CAMO_SCENARIO_SCENARIO_H
+#define CAMO_SCENARIO_SCENARIO_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/topology.h"
+
+namespace camo::scenario {
+
+/** One registered attack scenario. */
+struct ScenarioSpec
+{
+    /** No covert sender (key-less scenarios). */
+    static constexpr std::uint32_t kNoCore = 0xffffffffu;
+
+    std::string name;        ///< registry key ("rowhammer-trr")
+    std::string title;       ///< one-line catalog headline
+    std::string description; ///< what the channel is and why it opens
+
+    std::string openTopologyJson;   ///< channel open (no shaping)
+    std::string shapedTopologyJson; ///< same machine, shaped
+
+    /** Core transmitting the covert key (kNoCore = none). */
+    std::uint32_t senderCore = kNoCore;
+    /** Core whose latency log the decoder reads. */
+    std::uint32_t probeCore = 1;
+    /** Core whose intrinsic traffic is the windowed-MI victim. */
+    std::uint32_t victimCore = 0;
+    /** Cores whose slowdown under shaping is reported (the benign
+     *  ones; the sender's own slowdown is the point, not a cost). */
+    std::vector<std::uint32_t> slowdownCores;
+
+    std::uint32_t key = 0;        ///< transmitted key (sender set)
+    std::uint32_t keyLength = 32; ///< bits of `key` transmitted
+    Cycle pulseCycles = 20000;    ///< sender pulse / decoder window
+    Cycle runCycles = 0;          ///< default evaluation length
+};
+
+/** All registered scenarios, in catalog order. */
+const std::vector<ScenarioSpec> &scenarios();
+
+/** Look up by name; nullptr if unknown. */
+const ScenarioSpec *findScenario(const std::string &name);
+
+/**
+ * Resolve "NAME" or "NAME:shaped" to the scenario's embedded topology
+ * JSON text.
+ * @throws hard::ConfigError naming the offending token for unknown
+ *         names or variants.
+ */
+const std::string &scenarioTopologyJson(const std::string &ref);
+
+/** One measured channel (one run of one topology). */
+struct ChannelMeasurement
+{
+    double ber = 0.5;              ///< covert decoder bit-error rate
+    double channelCapacityBits = 0; ///< 1 - H2(ber), bits per pulse
+    double windowMiBits = 0;       ///< victim-vs-probe windowed MI
+    double throughput = 0;         ///< sum of per-core IPC
+    std::uint64_t rfmStalls = 0;   ///< RowHammer RFM ops (0 if off)
+};
+
+/** evaluateScenario() output: open vs shaped plus the cost. */
+struct ScenarioResult
+{
+    ChannelMeasurement open;
+    ChannelMeasurement shaped;
+    /** Max benign-core slowdown, shaped relative to open. */
+    double slowdown = 1.0;
+};
+
+/**
+ * Run the scenario's open and shaped topologies for `cycles` CPU
+ * cycles (0 = the spec's default) and measure both channels.
+ * @throws hard::ConfigError if an embedded topology fails to parse
+ *         (a registry bug caught by tests).
+ */
+ScenarioResult evaluateScenario(const ScenarioSpec &spec,
+                                Cycle cycles = 0);
+
+/** The `camosim --list-scenarios` catalog text. */
+std::string listScenariosText();
+
+} // namespace camo::scenario
+
+#endif // CAMO_SCENARIO_SCENARIO_H

@@ -306,4 +306,19 @@ computeUnshapedLeakage(const std::vector<shaper::TrafficEvent> &intrinsic,
     return result;
 }
 
+double
+binaryChannelCapacityBits(double ber)
+{
+    if (ber > 0.5)
+        ber = 1.0 - ber;
+    if (ber < 0.0)
+        ber = 0.0;
+    double h2 = 0.0;
+    if (ber > 0.0 && ber < 1.0) {
+        h2 = -ber * std::log2(ber) -
+             (1.0 - ber) * std::log2(1.0 - ber);
+    }
+    return 1.0 - h2;
+}
+
 } // namespace camo::security

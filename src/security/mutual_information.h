@@ -141,6 +141,16 @@ computeWindowedCrossMiCounts(const std::vector<shaper::TrafficEvent> &x,
                              Cycle window_cycles,
                              std::size_t levels = 8);
 
+/**
+ * Capacity of a binary symmetric channel with crossover probability
+ * `ber`: 1 - H2(ber) bits per transmitted bit. Converts a covert
+ * decoder's bit-error rate into channel capacity — 1.0 for a perfect
+ * channel, 0.0 at BER 0.5 (the decoder does no better than a coin).
+ * BER above 0.5 is folded (an anti-correlated decoder still carries
+ * information).
+ */
+double binaryChannelCapacityBits(double ber);
+
 } // namespace camo::security
 
 #endif // CAMO_SECURITY_MUTUAL_INFORMATION_H

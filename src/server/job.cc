@@ -1,5 +1,8 @@
 #include "src/server/job.h"
 
+#include "src/hard/error.h"
+#include "src/scenario/scenario.h"
+
 namespace camo::server {
 
 namespace {
@@ -25,6 +28,7 @@ JobSpec::fromJson(const obs::json::Value &doc, JobSpec *out,
     }
     JobSpec spec;
     bool haveConfig = false;
+    bool haveScenario = false;
     for (const auto &[key, value] : doc.asObject()) {
         bool ok = true;
         if (key == "config") {
@@ -32,6 +36,22 @@ JobSpec::fromJson(const obs::json::Value &doc, JobSpec *out,
             if (ok) {
                 spec.config = value;
                 haveConfig = true;
+            }
+        } else if (key == "scenario") {
+            // Registered attack scenario: resolves to its embedded
+            // topology, so the job is identical to submitting that
+            // topology as "config" (and caches as such).
+            ok = value.isString();
+            if (ok) {
+                try {
+                    spec.config = obs::json::parse(
+                        scenario::scenarioTopologyJson(
+                            value.asString()));
+                } catch (const hard::ConfigError &e) {
+                    *error = e.what();
+                    return false;
+                }
+                haveScenario = true;
             }
         } else if (key == "cycles") {
             ok = asU64(value, &spec.cycles);
@@ -64,8 +84,14 @@ JobSpec::fromJson(const obs::json::Value &doc, JobSpec *out,
             return false;
         }
     }
-    if (!haveConfig) {
-        *error = "job needs a 'config' topology object";
+    if (haveConfig && haveScenario) {
+        *error = "job has both 'config' and 'scenario'; pick one";
+        return false;
+    }
+    if (!haveConfig && !haveScenario) {
+        *error =
+            "job needs a 'config' topology object or a 'scenario' "
+            "name";
         return false;
     }
     *out = std::move(spec);

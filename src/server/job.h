@@ -26,7 +26,11 @@ namespace camo::server {
 /** What a client submits: topology + execution flags. */
 struct JobSpec
 {
-    /** Topology document (src/sim/topology.h schema). Required. */
+    /** Topology document (src/sim/topology.h schema). Required,
+     *  supplied either directly as "config" or by naming a registered
+     *  attack scenario as "scenario" ("NAME" or "NAME:shaped", see
+     *  src/scenario/scenario.h), which resolves to its embedded
+     *  topology before the job is queued. */
     obs::json::Value config;
     Cycle cycles = 1000000;
     Cycle warmup = 50000;

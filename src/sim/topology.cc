@@ -85,6 +85,33 @@ parseBins(const Value &v, const std::string &key)
     return bins;
 }
 
+/** Parse {enabled, act_threshold, rfm_dram_cycles} into the
+ *  RowHammer-defense config (src/dram/rowhammer.h). */
+void
+parseRowHammer(const Value &v, dram::RowHammerConfig &rh)
+{
+    if (!v.isObject())
+        fail("rowhammer", "must be an object");
+    for (const auto &[k, val] : v.asObject()) {
+        const std::string path = "rowhammer." + k;
+        if (k == "enabled") {
+            rh.enabled = asBool(val, path);
+        } else if (k == "act_threshold") {
+            const std::uint64_t t = asU64(val, path);
+            if (t < 1)
+                fail(path, "must be >= 1");
+            rh.actThreshold = static_cast<std::uint32_t>(t);
+        } else if (k == "rfm_dram_cycles") {
+            const std::uint64_t c = asU64(val, path);
+            if (c < 1)
+                fail(path, "must be >= 1");
+            rh.rfmDramCycles = c;
+        } else {
+            fail(path, "is not a recognized key");
+        }
+    }
+}
+
 void
 parseNoc(const Value &v, noc::ChannelConfig &noc)
 {
@@ -186,6 +213,8 @@ topologyFromJson(const Value &doc)
             topo.system.fastForward = asBool(v, k);
         } else if (k == "noc") {
             parseNoc(v, topo.system.noc);
+        } else if (k == "rowhammer") {
+            parseRowHammer(v, topo.system.mc.rowhammer);
         } else if (k == "req_bins") {
             topo.system.reqBins = parseBins(v, k);
         } else if (k == "resp_bins") {

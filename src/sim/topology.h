@@ -23,6 +23,8 @@
  *     "fake_write_frac": 0.0,
  *     "fast_forward": true,
  *     "noc": { "latency": 6, "ingress_cap": 16, "egress_cap": 32 },
+ *     "rowhammer": { "enabled": true, "act_threshold": 16,
+ *                    "rfm_dram_cycles": 180 },  // TRR/PRAC defense
  *     "req_bins":  { "edges": [0, ...], "credits": [10, ...],
  *                    "replenish_period": 10000 },
  *     "resp_bins": { ... }        // same shape as req_bins

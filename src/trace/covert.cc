@@ -20,6 +20,16 @@ CovertSender::CovertSender(const CovertSenderParams &params)
 {
     camo_assert(!params_.key.empty(), "covert key must be non-empty");
     camo_assert(params_.pulseCycles >= 100, "pulse too short to carry");
+    if (params_.hammerRows >= 2) {
+        camo_assert(params_.hammerLineStrideBytes >= params_.lineBytes,
+                    "hammer line stride below one cache line");
+        camo_assert(params_.hammerRowStrideBytes %
+                            params_.hammerLineStrideBytes ==
+                        0,
+                    "hammer row stride must be a multiple of the line "
+                    "stride");
+        name_ = "hammer-sender";
+    }
 }
 
 TraceItem
@@ -46,8 +56,32 @@ CovertSender::next(Cycle now)
     // 1-pulse: hammer memory by writing successive cache lines of
     // BigBuffer for the duration of the pulse.
     item.gapInstrs = params_.writeEveryInstrs - 1;
-    item.addr = nextLine_;
     item.isWrite = true;
+    if (params_.hammerRows >= 2) {
+        // RowHammer mode: alternate rows of one bank, advancing a
+        // line (column) per full rotation so every access misses the
+        // caches, and a whole row-group once the rows' lines are
+        // spent. Consecutive accesses conflict in the row buffer, so
+        // each one costs an ACT — the activation storm a TRR/PRAC
+        // defense converts into RFM stalls.
+        const std::uint64_t lines_per_row =
+            params_.hammerRowStrideBytes / params_.hammerLineStrideBytes;
+        const std::uint64_t row = hammerN_ % params_.hammerRows;
+        const std::uint64_t line =
+            (hammerN_ / params_.hammerRows) % lines_per_row;
+        const std::uint64_t group =
+            hammerN_ / (params_.hammerRows * lines_per_row);
+        const std::uint64_t group_span =
+            params_.hammerRows * params_.hammerRowStrideBytes;
+        Addr offset = group * group_span +
+                      row * params_.hammerRowStrideBytes +
+                      line * params_.hammerLineStrideBytes;
+        offset %= params_.bufferBytes;
+        item.addr = params_.bufferBase + offset;
+        ++hammerN_;
+        return item;
+    }
+    item.addr = nextLine_;
     nextLine_ += params_.lineBytes;
     if (nextLine_ >= params_.bufferBase + params_.bufferBytes)
         nextLine_ = params_.bufferBase;

@@ -33,6 +33,25 @@ struct CovertSenderParams
     Addr bufferBase = 1ULL << 32;
     std::uint64_t bufferBytes = 64ULL * 1024 * 1024;
     std::uint32_t lineBytes = 64;
+
+    /**
+     * RowHammer mode: >= 2 makes 1-pulses ping-pong between this many
+     * rows of ONE bank (an ACT storm of row conflicts, the classic
+     * hammer pattern) instead of streaming sequential lines. Every
+     * access still touches a fresh cache line, so each one reaches
+     * DRAM. 0 = plain Algorithm 1 streaming.
+     */
+    std::uint32_t hammerRows = 0;
+    /**
+     * Byte stride between same-bank rows and same-bank lines within a
+     * row. Defaults match the default organization (1 channel, 1
+     * rank, 8 banks, 8 KB rows, 64 B lines) under RowColRankBank
+     * mapping: the row field starts at bit 16 and the column field at
+     * bit 9, so +64 KB is "next row, same bank" and +512 B is "next
+     * line, same bank, same row".
+     */
+    std::uint64_t hammerRowStrideBytes = 64ULL * 1024;
+    std::uint64_t hammerLineStrideBytes = 512;
 };
 
 /**
@@ -60,6 +79,7 @@ class CovertSender : public TraceSource
     Cycle pulseEnd_ = 0;
     bool started_ = false;
     Addr nextLine_ = 0;
+    std::uint64_t hammerN_ = 0; ///< accesses issued in hammer mode
 };
 
 /** Constant-rate memory probe: the measuring adversary. */

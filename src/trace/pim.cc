@@ -1,0 +1,56 @@
+#include "src/trace/pim.h"
+
+#include "src/common/logging.h"
+
+namespace camo::trace {
+
+PimCovertSender::PimCovertSender(const PimSenderParams &params)
+    : params_(params), nextLine_(params.bufferBase)
+{
+    camo_assert(!params_.key.empty(), "PIM key must be non-empty");
+    camo_assert(params_.pulseCycles >= 100, "pulse too short to carry");
+    camo_assert(params_.opLines >= 1, "PIM op must touch a line");
+}
+
+TraceItem
+PimCovertSender::next(Cycle now)
+{
+    if (!started_) {
+        started_ = true;
+        pulseEnd_ = now + params_.pulseCycles;
+    }
+    if (now >= pulseEnd_) {
+        ++bitIndex_;
+        pulseEnd_ += params_.pulseCycles;
+        burstLeft_ = 0; // a pulse boundary cancels the current burst
+    }
+
+    const bool bit = params_.key[bitIndex_ % params_.key.size()];
+    TraceItem item;
+
+    if (!bit) {
+        // 0-pulse: the offload engine is quiet.
+        item.waitCycles = pulseEnd_ - now;
+        burstLeft_ = 0;
+        return item;
+    }
+
+    // 1-pulse: stream PIM commands. Each command costs a handful of
+    // launch instructions, then its row-sized data movement hits the
+    // memory system as back-to-back line writes.
+    if (burstLeft_ == 0) {
+        burstLeft_ = params_.opLines;
+        ++commands_;
+        item.gapInstrs =
+            params_.launchInstrs > 0 ? params_.launchInstrs - 1 : 0;
+    }
+    --burstLeft_;
+    item.addr = nextLine_;
+    item.isWrite = true;
+    nextLine_ += params_.lineBytes;
+    if (nextLine_ >= params_.bufferBase + params_.bufferBytes)
+        nextLine_ = params_.bufferBase;
+    return item;
+}
+
+} // namespace camo::trace

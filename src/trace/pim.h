@@ -1,0 +1,74 @@
+/**
+ * @file
+ * PIM-command covert sender: a processing-in-memory offload engine as
+ * a trace program.
+ *
+ * One PIM command is cheap on the host (a few instructions to launch)
+ * but moves an entire DRAM row's worth of data inside the memory
+ * system. Modulating the command rate therefore swings memory-system
+ * occupancy far harder per host instruction than a load/store loop
+ * can — the covert-channel amplification studied by arXiv 2404.11284.
+ * The model issues each PIM command as a burst of back-to-back
+ * row-sized line accesses at near-zero instruction cost, so a 1-pulse
+ * saturates the channel within a few hundred cycles and pulses can be
+ * several times shorter than Algorithm 1's for the same bit-error
+ * rate.
+ */
+
+#ifndef CAMO_TRACE_PIM_H
+#define CAMO_TRACE_PIM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace camo::trace {
+
+/** PIM covert-sender parameters. */
+struct PimSenderParams
+{
+    std::vector<bool> key;
+    /** Pulse duration in CPU cycles (one key bit per pulse). Shorter
+     *  than Algorithm 1's 20000: PIM bursts ramp occupancy faster. */
+    Cycle pulseCycles = 5000;
+    /** Lines one PIM command touches (a full 8 KB row by default). */
+    std::uint32_t opLines = 128;
+    /** Host instructions to launch one PIM command. */
+    std::uint64_t launchInstrs = 4;
+    /** Operand buffer placement (streamed, never cache-resident). */
+    Addr bufferBase = 1ULL << 33;
+    std::uint64_t bufferBytes = 128ULL * 1024 * 1024;
+    std::uint32_t lineBytes = 64;
+};
+
+/**
+ * The sender: during a 1-pulse, launch PIM commands back to back —
+ * `launchInstrs` of host work, then `opLines` line writes with zero
+ * instruction gap. During a 0-pulse, idle. The key repeats forever.
+ */
+class PimCovertSender : public TraceSource
+{
+  public:
+    explicit PimCovertSender(const PimSenderParams &params);
+
+    const std::string &name() const override { return name_; }
+    TraceItem next(Cycle now) override;
+
+    std::uint64_t commandsLaunched() const { return commands_; }
+
+  private:
+    PimSenderParams params_;
+    std::string name_ = "pim-sender";
+    std::size_t bitIndex_ = 0;
+    Cycle pulseEnd_ = 0;
+    bool started_ = false;
+    Addr nextLine_ = 0;
+    std::uint32_t burstLeft_ = 0; ///< lines left in the current command
+    std::uint64_t commands_ = 0;
+};
+
+} // namespace camo::trace
+
+#endif // CAMO_TRACE_PIM_H

@@ -2,13 +2,56 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <sstream>
 
 #include "src/common/logging.h"
+#include "src/hard/error.h"
 #include "src/trace/covert.h"
+#include "src/trace/file_trace.h"
+#include "src/trace/pim.h"
 
 namespace camo::trace {
 
 namespace {
+
+/** "workload 'NAME': WHAT token 'TOK' at byte N" — the structured
+ *  rejection every malformed parameterized name gets (mirrors
+ *  FaultPlan::parse; a bad name fails one job, never the process). */
+[[noreturn]] void
+failWorkload(const std::string &name, const std::string &what,
+             const std::string &tok, std::size_t offset)
+{
+    std::ostringstream os;
+    os << "workload '" << name << "': " << what << " token '" << tok
+       << "' at byte " << offset;
+    throw hard::ConfigError(os.str());
+}
+
+/** Parse the hex key of "covert:HEX"-style names (`offset` = where
+ *  HEX starts in `name`). */
+std::uint32_t
+parseKeyHex(const std::string &name, const std::string &hex,
+            std::size_t offset)
+{
+    if (hex.empty() || hex.size() > 8)
+        failWorkload(name, "bad covert key (1..8 hex digits expected)",
+                     hex, offset);
+    std::uint64_t key = 0;
+    for (char c : hex) {
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = 10 + (c - 'a');
+        else if (c >= 'A' && c <= 'F')
+            digit = 10 + (c - 'A');
+        else
+            failWorkload(name, "bad covert key (hex expected)", hex,
+                         offset);
+        key = (key << 4) | static_cast<std::uint64_t>(digit);
+    }
+    return static_cast<std::uint32_t>(key);
+}
 
 /**
  * Benchmark parameter table. `coldFrac` is the dial for LLC MPKI
@@ -140,7 +183,7 @@ baseParams(const std::string &name)
         p.lowIntensityScale = 0.6;
         p.writeFrac = 0.25;
     } else {
-        camo_fatal("unknown workload: ", name);
+        throw hard::ConfigError("unknown workload '" + name + "'");
     }
     return p;
 }
@@ -161,7 +204,9 @@ bool
 isKnownWorkload(const std::string &name)
 {
     if (name == "probe" || name.rfind("probe:", 0) == 0 ||
-        name.rfind("covert:", 0) == 0) {
+        name.rfind("covert:", 0) == 0 || name.rfind("hammer:", 0) == 0 ||
+        name.rfind("pim:", 0) == 0 || name.rfind("dramsim2:", 0) == 0 ||
+        name.rfind("champsim:", 0) == 0) {
         return true;
     }
     const auto &names = workloadNames();
@@ -185,26 +230,65 @@ makeWorkload(const std::string &name, std::uint64_t seed, Addr addr_base)
             // "probe:N" probes every N CPU cycles; the default 150 is
             // the paper's dense receiver, large N gives the sparse
             // (DRAM-idle-heavy) receiver.
+            const std::string every_str = name.substr(6);
             char *end = nullptr;
             const unsigned long every =
-                std::strtoul(name.c_str() + 6, &end, 10);
-            if (end == nullptr || *end != '\0' || every == 0)
-                camo_fatal("bad probe cadence: ", name);
+                std::strtoul(every_str.c_str(), &end, 10);
+            if (every_str.empty() || end == nullptr || *end != '\0' ||
+                every == 0) {
+                failWorkload(name, "bad probe cadence (cycles >= 1)",
+                             every_str, 6);
+            }
             p.probeEveryCycles = every;
         }
         p.base += addr_base;
         return std::make_unique<ProbeWorkload>(p);
     }
     if (name.rfind("covert:", 0) == 0) {
-        const std::string hex = name.substr(7);
-        char *end = nullptr;
-        const unsigned long key = std::strtoul(hex.c_str(), &end, 16);
-        if (end == nullptr || *end != '\0')
-            camo_fatal("bad covert key (hex expected): ", hex);
         CovertSenderParams p;
-        p.key = keyBits(static_cast<std::uint32_t>(key));
+        p.key = keyBits(parseKeyHex(name, name.substr(7), 7));
         p.bufferBase += addr_base;
         return std::make_unique<CovertSender>(p);
+    }
+    if (name.rfind("hammer:", 0) == 0) {
+        // RowHammer-pattern covert sender: 1-pulses ping-pong between
+        // two rows of one bank (ACT per access) instead of streaming.
+        CovertSenderParams p;
+        p.key = keyBits(parseKeyHex(name, name.substr(7), 7));
+        p.hammerRows = 2;
+        p.bufferBase += addr_base;
+        return std::make_unique<CovertSender>(p);
+    }
+    if (name.rfind("pim:", 0) == 0) {
+        // "pim:HEX[:PULSE]" — PIM-command sender, optional pulse
+        // length in CPU cycles.
+        std::string rest = name.substr(4);
+        PimSenderParams p;
+        const std::size_t colon = rest.find(':');
+        if (colon != std::string::npos) {
+            const std::string pulse_str = rest.substr(colon + 1);
+            char *end = nullptr;
+            const unsigned long pulse =
+                std::strtoul(pulse_str.c_str(), &end, 10);
+            if (pulse_str.empty() || end == nullptr || *end != '\0' ||
+                pulse < 100) {
+                failWorkload(name, "bad PIM pulse (cycles >= 100)",
+                             pulse_str, 4 + colon + 1);
+            }
+            p.pulseCycles = pulse;
+            rest = rest.substr(0, colon);
+        }
+        p.key = keyBits(parseKeyHex(name, rest, 4));
+        p.bufferBase += addr_base;
+        return std::make_unique<PimCovertSender>(p);
+    }
+    if (name.rfind("dramsim2:", 0) == 0) {
+        return loadTraceWorkload(TraceFileFormat::DramSim2,
+                                 name.substr(9), addr_base);
+    }
+    if (name.rfind("champsim:", 0) == 0) {
+        return loadTraceWorkload(TraceFileFormat::ChampSim,
+                                 name.substr(9), addr_base);
     }
     WorkloadParams p = baseParams(name);
     p.addrBase = addr_base;

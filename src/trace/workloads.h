@@ -25,7 +25,9 @@ namespace camo::trace {
 /** Names of the 11 evaluation workloads, in the paper's order. */
 const std::vector<std::string> &workloadNames();
 
-/** Is `name` a known workload (including "covert:..." / "probe")? */
+/** Is `name` a known workload (including the parameterized
+ *  "covert:" / "probe" / "hammer:" / "pim:" / "dramsim2:" /
+ *  "champsim:" families)? */
 bool isKnownWorkload(const std::string &name);
 
 /** Parameters for one of the 11 named workloads. */
@@ -34,9 +36,21 @@ WorkloadParams workloadParams(const std::string &name);
 /**
  * Instantiate a workload trace.
  *
- * Accepted names: the 11 benchmark names; "probe" (constant-rate
- * measuring adversary); "covert:HEX" (Algorithm 1 sender with a
- * 32-bit key, e.g. "covert:2AAAAAAA").
+ * Accepted names:
+ *  - the 11 benchmark names;
+ *  - "probe" / "probe:N" (constant-rate measuring adversary, one
+ *    load per N CPU cycles);
+ *  - "covert:HEX" (Algorithm 1 sender with a 32-bit key, e.g.
+ *    "covert:2AAAAAAA");
+ *  - "hammer:HEX" (covert sender whose 1-pulses are a same-bank
+ *    row-conflict storm — drives TRR/PRAC RowHammer mitigations);
+ *  - "pim:HEX" / "pim:HEX:PULSE" (PIM-command covert sender,
+ *    src/trace/pim.h; PULSE in CPU cycles, default 5000);
+ *  - "dramsim2:PATH" / "champsim:PATH" (trace-file replay,
+ *    src/trace/file_trace.h; PATH may be "@sample").
+ *
+ * Malformed parameterized names raise hard::ConfigError naming the
+ * offending token and byte offset.
  *
  * @param addr_base keeps different cores' address spaces disjoint.
  */

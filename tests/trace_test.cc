@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/hard/error.h"
 #include "src/trace/covert.h"
 #include "src/trace/synthetic.h"
 #include "src/trace/trace.h"
@@ -57,12 +58,19 @@ TEST(Workloads, MakeWorkloadRespectsAddrBase)
     }
 }
 
-TEST(WorkloadsDeathTest, UnknownNameIsFatal)
+TEST(Workloads, UnknownNameRaisesConfigError)
 {
-    EXPECT_EXIT(makeWorkload("nope", 1, 0),
-                ::testing::ExitedWithCode(1), "unknown workload");
-    EXPECT_EXIT(makeWorkload("covert:XYZ", 1, 0),
-                ::testing::ExitedWithCode(1), "bad covert key");
+    EXPECT_THROW(makeWorkload("nope", 1, 0), hard::ConfigError);
+    EXPECT_THROW(makeWorkload("covert:XYZ", 1, 0), hard::ConfigError);
+    try {
+        makeWorkload("covert:XYZ", 1, 0);
+        FAIL() << "expected hard::ConfigError";
+    } catch (const hard::ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("bad covert key"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("token 'XYZ' at byte 7"),
+                  std::string::npos);
+    }
 }
 
 // ---------------------------------------------------------- synthetic

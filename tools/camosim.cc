@@ -52,6 +52,7 @@
 #include "src/obs/prof.h"
 #include "src/obs/registry.h"
 #include "src/obs/tracer.h"
+#include "src/scenario/scenario.h"
 #include "src/sim/parallel.h"
 #include "src/sim/presets.h"
 #include "src/sim/runner.h"
@@ -104,9 +105,11 @@ struct Options
     bool fastForward = true;
     bool help = false;
     bool version = false;
+    bool listScenarios = false;
+    std::string scenarioRef; ///< --scenario=NAME[:open|:shaped]
 
-    /** Loaded by --config; its SystemConfig is the base every other
-     *  flag overrides. */
+    /** Loaded by --config or --scenario; its SystemConfig is the base
+     *  every other flag overrides. */
     std::optional<sim::TopologyConfig> topo;
 
     // Observability outputs.
@@ -207,12 +210,11 @@ struct FlagSpec
     std::function<void(Options &, const std::string &)> apply;
 };
 
-/** --config: load the topology file and seed the flag defaults from
- *  it, so later flags override the file (two-layer configuration). */
+/** --config/--scenario: seed the flag defaults from the topology, so
+ *  later flags override the file (two-layer configuration). */
 void
-applyConfigFile(Options &opt, const std::string &path)
+applyTopology(Options &opt)
 {
-    opt.topo = sim::loadTopology(path);
     const sim::TopologyConfig &t = *opt.topo;
     opt.workloads = t.workloads;
     opt.mitigation = t.system.mitigation;
@@ -222,6 +224,22 @@ applyConfigFile(Options &opt, const std::string &path)
     opt.randomizeTiming = t.system.randomizeTiming;
     opt.shapeCores = t.system.shapeCore;
     opt.fastForward = t.system.fastForward;
+}
+
+void
+applyConfigFile(Options &opt, const std::string &path)
+{
+    opt.topo = sim::loadTopology(path);
+    applyTopology(opt);
+}
+
+/** --scenario: resolve the registered scenario's embedded topology
+ *  (same two-layer override semantics as --config). */
+void
+applyScenario(Options &opt, const std::string &ref)
+{
+    opt.topo = sim::parseTopology(scenario::scenarioTopologyJson(ref));
+    applyTopology(opt);
 }
 
 const std::vector<FlagSpec> &
@@ -243,6 +261,16 @@ flagTable()
          "JSON machine description (topology, bins,\nmitigation; see "
          "src/sim/topology.h); other\nflags override its values",
          applyConfigFile},
+        {"scenario", A::Value, "NAME[:VAR]",
+         "run a registered attack scenario's\ntopology (variant open "
+         "or shaped,\ndefault open); exclusive with --config;\nsee "
+         "--list-scenarios",
+         [](Options &o, const std::string &v) { o.scenarioRef = v; }},
+        {"list-scenarios", A::Bare, "",
+         "print the attack-scenario catalog\nand exit",
+         [](Options &o, const std::string &) {
+             o.listScenarios = true;
+         }},
         {"mitigation", A::Value, "M", "none|cs|reqc|respc|bdc|tp|fs",
          [](Options &o, const std::string &v) {
              const auto m = sim::mitigationFromName(v);
@@ -519,16 +547,26 @@ parseArgs(int argc, char **argv)
             {spec, hasValue ? arg.substr(eq + 1) : std::string()});
     }
 
-    // --config first: it supplies the defaults everything else
-    // overrides, independent of flag order.
+    // --config/--scenario first: they supply the defaults everything
+    // else overrides, independent of flag order.
     for (const Action &a : actions) {
-        if (a.spec->name == "config")
+        if (a.spec->name == "config" || a.spec->name == "scenario")
             a.spec->apply(opt, a.value);
     }
+    if (!opt.scenarioRef.empty()) {
+        if (opt.topo) {
+            throw UsageError(
+                "--scenario and --config both supply a topology; "
+                "pick one");
+        }
+        applyScenario(opt, opt.scenarioRef);
+    }
     for (const Action &a : actions) {
-        if (a.spec->name != "config")
+        if (a.spec->name != "config" && a.spec->name != "scenario")
             a.spec->apply(opt, a.value);
     }
+    if (opt.listScenarios)
+        return opt;
 
     // Cross-flag validation (single-flag value checking lives in the
     // table rows above).
@@ -899,6 +937,10 @@ main(int argc, char **argv)
     }
     if (opt.version) {
         std::printf("%s\n", buildVersionLine().c_str());
+        return kExitOk;
+    }
+    if (opt.listScenarios) {
+        std::printf("%s", scenario::listScenariosText().c_str());
         return kExitOk;
     }
 
