@@ -30,8 +30,10 @@
 #include "src/obs/benchdiff.h"
 #include "src/obs/json.h"
 #include "src/sim/parallel.h"
+#include "src/sim/plan.h"
 #include "src/sim/presets.h"
 #include "src/sim/runner.h"
+#include "src/sim/shard.h"
 
 using namespace camo;
 
@@ -164,7 +166,48 @@ main(int argc, char **argv)
     }
     root["single_thread"] = std::move(single);
 
-    // --- 2. sweep wall-clock, jobs=1 vs jobs=N ------------------
+    // --- 2. per-sim setup cost: one-shot ctor vs compiled plan --
+    // Sweeps construct one System per job; before the SystemPlan
+    // layer every construction re-parsed workload names, re-read
+    // trace files, and eagerly zeroed the tracer ring. The plan path
+    // amortizes all of that, so its per-sim figure includes the
+    // one-time plan compilation.
+    {
+        const std::vector<std::string> setup_mix = {
+            "mcf", "dramsim2:@sample", "astar", "astar"};
+        sim::SystemConfig setup_cfg = sim::paperConfig();
+        setup_cfg.mitigation = sim::Mitigation::BDC;
+        constexpr int kBuilds = 64;
+
+        auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < kBuilds; ++i) {
+            sim::System system(setup_cfg, setup_mix);
+            (void)system;
+        }
+        const double per_legacy = secondsSince(t0) / kBuilds;
+
+        t0 = std::chrono::steady_clock::now();
+        const sim::SystemPlan plan(setup_cfg, setup_mix);
+        for (int i = 0; i < kBuilds; ++i)
+            (void)plan.instantiate();
+        const double per_plan = secondsSince(t0) / kBuilds;
+
+        std::printf("\nsetup: %.3f ms/sim one-shot, %.3f ms/sim "
+                    "planned (%.2fx)\n",
+                    per_legacy * 1e3, per_plan * 1e3,
+                    per_legacy / per_plan);
+
+        obs::json::Value setup = obs::json::Value::makeObject();
+        setup["num_builds"] = obs::json::Value(
+            static_cast<std::uint64_t>(kBuilds));
+        setup["sec_per_sim_legacy"] = obs::json::Value(per_legacy);
+        setup["sec_per_sim_plan"] = obs::json::Value(per_plan);
+        setup["speedup"] =
+            obs::json::Value(per_legacy / per_plan);
+        root["setup"] = std::move(setup);
+    }
+
+    // --- 3. sweep wall-clock, jobs=1 vs jobs=N vs procs=2 -------
     std::vector<bench::SimJob> jobs;
     for (const char *adv : {"mcf", "libqt", "bzip", "apache"}) {
         for (const auto mit :
@@ -185,15 +228,24 @@ main(int argc, char **argv)
     const auto parallel = bench::sweep(jobs, fan);
     const double s_parallel = secondsSince(t0);
 
+    // Multi-process sharding (camosim --shard-procs): fork two
+    // shards, the same worker fan-out inside each.
+    constexpr unsigned kShardProcs = 2;
+    t0 = std::chrono::steady_clock::now();
+    const auto sharded = sim::runConfigsSharded(jobs, fan, kShardProcs);
+    const double s_sharded = secondsSince(t0);
+
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         camo_assert(sameMetrics(serial[i], parallel[i]),
                     "parallel sweep diverged at job ", i);
+        camo_assert(sameMetrics(serial[i], sharded[i]),
+                    "sharded sweep diverged at job ", i);
     }
 
     std::printf("\nsweep of %zu sims: jobs=1 %.2fs, jobs=%u %.2fs "
-                "(%.2fx)\n",
+                "(%.2fx), procs=%u %.2fs\n",
                 jobs.size(), s_serial, fan, s_parallel,
-                s_serial / s_parallel);
+                s_serial / s_parallel, kShardProcs, s_sharded);
 
     obs::json::Value sweep = obs::json::Value::makeObject();
     sweep["num_sims"] = obs::json::Value(
@@ -214,6 +266,11 @@ main(int argc, char **argv)
     } else {
         sweep["speedup"] = obs::json::Value(s_serial / s_parallel);
     }
+    sweep["shard_procs"] = obs::json::Value(
+        static_cast<std::uint64_t>(kShardProcs));
+    sweep["wall_clock_procs2_sec"] = obs::json::Value(s_sharded);
+    // Covers all three modes: jobs=1, jobs=N, and procs=2 were
+    // asserted metric-identical above.
     sweep["results_identical"] = obs::json::Value(true);
     root["sweep"] = std::move(sweep);
 

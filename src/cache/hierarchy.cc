@@ -5,9 +5,12 @@
 
 namespace camo::cache {
 
-CacheHierarchy::CacheHierarchy(CoreId core, const HierarchyConfig &cfg)
+CacheHierarchy::CacheHierarchy(CoreId core, const HierarchyConfig &cfg,
+                               Arena *arena)
     : sim::Component("core" + std::to_string(core) + ".cache"),
-      core_(core), cfg_(cfg), l1_(cfg.l1), l2_(cfg.l2)
+      core_(core), cfg_(cfg), l1_(cfg.l1), l2_(cfg.l2),
+      mshr_(ArenaAllocator<std::pair<const Addr, std::uint32_t>>(arena)),
+      pendingStoreLines_(ArenaAllocator<Addr>(arena))
 {
     camo_assert(cfg.l1.lineBytes == cfg.l2.lineBytes,
                 "L1/L2 line sizes must match");

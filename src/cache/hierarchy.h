@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/cache/cache.h"
+#include "src/common/arena.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
 #include "src/mem/request.h"
@@ -69,7 +70,10 @@ struct HierarchyConfig
 class CacheHierarchy final : public sim::Component
 {
   public:
-    CacheHierarchy(CoreId core, const HierarchyConfig &cfg);
+    /** `arena` (optional) backs the MSHR bookkeeping containers; see
+     *  src/common/arena.h for the lifetime rules. */
+    CacheHierarchy(CoreId core, const HierarchyConfig &cfg,
+                   Arena *arena = nullptr);
 
     /**
      * Perform a demand access.
@@ -136,10 +140,10 @@ class CacheHierarchy final : public sim::Component
     CacheArray l2_;
     /** Outstanding LLC misses: line address -> number of coalesced
      *  demand accesses waiting on the fill. */
-    std::map<Addr, std::uint32_t> mshr_;
+    ArenaMap<Addr, std::uint32_t> mshr_;
     /** Lines whose outstanding miss was caused by a store
      *  (write-allocate: the fill installs them dirty). */
-    std::set<Addr> pendingStoreLines_;
+    ArenaSet<Addr> pendingStoreLines_;
     std::vector<MemRequest> outgoing_;
     ReqId nextId_ = 1;
     StatGroup stats_;

@@ -8,11 +8,12 @@
 namespace camo::shaper {
 
 RequestShaper::RequestShaper(CoreId core, const RequestShaperConfig &cfg,
-                             std::uint64_t seed)
+                             std::uint64_t seed, Arena *arena)
     : sim::Component("shaper.req.core" + std::to_string(core)),
       core_(core),
       cfg_(cfg),
       bins_(cfg.bins),
+      queue_(ArenaAllocator<MemRequest>(arena)),
       rng_(seed),
       pre_(cfg.bins.edges),
       post_(cfg.bins.edges)

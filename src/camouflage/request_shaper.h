@@ -19,6 +19,7 @@
 #include "src/camouflage/bin_config.h"
 #include "src/camouflage/bin_shaper.h"
 #include "src/camouflage/monitor.h"
+#include "src/common/arena.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
@@ -82,8 +83,10 @@ struct RequestShaperConfig
 class RequestShaper final : public sim::Component
 {
   public:
+    /** `arena` (optional) backs the pending-request queue; see
+     *  src/common/arena.h. */
     RequestShaper(CoreId core, const RequestShaperConfig &cfg,
-                  std::uint64_t seed);
+                  std::uint64_t seed, Arena *arena = nullptr);
 
     using sim::Component::tick;
 
@@ -157,7 +160,7 @@ class RequestShaper final : public sim::Component
     CoreId core_;
     RequestShaperConfig cfg_;
     BinShaper bins_;
-    std::deque<MemRequest> queue_;
+    ArenaDeque<MemRequest> queue_;
     Rng rng_;
     ReqId nextFakeId_ = 1;
     Cycle randomHoldUntil_ = kNoCycle; ///< SIV-B4 random slack state

@@ -7,11 +7,13 @@
 
 namespace camo::shaper {
 
-ResponseShaper::ResponseShaper(CoreId core, const ResponseShaperConfig &cfg)
+ResponseShaper::ResponseShaper(CoreId core, const ResponseShaperConfig &cfg,
+                               Arena *arena)
     : sim::Component("shaper.resp.core" + std::to_string(core)),
       core_(core),
       cfg_(cfg),
       bins_(cfg.bins),
+      queue_(ArenaAllocator<MemRequest>(arena)),
       pre_(cfg.bins.edges),
       post_(cfg.bins.edges)
 {

@@ -22,6 +22,7 @@
 #include "src/camouflage/bin_config.h"
 #include "src/camouflage/bin_shaper.h"
 #include "src/camouflage/monitor.h"
+#include "src/common/arena.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
 #include "src/mem/request.h"
@@ -53,7 +54,10 @@ struct ResponseShaperConfig
 class ResponseShaper final : public sim::Component
 {
   public:
-    ResponseShaper(CoreId core, const ResponseShaperConfig &cfg);
+    /** `arena` (optional) backs the buffered-response queue; see
+     *  src/common/arena.h. */
+    ResponseShaper(CoreId core, const ResponseShaperConfig &cfg,
+                   Arena *arena = nullptr);
 
     using sim::Component::tick;
 
@@ -127,7 +131,7 @@ class ResponseShaper final : public sim::Component
     CoreId core_;
     ResponseShaperConfig cfg_;
     BinShaper bins_;
-    std::deque<MemRequest> queue_;
+    ArenaDeque<MemRequest> queue_;
     std::uint64_t lastReplenishSeen_ = 0;
     std::uint32_t pendingBoost_ = 0;
     ReqId nextFakeId_ = 1;

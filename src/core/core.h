@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/cache/hierarchy.h"
+#include "src/common/arena.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
 #include "src/obs/tracer.h"
@@ -41,8 +42,10 @@ struct CoreConfig
 class Core final : public sim::Component
 {
   public:
+    /** `arena` (optional) backs the instruction window and the
+     *  waiting-load table; see src/common/arena.h. */
     Core(CoreId id, const CoreConfig &cfg, trace::TraceSource &trace,
-         cache::CacheHierarchy &cache);
+         cache::CacheHierarchy &cache, Arena *arena = nullptr);
 
     /** Advance one CPU cycle: retire, then dispatch. */
     void tick(Cycle now) override;
@@ -117,10 +120,10 @@ class Core final : public sim::Component
     trace::TraceSource &trace_;
     cache::CacheHierarchy &cache_;
 
-    std::deque<Entry> window_;
+    ArenaDeque<Entry> window_;
     std::uint64_t nextSeq_ = 0;
     /** Loads waiting on an LLC fill: line -> window seq numbers. */
-    std::map<Addr, std::vector<std::uint64_t>> waiting_;
+    ArenaMap<Addr, std::vector<std::uint64_t>> waiting_;
 
     /** Trace decomposition state. */
     std::uint64_t pendingGap_ = 0;

@@ -40,13 +40,15 @@ makeScheduler(const ControllerConfig &cfg)
 } // namespace
 
 MemoryController::MemoryController(const ControllerConfig &cfg,
-                                   std::string name)
+                                   std::string name, Arena *arena)
     : sim::Component(std::move(name)),
       cfg_(cfg),
       mapper_(cfg.org, cfg.mapping),
       device_(cfg.org, cfg.timing),
       divider_(cfg.cpuPerDramNum, cfg.cpuPerDramDen),
-      sched_(makeScheduler(cfg))
+      sched_(makeScheduler(cfg)),
+      readQ_(ArenaAllocator<Transaction>(arena)),
+      writeQ_(ArenaAllocator<Transaction>(arena))
 {
     if (cfg_.rowhammer.enabled) {
         rowhammer_ = std::make_unique<dram::RowHammerDefense>(
@@ -136,7 +138,7 @@ MemoryController::enqueue(MemRequest req, Cycle now, Addr decode_addr)
     stats_.inc(req.isWrite ? "writes.enqueued" : "reads.enqueued");
     if (req.isFake)
         stats_.inc("fake.enqueued");
-    std::deque<Transaction> &q = req.isWrite ? writeQ_ : readQ_;
+    TxnQueue &q = req.isWrite ? writeQ_ : readQ_;
     CAMO_TRACE_EVENT(tracer_, .at = now,
                      .type = obs::EventType::McEnqueue,
                      .core = req.core, .id = req.id, .addr = req.addr,
@@ -191,7 +193,7 @@ MemoryController::manageRefresh(std::uint64_t dram_now)
 }
 
 void
-MemoryController::buildPool(const std::deque<Transaction> &queue,
+MemoryController::buildPool(const TxnQueue &queue,
                             SchedView &view,
                             std::vector<std::size_t> &index_map) const
 {
@@ -235,7 +237,7 @@ MemoryController::buildPool(const std::deque<Transaction> &queue,
 }
 
 void
-MemoryController::execute(const Decision &d, std::deque<Transaction> &queue,
+MemoryController::execute(const Decision &d, TxnQueue &queue,
                           const std::vector<std::size_t> &index_map,
                           Cycle cpu_now, std::uint64_t dram_now)
 {
@@ -315,7 +317,7 @@ MemoryController::dramTick(Cycle cpu_now)
         }
     }
 
-    auto try_schedule = [&](std::deque<Transaction> &queue,
+    auto try_schedule = [&](TxnQueue &queue,
                             bool is_write) -> bool {
         if (queue.empty())
             return false;
@@ -361,7 +363,7 @@ MemoryController::closeIdleRows(std::uint64_t dram_now)
             if (!device_.isRowOpen(da))
                 continue;
             const std::uint32_t open_row = device_.bank(rank, b).openRow;
-            auto wants_row = [&](const std::deque<Transaction> &q) {
+            auto wants_row = [&](const TxnQueue &q) {
                 for (const Transaction &txn : q) {
                     if (txn.da.rank == rank && txn.da.bank == b &&
                         txn.da.row == open_row) {
@@ -414,7 +416,7 @@ MemoryController::popResponses(Cycle now)
 }
 
 std::uint64_t
-MemoryController::earliestQueueAction(const std::deque<Transaction> &queue,
+MemoryController::earliestQueueAction(const TxnQueue &queue,
                                       bool is_write,
                                       std::uint64_t dram_now) const
 {
@@ -478,7 +480,7 @@ MemoryController::nextEventCycle(Cycle now, Cycle from) const
                 const std::uint32_t open_row =
                     device_.bank(rank, b).openRow;
                 auto wants_row =
-                    [&](const std::deque<Transaction> &q) {
+                    [&](const TxnQueue &q) {
                         for (const Transaction &txn : q) {
                             if (txn.da.rank == rank &&
                                 txn.da.bank == b &&

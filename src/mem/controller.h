@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/clock.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
@@ -120,8 +121,11 @@ struct ControllerConfig
 class MemoryController final : public sim::Component
 {
   public:
+    /** `arena` (optional) backs the transaction queues; see
+     *  src/common/arena.h. */
     explicit MemoryController(const ControllerConfig &cfg,
-                              std::string name = "mc");
+                              std::string name = "mc",
+                              Arena *arena = nullptr);
     ~MemoryController() override;
 
     /** Is there queue space for another transaction of this type? */
@@ -229,14 +233,16 @@ class MemoryController final : public sim::Component
     void dramTick(Cycle cpu_now);
     bool manageRefresh(std::uint64_t dram_now);
     bool closeIdleRows(std::uint64_t dram_now);
-    void buildPool(const std::deque<Transaction> &queue, SchedView &view,
+    using TxnQueue = ArenaDeque<Transaction>;
+
+    void buildPool(const TxnQueue &queue, SchedView &view,
                    std::vector<std::size_t> &index_map) const;
     /** Earliest DRAM cycle the scheduler could act on `queue`
      *  (Scheduler::earliestPick over the same pool dramTick offers). */
-    std::uint64_t earliestQueueAction(const std::deque<Transaction> &queue,
+    std::uint64_t earliestQueueAction(const TxnQueue &queue,
                                       bool is_write,
                                       std::uint64_t dram_now) const;
-    void execute(const Decision &d, std::deque<Transaction> &queue,
+    void execute(const Decision &d, TxnQueue &queue,
                  const std::vector<std::size_t> &index_map, Cycle cpu_now,
                  std::uint64_t dram_now);
     Cycle dramDelayToCpu(std::uint64_t dram_cycles) const;
@@ -248,8 +254,8 @@ class MemoryController final : public sim::Component
     std::unique_ptr<Scheduler> sched_;
     std::unique_ptr<dram::RowHammerDefense> rowhammer_;
 
-    std::deque<Transaction> readQ_;
-    std::deque<Transaction> writeQ_;
+    TxnQueue readQ_;
+    TxnQueue writeQ_;
     bool drainingWrites_ = false;
     std::vector<PendingResponse> responses_;
     /** Scratch buffers reused across dramTick calls (buildPool runs

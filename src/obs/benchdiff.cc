@@ -196,9 +196,29 @@ diffBenchReports(const json::Value &before, const json::Value &after,
             "sweep.speedup not gated (worker counts unrecorded, "
             "unequal, or jobs<=1 makes the ratio load noise)");
     }
+    // A report produced on a single-hardware-thread host says so
+    // explicitly; surface that rather than leaving a silently absent
+    // speedup metric.
+    const auto note_skipped = [&report](const json::Value &doc,
+                                        const char *which) {
+        const json::Value *sw = doc.find("sweep");
+        const json::Value *n = sw ? sw->find("note") : nullptr;
+        if (n && n->isString() &&
+            n->asString() == "skipped_parallel_speedup") {
+            report.notes.push_back(
+                std::string(which) +
+                " report ran on a single-hardware-thread host "
+                "(sweep.note=skipped_parallel_speedup): the parallel "
+                "speedup was deliberately not recorded, wall-clocks "
+                "compared informationally");
+        }
+    };
+    note_skipped(before, "baseline");
+    note_skipped(after, "new");
     static const std::vector<MetricSpec> kSweep = {
         {"wall_clock_jobs1_sec", false, false},
         {"wall_clock_jobsN_sec", false, false},
+        {"wall_clock_procs2_sec", false, false},
         {"speedup", true, true},
     };
     for (const MetricSpec &spec : kSweep) {
@@ -206,6 +226,25 @@ diffBenchReports(const json::Value &before, const json::Value &after,
                    findPath(before, {"sweep", spec.name}),
                    findPath(after, {"sweep", spec.name}),
                    spec.higherIsBetter, spec.ratio && gate_sweep);
+    }
+
+    // The compiled-plan setup cost (perf_report "setup" section,
+    // schema v3). Per-sim wall-clocks are host absolutes; the
+    // legacy/plan speedup is a same-host ratio and gated — losing it
+    // means System construction started re-doing per-run work the
+    // SystemPlan layer exists to amortize.
+    if (before.find("setup") || after.find("setup")) {
+        static const std::vector<MetricSpec> kSetup = {
+            {"sec_per_sim_legacy", false, false},
+            {"sec_per_sim_plan", false, false},
+            {"speedup", true, true},
+        };
+        for (const MetricSpec &spec : kSetup) {
+            compareOne(report, opts, "setup." + spec.name,
+                       findPath(before, {"setup", spec.name}),
+                       findPath(after, {"setup", spec.name}),
+                       spec.higherIsBetter, spec.ratio);
+        }
     }
 
     // The attack-scenario catalog (BENCH_scenarios.json). Rows are

@@ -22,8 +22,10 @@
 
 namespace camo::obs {
 
-/** Schema version written by bench/perf_report. */
-inline constexpr int kBenchSchemaVersion = 2;
+/** Schema version written by bench/perf_report. v3 added the "setup"
+ *  section (compiled-plan construction cost) and the sweep's
+ *  multi-process sharding wall-clock. */
+inline constexpr int kBenchSchemaVersion = 3;
 
 /** buildInfo() as a JSON object ("git_sha", "git_dirty", "compiler",
  *  "build_type", "cxx_flags") — the provenance stamp every bench

@@ -83,7 +83,20 @@ std::string eventToJson(const Event &e);
 class Tracer
 {
   public:
-    explicit Tracer(std::size_t capacity = 1 << 16);
+    static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+    explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+    /** Defer the ring allocation until setEnabled(true): the ring is
+     *  ~4MB of zero-initialized Events, which dominates System
+     *  construction cost, and sweep/GA runs never enable tracing.
+     *  Safe because both emit() and CAMO_TRACE_EVENT gate on
+     *  enabled(). */
+    struct DeferRing
+    {
+    };
+    Tracer(DeferRing, std::size_t capacity = kDefaultCapacity);
+
     ~Tracer();
 
     Tracer(const Tracer &) = delete;
@@ -92,7 +105,13 @@ class Tracer
     /** Attach the drain destination (flushes any buffered events). */
     void setSink(std::unique_ptr<TraceSink> sink);
 
-    void setEnabled(bool on) { enabled_ = on; }
+    void
+    setEnabled(bool on)
+    {
+        if (on && buf_.size() < capacity_)
+            buf_.resize(capacity_);
+        enabled_ = on;
+    }
     bool enabled() const { return enabled_; }
 
     /** Record one event. Near-free when disabled. */
@@ -125,11 +144,12 @@ class Tracer
     std::uint64_t emitted() const { return emitted_; }
     std::uint64_t dropped() const { return dropped_; }
     std::size_t buffered() const { return size_; }
-    std::size_t capacity() const { return buf_.size(); }
+    std::size_t capacity() const { return capacity_; }
 
   private:
     void drainToSink();
 
+    std::size_t capacity_;
     std::vector<Event> buf_;
     std::size_t head_ = 0; ///< index of the oldest buffered event
     std::size_t size_ = 0;

@@ -13,6 +13,7 @@
 #include "src/hard/fault_injection.h"
 #include "src/server/protocol.h"
 #include "src/sim/parallel.h"
+#include "src/sim/plan.h"
 #include "src/sim/runner.h"
 #include "src/sim/topology.h"
 
@@ -104,7 +105,13 @@ runJobPayload(const JobSpec &spec, std::uint64_t job_id,
             *wild = 0xDEAD;
         }
 
-        sim::System system(cfg, topo.workloads);
+        // Compiled-plan path: same construction the sweep engine
+        // uses, so daemon results stay byte-identical to the CLI's
+        // while skipping the eager tracer-ring allocation.
+        const sim::SystemPlan plan(cfg, topo.workloads);
+        const std::unique_ptr<sim::System> system_owner =
+            plan.instantiate();
+        sim::System &system = *system_owner;
         if (!diag_dir.empty())
             system.setDiagnosticDir(diag_dir);
         if (spec.checkers) {

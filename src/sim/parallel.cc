@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <map>
 
 #include "src/common/logging.h"
 #include "src/ga/mise.h"
@@ -142,22 +143,90 @@ std::vector<RunMetrics>
 runConfigsParallel(const std::vector<SimJob> &batch, unsigned jobs,
                    hard::FaultInjector *injector)
 {
+    // Compile each distinct workload mix once for the whole batch
+    // (trace files load and parse exactly once) and build one
+    // immutable plan per job up front; workers and retry attempts
+    // only instantiate.
+    std::map<std::vector<std::string>,
+             std::vector<trace::CompiledWorkload>>
+        mixes;
+    std::vector<SystemPlan> plans;
+    plans.reserve(batch.size());
+    for (const SimJob &job : batch) {
+        auto it = mixes.find(job.workloads);
+        if (it == mixes.end()) {
+            std::vector<trace::CompiledWorkload> mix;
+            mix.reserve(job.workloads.size());
+            for (const std::string &name : job.workloads)
+                mix.push_back(trace::compileWorkload(name));
+            it = mixes.emplace(job.workloads, std::move(mix)).first;
+        }
+        plans.emplace_back(job.cfg, job.workloads, it->second);
+    }
     return parallelMapRetry(
         batch.size(), jobs, kDefaultWorkerAttempts,
         [&](std::size_t i, unsigned attempt) {
             if (injector)
                 injector->maybeWorkerFault(i, attempt);
-            SimJob job = batch[i];
+            PlanOverrides ov;
             if (attempt > 0) {
                 // A fresh RNG stream per attempt: replaying the exact
                 // sequence that faulted would reproduce a genuinely
                 // seed-dependent failure instead of recovering.
-                job.cfg.seed = deriveSeed(job.cfg.seed,
-                                          kRetrySeedStream, attempt);
+                ov.seed = deriveSeed(batch[i].cfg.seed,
+                                     kRetrySeedStream, attempt);
             }
-            return runConfig(job.cfg, job.workloads, job.cycles,
-                             job.warmup);
+            const std::unique_ptr<System> system =
+                plans[i].instantiate(ov);
+            return runAndMeasure(*system, batch[i].cycles,
+                                 batch[i].warmup);
         });
+}
+
+double
+evaluateGaChild(const SystemPlan &plan, const ga::Genome &genome,
+                std::uint64_t generation, std::size_t child,
+                const std::vector<double> &alone_rate,
+                Cycle epoch_cycles)
+{
+    const SystemConfig &cfg = plan.config();
+    PlanOverrides ov;
+    ov.seed = deriveSeed(cfg.seed, generation + 1, child);
+    ov.reqBinsPerCore.emplace();
+    ov.respBinsPerCore.emplace();
+    for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+        ov.reqBinsPerCore->push_back(gaReqBinsOf(cfg, genome, c));
+        ov.respBinsPerCore->push_back(gaRespBinsOf(cfg, genome, c));
+    }
+    const std::unique_ptr<System> system = plan.instantiate(ov);
+    system->run(epoch_cycles);
+
+    double total = 0.0;
+    for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+        ga::MiseSample s;
+        s.alpha = system->coreAt(c).alpha();
+        s.aloneRate = alone_rate[c];
+        s.sharedRate = static_cast<double>(system->servedReads(c)) /
+                       static_cast<double>(epoch_cycles);
+        total += ga::miseSlowdown(s);
+    }
+    return -total / static_cast<double>(cfg.numCores);
+}
+
+std::vector<double>
+evaluateGenerationParallel(const SystemPlan &plan,
+                           const std::vector<ga::Genome> &children,
+                           std::uint64_t generation,
+                           const std::vector<double> &alone_rate,
+                           Cycle epoch_cycles, unsigned jobs)
+{
+    camo_assert(alone_rate.size() == plan.config().numCores,
+                "need one alone rate per core");
+    camo_assert(epoch_cycles > 0, "epoch must be positive");
+    return parallelMap(children.size(), jobs, [&](std::size_t child) {
+        return evaluateGaChild(plan, children[child], generation, child,
+                               alone_rate, epoch_cycles);
+    });
 }
 
 std::vector<double>
@@ -168,34 +237,9 @@ evaluateGenerationParallel(const SystemConfig &cfg,
                            const std::vector<double> &alone_rate,
                            Cycle epoch_cycles, unsigned jobs)
 {
-    camo_assert(alone_rate.size() == cfg.numCores,
-                "need one alone rate per core");
-    camo_assert(epoch_cycles > 0, "epoch must be positive");
-    return parallelMap(children.size(), jobs, [&](std::size_t child) {
-        SystemConfig child_cfg = cfg;
-        child_cfg.seed = deriveSeed(cfg.seed, generation + 1, child);
-        child_cfg.reqBinsPerCore.clear();
-        child_cfg.respBinsPerCore.clear();
-        for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
-            child_cfg.reqBinsPerCore.push_back(
-                gaReqBinsOf(cfg, children[child], c));
-            child_cfg.respBinsPerCore.push_back(
-                gaRespBinsOf(cfg, children[child], c));
-        }
-        System system(child_cfg, workloads);
-        system.run(epoch_cycles);
-
-        double total = 0.0;
-        for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
-            ga::MiseSample s;
-            s.alpha = system.coreAt(c).alpha();
-            s.aloneRate = alone_rate[c];
-            s.sharedRate = static_cast<double>(system.servedReads(c)) /
-                           static_cast<double>(epoch_cycles);
-            total += ga::miseSlowdown(s);
-        }
-        return -total / static_cast<double>(cfg.numCores);
-    });
+    const SystemPlan plan(cfg, workloads);
+    return evaluateGenerationParallel(plan, children, generation,
+                                      alone_rate, epoch_cycles, jobs);
 }
 
 } // namespace camo::sim

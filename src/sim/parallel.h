@@ -27,6 +27,7 @@
 #include "src/hard/error.h"
 #include "src/hard/fault_injection.h"
 #include "src/hard/retry.h"
+#include "src/sim/plan.h"
 #include "src/sim/runner.h"
 #include "src/sim/system.h"
 
@@ -39,6 +40,17 @@ inline constexpr unsigned kDefaultWorkerAttempts = 3;
  *  parallelMapRetry): retried attempts must not replay the RNG
  *  sequence that just faulted. */
 inline constexpr std::uint64_t kRetrySeedStream = 0xFA117;
+
+/**
+ * Seed stream id for the multi-process shard protocol
+ * (src/sim/shard.h): each forked shard authenticates its result
+ * frame with deriveSeed(base, kShardSeedStream, shard). Never feeds a
+ * simulation RNG — job seeds are byte-identical with and without
+ * sharding — but it draws from the same deriveSeed space as the
+ * sweep (stream 0), GA (generation + 1), and retry streams, so it
+ * must stay disjoint from them (tests pin this).
+ */
+inline constexpr std::uint64_t kShardSeedStream = 0xD15C0;
 
 /**
  * Worker count used when a caller passes jobs == 0: the CAMO_JOBS
@@ -220,6 +232,29 @@ std::vector<double> evaluateGenerationParallel(
     const std::vector<ga::Genome> &children, std::uint64_t generation,
     const std::vector<double> &alone_rate, Cycle epoch_cycles,
     unsigned jobs = 0);
+
+/**
+ * evaluateGenerationParallel over a pre-compiled plan: the offline GA
+ * builds one SystemPlan for the whole search and every child is a
+ * cheap PlanOverrides instantiation. Bit-exact with the config-based
+ * overload (which delegates here).
+ */
+std::vector<double> evaluateGenerationParallel(
+    const SystemPlan &plan, const std::vector<ga::Genome> &children,
+    std::uint64_t generation, const std::vector<double> &alone_rate,
+    Cycle epoch_cycles, unsigned jobs = 0);
+
+/**
+ * Fitness of one offline-GA child: decode its genome into per-core
+ * bins, instantiate the plan with seed deriveSeed(seed, generation+1,
+ * child), run one epoch, score -average MISE slowdown. The single
+ * evaluation path shared by the threaded and sharded evaluators, so
+ * their results are byte-identical.
+ */
+double evaluateGaChild(const SystemPlan &plan, const ga::Genome &genome,
+                       std::uint64_t generation, std::size_t child,
+                       const std::vector<double> &alone_rate,
+                       Cycle epoch_cycles);
 
 } // namespace camo::sim
 

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Compiled system plan: the build-once half of System construction.
+ *
+ * A sweep (or GA generation) instantiates the same machine hundreds
+ * of times, varying only the seed and — for the GA — the shaper bin
+ * configurations. Before this layer, every instantiation re-parsed
+ * workload names, re-validated the configuration, and (for
+ * trace-replay workloads) re-read and re-parsed the trace file.
+ * SystemPlan hoists all of that: it validates the SystemConfig and
+ * compiles every workload name exactly once (trace::CompiledWorkload,
+ * which loads trace files eagerly and shares the parsed items
+ * immutably), and instantiate() then builds a fresh System per run
+ * from the pre-compiled pieces.
+ *
+ * Plan-built systems are bit-exact with directly-built ones (tests
+ * pin this): the per-core seeds and address bases are derived by the
+ * same formulas, and CompiledWorkload::instantiate reproduces
+ * trace::makeWorkload exactly. Two deliberate differences are
+ * invisible to results:
+ *  - the tracer ring allocation is deferred until setEnabled(true)
+ *    (sweeps never enable tracing; the eager 4 MB zero-init dominated
+ *    construction cost);
+ *  - hot-path containers draw from the System's arena in both paths
+ *    (src/common/arena.h), so allocation counts are identical.
+ *
+ * A SystemPlan is immutable after construction and safe to share
+ * across threads: instantiate() is const and every worker builds its
+ * own System from it. See DESIGN.md §16.
+ */
+
+#ifndef CAMO_SIM_PLAN_H
+#define CAMO_SIM_PLAN_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/camouflage/bin_config.h"
+#include "src/sim/system.h"
+#include "src/trace/workloads.h"
+
+namespace camo::sim {
+
+/**
+ * Per-run knobs of SystemPlan::instantiate(). Everything the sweep
+ * and GA loops vary between runs of one plan; unset fields keep the
+ * plan's values.
+ */
+struct PlanOverrides
+{
+    /** Replaces SystemConfig::seed (sweep repetitions, GA children). */
+    std::optional<std::uint64_t> seed;
+    /** Replace the per-core shaper configurations (GA candidates).
+     *  Size must be numCores or empty. */
+    std::optional<std::vector<shaper::BinConfig>> reqBinsPerCore;
+    std::optional<std::vector<shaper::BinConfig>> respBinsPerCore;
+};
+
+/** The compiled, immutable half of System construction. */
+class SystemPlan
+{
+  public:
+    /**
+     * Validate `cfg` + `workloads` and compile every workload name.
+     * @throws hard::ConfigError exactly where System's legacy ctor
+     *         would (same messages), plus trace-load failures that
+     *         previously surfaced at first instantiation.
+     */
+    SystemPlan(const SystemConfig &cfg,
+               const std::vector<std::string> &workloads);
+    explicit SystemPlan(const TopologyConfig &topo);
+
+    /**
+     * Reuse an already-compiled workload mix (runConfigsParallel
+     * compiles each distinct mix once per batch and shares it across
+     * the jobs that use it). `compiled` must be index-aligned with
+     * `workloads`.
+     */
+    SystemPlan(const SystemConfig &cfg,
+               std::vector<std::string> workloads,
+               std::vector<trace::CompiledWorkload> compiled);
+
+    const SystemConfig &config() const { return cfg_; }
+    const std::vector<std::string> &workloads() const
+    {
+        return workloads_;
+    }
+    std::uint32_t numCores() const { return cfg_.numCores; }
+
+    /** The compiled workload for core `i`. */
+    const trace::CompiledWorkload &compiled(std::uint32_t i) const;
+
+    /**
+     * Build a fresh System from the plan. Every call returns an
+     * independent machine; concurrent calls from different threads
+     * are safe (the plan is only read).
+     * @throws hard::ConfigError when an override is malformed (wrong
+     *         per-core vector size).
+     */
+    std::unique_ptr<System> instantiate() const;
+    std::unique_ptr<System>
+    instantiate(const PlanOverrides &overrides) const;
+
+  private:
+    SystemConfig cfg_;
+    std::vector<std::string> workloads_;
+    std::vector<trace::CompiledWorkload> compiled_;
+};
+
+} // namespace camo::sim
+
+#endif // CAMO_SIM_PLAN_H

@@ -9,6 +9,8 @@
 #include "src/hard/error.h"
 #include "src/security/leakage_bound.h"
 #include "src/sim/parallel.h"
+#include "src/sim/plan.h"
+#include "src/sim/shard.h"
 
 namespace camo::sim {
 
@@ -318,7 +320,7 @@ OnlineGaResult
 runOfflineGa(const SystemConfig &cfg,
              const std::vector<std::string> &workloads,
              const ga::GaConfig &ga_cfg, Cycle epoch_cycles,
-             unsigned jobs)
+             unsigned jobs, unsigned shard_procs)
 {
     if (cfg.mitigation != Mitigation::BDC &&
         cfg.mitigation != Mitigation::ReqC &&
@@ -354,25 +356,31 @@ runOfflineGa(const SystemConfig &cfg,
     alone_cfg.reqBinsPerCore.clear();
     alone_cfg.respBinsPerCore.clear();
     alone_cfg.fakeTraffic = false;
+    const SystemPlan alone_plan(alone_cfg, workloads);
     const std::vector<double> alone_rate =
         parallelMap(cores, jobs, [&](std::size_t c) {
-            SystemConfig one = alone_cfg;
+            PlanOverrides one;
             one.seed = deriveSeed(cfg.seed, 0, c);
-            System system(one, workloads);
-            system.memory().setHighestPriorityCore(
+            const std::unique_ptr<System> system =
+                alone_plan.instantiate(one);
+            system->memory().setHighestPriorityCore(
                 static_cast<CoreId>(c));
-            system.run(epoch_cycles);
+            system->run(epoch_cycles);
             return static_cast<double>(
-                       system.servedReads(
+                       system->servedReads(
                            static_cast<std::uint32_t>(c))) /
                    static_cast<double>(epoch_cycles);
         });
 
+    // One plan for the whole search: every child evaluation (however
+    // it is fanned out) is a PlanOverrides instantiation.
+    const SystemPlan plan(cfg, workloads);
+
     OnlineGaResult result;
     for (std::size_t gen = 0; gen < ga_cfg.generations; ++gen) {
-        const std::vector<double> fitness = evaluateGenerationParallel(
-            cfg, workloads, optimizer.population(), gen, alone_rate,
-            epoch_cycles, jobs);
+        const std::vector<double> fitness = evaluateGenerationSharded(
+            plan, optimizer.population(), gen, alone_rate,
+            epoch_cycles, jobs, shard_procs);
         double generation_best = -1e300;
         for (std::size_t child = 0; child < fitness.size(); ++child) {
             optimizer.setFitness(child, fitness[child]);

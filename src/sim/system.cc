@@ -14,6 +14,7 @@
 #include "src/camouflage/config_port.h"
 #include "src/common/logging.h"
 #include "src/hard/error.h"
+#include "src/sim/plan.h"
 #include "src/trace/workloads.h"
 
 namespace camo::sim {
@@ -450,39 +451,46 @@ nextDiagInstance()
 
 } // namespace
 
+void
+validateSystemConfig(const SystemConfig &cfg,
+                     std::size_t num_workloads)
+{
+    if (cfg.numCores < 1)
+        throw hard::ConfigError("numCores must be >= 1, got 0");
+    if (num_workloads != cfg.numCores) {
+        throw hard::ConfigError(
+            detail::fmt("expected ", cfg.numCores, " workloads, got ",
+                        num_workloads));
+    }
+    if (!cfg.shapeCore.empty() &&
+        cfg.shapeCore.size() != cfg.numCores) {
+        throw hard::ConfigError(
+            detail::fmt("shapeCore mask has ", cfg.shapeCore.size(),
+                        " entries but numCores is ", cfg.numCores));
+    }
+    if (!cfg.reqBinsPerCore.empty() &&
+        cfg.reqBinsPerCore.size() != cfg.numCores) {
+        throw hard::ConfigError(
+            detail::fmt("reqBinsPerCore has ",
+                        cfg.reqBinsPerCore.size(),
+                        " entries but numCores is ", cfg.numCores));
+    }
+    if (!cfg.respBinsPerCore.empty() &&
+        cfg.respBinsPerCore.size() != cfg.numCores) {
+        throw hard::ConfigError(
+            detail::fmt("respBinsPerCore has ",
+                        cfg.respBinsPerCore.size(),
+                        " entries but numCores is ", cfg.numCores));
+    }
+}
+
 System::System(const SystemConfig &cfg,
                const std::vector<std::string> &workloads)
     : cfg_(cfg), diagStream_(&std::cerr),
       diagInstance_(nextDiagInstance())
 {
-    if (cfg_.numCores < 1)
-        throw hard::ConfigError("numCores must be >= 1, got 0");
-    if (workloads.size() != cfg_.numCores) {
-        throw hard::ConfigError(
-            detail::fmt("expected ", cfg_.numCores, " workloads, got ",
-                        workloads.size()));
-    }
-    if (!cfg_.shapeCore.empty() &&
-        cfg_.shapeCore.size() != cfg_.numCores) {
-        throw hard::ConfigError(
-            detail::fmt("shapeCore mask has ", cfg_.shapeCore.size(),
-                        " entries but numCores is ", cfg_.numCores));
-    }
-    if (!cfg_.reqBinsPerCore.empty() &&
-        cfg_.reqBinsPerCore.size() != cfg_.numCores) {
-        throw hard::ConfigError(
-            detail::fmt("reqBinsPerCore has ",
-                        cfg_.reqBinsPerCore.size(),
-                        " entries but numCores is ", cfg_.numCores));
-    }
-    if (!cfg_.respBinsPerCore.empty() &&
-        cfg_.respBinsPerCore.size() != cfg_.numCores) {
-        throw hard::ConfigError(
-            detail::fmt("respBinsPerCore has ",
-                        cfg_.respBinsPerCore.size(),
-                        " entries but numCores is ", cfg_.numCores));
-    }
-    buildTopology(workloads);
+    validateSystemConfig(cfg_, workloads.size());
+    buildTopology(workloads, nullptr);
 }
 
 System::System(const TopologyConfig &topo)
@@ -490,8 +498,42 @@ System::System(const TopologyConfig &topo)
 {
 }
 
+System::System(const SystemPlan &plan, const PlanOverrides &overrides)
+    : cfg_(plan.config()), diagStream_(&std::cerr),
+      diagInstance_(nextDiagInstance())
+{
+    // The plan validated the base configuration; only the overrides
+    // can introduce new inconsistencies.
+    if (overrides.seed)
+        cfg_.seed = *overrides.seed;
+    if (overrides.reqBinsPerCore) {
+        if (!overrides.reqBinsPerCore->empty() &&
+            overrides.reqBinsPerCore->size() != cfg_.numCores) {
+            throw hard::ConfigError(
+                detail::fmt("reqBinsPerCore has ",
+                            overrides.reqBinsPerCore->size(),
+                            " entries but numCores is ",
+                            cfg_.numCores));
+        }
+        cfg_.reqBinsPerCore = *overrides.reqBinsPerCore;
+    }
+    if (overrides.respBinsPerCore) {
+        if (!overrides.respBinsPerCore->empty() &&
+            overrides.respBinsPerCore->size() != cfg_.numCores) {
+            throw hard::ConfigError(
+                detail::fmt("respBinsPerCore has ",
+                            overrides.respBinsPerCore->size(),
+                            " entries but numCores is ",
+                            cfg_.numCores));
+        }
+        cfg_.respBinsPerCore = *overrides.respBinsPerCore;
+    }
+    buildTopology(plan.workloads(), &plan);
+}
+
 void
-System::buildTopology(const std::vector<std::string> &workloads)
+System::buildTopology(const std::vector<std::string> &workloads,
+                      const SystemPlan *plan)
 {
     // Baseline scheduler selection per mitigation.
     cfg_.mc.numCores = cfg_.numCores;
@@ -511,8 +553,15 @@ System::buildTopology(const std::vector<std::string> &workloads)
         break;
     }
 
-    tracer_ = std::make_unique<obs::Tracer>();
-    mem_ = std::make_unique<mem::MemorySystem>(cfg_.mc);
+    // Plan instantiation defers the tracer ring (a ~4 MB zero-init
+    // that dominated construction; sweeps never enable tracing); the
+    // legacy path keeps the eager ring for identical first-enable
+    // latency. Both rings behave identically once enabled.
+    tracer_ = plan != nullptr
+                  ? std::make_unique<obs::Tracer>(obs::Tracer::DeferRing{})
+                  : std::make_unique<obs::Tracer>();
+    arena_ = std::make_unique<Arena>();
+    mem_ = std::make_unique<mem::MemorySystem>(cfg_.mc, arena_.get());
     reqChannel_ = std::make_unique<noc::SharedChannel>(
         cfg_.numCores, cfg_.noc, "noc.req",
         obs::EventType::ReqChannelGrant);
@@ -530,11 +579,17 @@ System::buildTopology(const std::vector<std::string> &workloads)
         auto pc = std::make_unique<PerCore>(cfg_.reqBins.edges);
         // Disjoint 1 TiB address windows keep workloads from aliasing.
         const Addr base = static_cast<Addr>(i) << 40;
-        pc->trace = trace::makeWorkload(workloads[i],
-                                        cfg_.seed * 7919 + i, base);
-        pc->cache = std::make_unique<cache::CacheHierarchy>(i, cfg_.cache);
+        pc->trace = plan != nullptr
+                        ? plan->compiled(i).instantiate(
+                              cfg_.seed * 7919 + i, base)
+                        : trace::makeWorkload(workloads[i],
+                                              cfg_.seed * 7919 + i,
+                                              base);
+        pc->cache = std::make_unique<cache::CacheHierarchy>(
+            i, cfg_.cache, arena_.get());
         pc->core = std::make_unique<core::Core>(i, cfg_.core, *pc->trace,
-                                                *pc->cache);
+                                                *pc->cache,
+                                                arena_.get());
 
         if (wants_req && coreIsShaped(i)) {
             shaper::RequestShaperConfig rc;
@@ -555,7 +610,7 @@ System::buildTopology(const std::vector<std::string> &workloads)
             rc.fakeWriteFrac = cfg_.fakeWriteFrac;
             rc.fakeAddrBase = base + (1ULL << 39);
             pc->reqShaper = std::make_unique<shaper::RequestShaper>(
-                i, rc, cfg_.seed * 104729 + i);
+                i, rc, cfg_.seed * 104729 + i, arena_.get());
         }
         if (wants_resp && coreIsShaped(i)) {
             shaper::ResponseShaperConfig rc;
@@ -563,8 +618,8 @@ System::buildTopology(const std::vector<std::string> &workloads)
                           ? cfg_.respBins
                           : cfg_.respBinsPerCore[i];
             rc.generateFakes = cfg_.fakeTraffic;
-            pc->respShaper =
-                std::make_unique<shaper::ResponseShaper>(i, rc);
+            pc->respShaper = std::make_unique<shaper::ResponseShaper>(
+                i, rc, arena_.get());
         }
         if (cfg_.recordTraffic) {
             pc->intrinsicMon.setLogging(true);
@@ -959,6 +1014,18 @@ void
 System::registerStats(obs::StatRegistry &reg) const
 {
     reg.add("system", &stats_);
+    // The registry borrows groups, so refresh the arena mirror from
+    // the live counters at registration time (both summaryJson and
+    // diagnosticJson build a fresh registry right before export).
+    arenaStats_.clear();
+    arenaStats_.inc("alloc_calls", arena_->allocCalls());
+    arenaStats_.inc("free_calls", arena_->freeCalls());
+    arenaStats_.inc("free_list_hits", arena_->freeListHits());
+    arenaStats_.inc("bytes_requested", arena_->bytesRequested());
+    arenaStats_.inc("bytes_reserved", arena_->bytesReserved());
+    arenaStats_.inc("heap_fallbacks", arena_->heapFallbacks());
+    arenaStats_.inc("chunks", arena_->chunkCount());
+    reg.add("system.arena", &arenaStats_);
     // Every component registers its own groups; the registry's JSON
     // view is key-sorted, so the fan-out order is immaterial.
     graph_.registerStats(reg);

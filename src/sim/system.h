@@ -32,6 +32,7 @@
 
 #include "src/cache/hierarchy.h"
 #include "src/camouflage/bin_config.h"
+#include "src/common/arena.h"
 #include "src/camouflage/monitor.h"
 #include "src/camouflage/request_shaper.h"
 #include "src/camouflage/response_shaper.h"
@@ -128,6 +129,14 @@ struct TopologyConfig
     std::vector<std::string> workloads;
 };
 
+class SystemPlan;
+struct PlanOverrides;
+
+/** Shared by System's ctors and SystemPlan: the structural checks
+ *  (core count, per-core vector sizes). @throws hard::ConfigError */
+void validateSystemConfig(const SystemConfig &cfg,
+                          std::size_t num_workloads);
+
 /** The simulated machine. */
 class System : public WakeSink
 {
@@ -140,6 +149,13 @@ class System : public WakeSink
            const std::vector<std::string> &workloads);
     /** Build the machine a TopologyConfig describes. */
     explicit System(const TopologyConfig &topo);
+    /**
+     * Instantiate a compiled plan (src/sim/plan.h): skips workload
+     * parsing / trace loading / config validation (done once at plan
+     * build) and defers the tracer ring allocation. Bit-exact with
+     * the legacy ctors. Usually reached via SystemPlan::instantiate.
+     */
+    System(const SystemPlan &plan, const PlanOverrides &overrides);
     ~System();
 
     System(const System &) = delete;
@@ -241,6 +257,14 @@ class System : public WakeSink
 
     const SystemConfig &config() const { return cfg_; }
     const StatGroup &stats() const { return stats_; }
+
+    /**
+     * The bump/pool allocator backing every component's hot-path
+     * containers (src/common/arena.h). Owned by the System; its
+     * counters are exported under "system.arena".
+     */
+    Arena &arena() { return *arena_; }
+    const Arena &arena() const { return *arena_; }
 
     /**
      * The system-wide event tracer. Constructed disabled (near-zero
@@ -388,7 +412,10 @@ class System : public WakeSink
         MemRequest resp;
     };
 
-    void buildTopology(const std::vector<std::string> &workloads);
+    /** `plan` non-null = instantiate pre-compiled workloads and defer
+     *  the tracer ring; null = the legacy parse-and-build path. */
+    void buildTopology(const std::vector<std::string> &workloads,
+                       const SystemPlan *plan);
     void drainCacheOutgoing(PerCore &pc);
     void feedRequestPath(PerCore &pc);
     void routeMcResponses();
@@ -443,6 +470,9 @@ class System : public WakeSink
     static hard::ShaperContract contractOf(const shaper::BinConfig &cfg);
 
     SystemConfig cfg_;
+    /** Hot-path allocator; declared before every component owner so
+     *  it outlives the containers drawing from it. */
+    std::unique_ptr<Arena> arena_;
     Cycle now_ = 0;
     /** Reused each tick by routeMcResponses (allocation-free drain). */
     std::vector<MemRequest> respScratch_;
@@ -454,6 +484,9 @@ class System : public WakeSink
     /** Tick-ordered graph over the subsystems + stations above. */
     ComponentGraph graph_;
     StatGroup stats_;
+    /** Refreshed from arena_'s counters inside registerStats() (the
+     *  registry borrows groups; the arena counters are plain ints). */
+    mutable StatGroup arenaStats_;
     std::unique_ptr<obs::Tracer> tracer_;
     std::unique_ptr<obs::IntervalCollector> interval_;
     /** Interval rows carry the windowed-MI column (leak monitor was

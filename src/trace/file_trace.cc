@@ -55,6 +55,47 @@ tokenizeLine(const std::string &line, std::size_t line_start)
     return out;
 }
 
+/** Comma-split one line, trimming surrounding whitespace per field
+ *  and recording absolute byte offsets. Returns an empty list for
+ *  blank/comment lines; an empty field between commas is kept (as an
+ *  empty token) so field-count errors point at the right place. */
+std::vector<Token>
+tokenizeCsvLine(const std::string &line, std::size_t line_start)
+{
+    // Comments and blank lines follow the whitespace tokenizer rules.
+    std::size_t first = 0;
+    while (first < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[first]))) {
+        ++first;
+    }
+    if (first >= line.size() || line[first] == '#' || line[first] == ';')
+        return {};
+
+    std::vector<Token> out;
+    std::size_t i = first;
+    while (true) {
+        std::size_t end = line.find(',', i);
+        if (end == std::string::npos)
+            end = line.size();
+        std::size_t begin = i;
+        std::size_t stop = end;
+        while (begin < stop &&
+               std::isspace(static_cast<unsigned char>(line[begin]))) {
+            ++begin;
+        }
+        while (stop > begin &&
+               std::isspace(static_cast<unsigned char>(line[stop - 1]))) {
+            --stop;
+        }
+        out.push_back({line.substr(begin, stop - begin),
+                       line_start + begin});
+        if (end >= line.size())
+            break;
+        i = end + 1;
+    }
+    return out;
+}
+
 /** Parse an unsigned integer token in `base`; the whole token must
  *  convert. */
 bool
@@ -115,6 +156,7 @@ traceFileFormatName(TraceFileFormat format)
     switch (format) {
       case TraceFileFormat::DramSim2: return "dramsim2";
       case TraceFileFormat::ChampSim: return "champsim";
+      case TraceFileFormat::Gem5: return "gem5";
     }
     return "?";
 }
@@ -238,6 +280,90 @@ parseChampSimTrace(const std::string &bytes, const std::string &source)
     return items;
 }
 
+std::vector<TraceItem>
+parseGem5Trace(const std::string &text, const std::string &source)
+{
+    constexpr std::uint64_t kLineBytes = 64;
+    constexpr std::uint64_t kMaxPacketBytes = 4096;
+    std::vector<TraceItem> items;
+    std::uint64_t prev_tick = 0;
+    bool first = true;
+
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        const std::string line = text.substr(pos, eol - pos);
+        const std::vector<Token> toks = tokenizeCsvLine(line, pos);
+        pos = eol + 1;
+        if (toks.empty()) {
+            if (pos > text.size())
+                break;
+            continue;
+        }
+        if (toks.size() < 4) {
+            failTrace(source,
+                      "incomplete record (want TICK,CMD,ADDR,SIZE) at",
+                      toks.front());
+        }
+        if (toks.size() > 4)
+            failTrace(source, "unexpected trailing", toks[4]);
+
+        std::uint64_t tick = 0;
+        if (!parseUint(toks[0], 10, tick))
+            failTrace(source, "bad tick", toks[0]);
+        if (!first && tick < prev_tick)
+            failTrace(source, "non-monotonic tick", toks[0]);
+
+        bool is_write;
+        const std::string &cmd = toks[1].text;
+        if (cmd == "r" || cmd == "ReadReq")
+            is_write = false;
+        else if (cmd == "w" || cmd == "WriteReq")
+            is_write = true;
+        else
+            failTrace(source, "unknown command", toks[1]);
+
+        // gem5's decoder emits decimal addresses; hand-written traces
+        // tend to use hex. Accept both (0x selects hex).
+        const bool hex_addr = toks[2].text.rfind("0x", 0) == 0 ||
+                              toks[2].text.rfind("0X", 0) == 0;
+        std::uint64_t addr = 0;
+        if (!parseUint(toks[2], hex_addr ? 16 : 10, addr))
+            failTrace(source, "bad address", toks[2]);
+
+        std::uint64_t size = 0;
+        if (!parseUint(toks[3], 10, size) || size == 0 ||
+            size > kMaxPacketBytes) {
+            failTrace(source, "bad size (1..4096 bytes)", toks[3]);
+        }
+
+        // One TraceItem per 64-byte line the packet touches; the tick
+        // delta paces the first, the rest ride along immediately.
+        const std::uint64_t first_line = addr / kLineBytes;
+        const std::uint64_t last_line = (addr + size - 1) / kLineBytes;
+        for (std::uint64_t ln = first_line; ln <= last_line; ++ln) {
+            TraceItem item;
+            item.waitCycles =
+                ln == first_line ? (first ? tick : tick - prev_tick) : 0;
+            item.addr = ln == first_line ? addr : ln * kLineBytes;
+            item.isWrite = is_write;
+            items.push_back(item);
+        }
+        prev_tick = tick;
+        first = false;
+        if (pos > text.size())
+            break;
+    }
+
+    if (items.empty()) {
+        throw hard::ConfigError("trace '" + source +
+                                "': contains no memory operations");
+    }
+    return items;
+}
+
 std::string
 formatDramSim2Trace(const std::vector<TraceItem> &items)
 {
@@ -329,22 +455,77 @@ builtinSampleTrace(TraceFileFormat format)
         }
         return bytes;
     }();
-    return format == TraceFileFormat::DramSim2 ? dramsim2 : champsim;
+    static const std::string gem5 = [] {
+        // Same flavor as the other samples: streaming bursts with
+        // pointer-chase stretches, in gem5 packet-CSV form. A few
+        // 128-byte packets exercise the multi-line split.
+        std::string out;
+        char buf[96];
+        std::uint64_t lcg = 0x1D8AF066D5E69B85ULL;
+        auto next_rand = [&lcg] {
+            lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+            return lcg >> 33;
+        };
+        std::uint64_t tick = 100;
+        for (int burst = 0; burst < 32; ++burst) {
+            const std::uint64_t base =
+                0x50000000ULL + (next_rand() % 4096) * 8192;
+            for (int i = 0; i < 6; ++i) {
+                tick += 12;
+                const bool wide = i == 0 && burst % 4 == 0;
+                std::snprintf(buf, sizeof buf, "%llu,%s,0x%llx,%u\n",
+                              static_cast<unsigned long long>(tick),
+                              burst % 3 == 0 ? "w" : "r",
+                              static_cast<unsigned long long>(
+                                  base + static_cast<std::uint64_t>(i) *
+                                             64),
+                              wide ? 128u : 64u);
+                out += buf;
+            }
+            for (int i = 0; i < 4; ++i) {
+                tick += 30 + next_rand() % 220;
+                std::snprintf(buf, sizeof buf, "%llu,%s,0x%llx,%u\n",
+                              static_cast<unsigned long long>(tick),
+                              "ReadReq",
+                              static_cast<unsigned long long>(
+                                  0x60000000ULL +
+                                  (next_rand() % 65536) * 64),
+                              64u);
+                out += buf;
+            }
+        }
+        return out;
+    }();
+    switch (format) {
+      case TraceFileFormat::DramSim2: return dramsim2;
+      case TraceFileFormat::ChampSim: return champsim;
+      case TraceFileFormat::Gem5: return gem5;
+    }
+    return dramsim2;
 }
 
 FileTrace::FileTrace(std::vector<TraceItem> items, std::string name,
                      Addr addr_base)
+    : FileTrace(std::make_shared<const std::vector<TraceItem>>(
+                    std::move(items)),
+                std::move(name), addr_base)
+{
+}
+
+FileTrace::FileTrace(std::shared_ptr<const std::vector<TraceItem>> items,
+                     std::string name, Addr addr_base)
     : items_(std::move(items)), name_(std::move(name)),
       addrBase_(addr_base)
 {
-    camo_assert(!items_.empty(), "FileTrace needs at least one item");
+    camo_assert(items_ != nullptr && !items_->empty(),
+                "FileTrace needs at least one item");
 }
 
 TraceItem
 FileTrace::next(Cycle)
 {
-    TraceItem item = items_[cursor_];
-    if (++cursor_ >= items_.size()) {
+    TraceItem item = (*items_)[cursor_];
+    if (++cursor_ >= items_->size()) {
         cursor_ = 0;
         ++iterations_;
     }
@@ -353,9 +534,8 @@ FileTrace::next(Cycle)
     return item;
 }
 
-std::unique_ptr<TraceSource>
-loadTraceWorkload(TraceFileFormat format, const std::string &path,
-                  Addr addr_base)
+std::shared_ptr<const std::vector<TraceItem>>
+loadTraceItems(TraceFileFormat format, const std::string &path)
 {
     const std::string name =
         std::string(traceFileFormatName(format)) + ":" + path;
@@ -376,11 +556,30 @@ loadTraceWorkload(TraceFileFormat format, const std::string &path,
         buf << in.rdbuf();
         content = buf.str();
     }
-    std::vector<TraceItem> items =
-        format == TraceFileFormat::DramSim2
-            ? parseDramSim2Trace(content, name)
-            : parseChampSimTrace(content, name);
-    return std::make_unique<FileTrace>(std::move(items), name, addr_base);
+    std::vector<TraceItem> items;
+    switch (format) {
+      case TraceFileFormat::DramSim2:
+        items = parseDramSim2Trace(content, name);
+        break;
+      case TraceFileFormat::ChampSim:
+        items = parseChampSimTrace(content, name);
+        break;
+      case TraceFileFormat::Gem5:
+        items = parseGem5Trace(content, name);
+        break;
+    }
+    return std::make_shared<const std::vector<TraceItem>>(
+        std::move(items));
+}
+
+std::unique_ptr<TraceSource>
+loadTraceWorkload(TraceFileFormat format, const std::string &path,
+                  Addr addr_base)
+{
+    const std::string name =
+        std::string(traceFileFormatName(format)) + ":" + path;
+    return std::make_unique<FileTrace>(loadTraceItems(format, path),
+                                       name, addr_base);
 }
 
 } // namespace camo::trace

@@ -188,6 +188,120 @@ baseParams(const std::string &name)
     return p;
 }
 
+/**
+ * Bursty diurnal web-traffic model ("webdiurnal").
+ *
+ * Requests arrive at a rate that follows a 24-hour load curve (quiet
+ * overnight, busy midday, evening peak), compressed so one simulated
+ * "day" spans `dayInstrs` instructions. Each request touches
+ * connection state in a small hot region, then streams a response
+ * body as a back-to-back burst of cold lines — the on/off pattern
+ * that makes web servers hard for traffic shaping. At each simulated
+ * hour boundary a flash crowd may start, tripling the arrival rate
+ * for a fraction of the day.
+ */
+class DiurnalWebWorkload final : public TraceSource
+{
+  public:
+    DiurnalWebWorkload(std::uint64_t day_instrs, std::uint64_t seed,
+                       Addr addr_base)
+        : rng_(seed), dayInstrs_(day_instrs), addrBase_(addr_base)
+    {
+        camo_assert(dayInstrs_ >= 24, "day must cover 24 hours");
+        seqCursor_ = coldBase();
+    }
+
+    const std::string &name() const override { return name_; }
+
+    TraceItem
+    next(Cycle) override
+    {
+        TraceItem item;
+        if (burstLeft_ > 0) {
+            // Streaming one response body: sequential cold lines.
+            --burstLeft_;
+            item.gapInstrs = 0;
+            seqCursor_ += 64;
+            if (seqCursor_ >= coldBase() + kColdBytes)
+                seqCursor_ = coldBase();
+            item.addr = seqCursor_;
+            item.isWrite = rng_.chance(0.2);
+            advance(1);
+            return item;
+        }
+
+        // Idle until the next request; arrival probability per
+        // instruction scales with the current diurnal load.
+        const double req_prob = 0.04 * currentLoad();
+        std::uint64_t gap = 0;
+        while (!rng_.chance(req_prob) && gap < 100000)
+            ++gap;
+        item.gapInstrs = gap;
+
+        // Accept: read/update connection state in the hot region.
+        item.addr = addrBase_ + (rng_.below(kHotBytes) & ~Addr{7});
+        item.isWrite = rng_.chance(0.5);
+
+        // Response length in lines (mix of small pages, some large).
+        burstLeft_ = rng_.burstLength(0.85, 96);
+        if (rng_.chance(0.3))
+            seqCursor_ = coldBase() + (rng_.below(kColdBytes) & ~Addr{63});
+
+        advance(gap + 1);
+        return item;
+    }
+
+  private:
+    static constexpr std::uint64_t kHotBytes = 32 * 1024;
+    static constexpr std::uint64_t kColdBytes = 192ULL << 20;
+
+    Addr coldBase() const { return addrBase_ + kHotBytes; }
+
+    std::uint64_t
+    hourOf(std::uint64_t instr) const
+    {
+        return (instr % dayInstrs_) * 24 / dayInstrs_;
+    }
+
+    double
+    currentLoad() const
+    {
+        // Typical web-server diurnal request-rate profile, midnight
+        // first, normalized to the evening peak. Table instead of a
+        // sinusoid: real curves are asymmetric (sharp morning ramp,
+        // slow evening decay).
+        static constexpr double kHourLoad[24] = {
+            0.22, 0.16, 0.12, 0.10, 0.09, 0.10, 0.14, 0.25,
+            0.45, 0.65, 0.78, 0.88, 0.92, 0.90, 0.85, 0.82,
+            0.80, 0.85, 0.95, 1.00, 0.92, 0.75, 0.52, 0.33,
+        };
+        const double load = kHourLoad[hourOf(instrCount_)];
+        return flashLeft_ > 0 ? std::min(1.0, load * 3.0) : load;
+    }
+
+    void
+    advance(std::uint64_t instrs)
+    {
+        const std::uint64_t before = hourOf(instrCount_);
+        instrCount_ += instrs;
+        flashLeft_ -= std::min(flashLeft_, instrs);
+        if (hourOf(instrCount_) != before && flashLeft_ == 0 &&
+            rng_.chance(1.0 / 16.0)) {
+            // Flash crowd: viral link / breaking news for 0.5..2 hours.
+            flashLeft_ = rng_.range(dayInstrs_ / 48, dayInstrs_ / 12);
+        }
+    }
+
+    Rng rng_;
+    std::string name_ = "webdiurnal";
+    std::uint64_t dayInstrs_;
+    Addr addrBase_;
+    std::uint64_t instrCount_ = 0;
+    std::uint64_t flashLeft_ = 0; ///< instrs of flash crowd remaining
+    std::uint64_t burstLeft_ = 0; ///< response lines still streaming
+    Addr seqCursor_ = 0;
+};
+
 } // namespace
 
 const std::vector<std::string> &
@@ -206,7 +320,8 @@ isKnownWorkload(const std::string &name)
     if (name == "probe" || name.rfind("probe:", 0) == 0 ||
         name.rfind("covert:", 0) == 0 || name.rfind("hammer:", 0) == 0 ||
         name.rfind("pim:", 0) == 0 || name.rfind("dramsim2:", 0) == 0 ||
-        name.rfind("champsim:", 0) == 0) {
+        name.rfind("champsim:", 0) == 0 || name.rfind("gem5:", 0) == 0 ||
+        name == "webdiurnal" || name.rfind("webdiurnal:", 0) == 0) {
         return true;
     }
     const auto &names = workloadNames();
@@ -221,11 +336,13 @@ workloadParams(const std::string &name)
     return baseParams(name);
 }
 
-std::unique_ptr<TraceSource>
-makeWorkload(const std::string &name, std::uint64_t seed, Addr addr_base)
+CompiledWorkload
+compileWorkload(const std::string &name)
 {
+    CompiledWorkload w;
+    w.name_ = name;
     if (name == "probe" || name.rfind("probe:", 0) == 0) {
-        ProbeParams p;
+        w.kind_ = CompiledWorkload::Kind::Probe;
         if (name.size() > 6) {
             // "probe:N" probes every N CPU cycles; the default 150 is
             // the paper's dense receiver, large N gives the sparse
@@ -239,31 +356,28 @@ makeWorkload(const std::string &name, std::uint64_t seed, Addr addr_base)
                 failWorkload(name, "bad probe cadence (cycles >= 1)",
                              every_str, 6);
             }
-            p.probeEveryCycles = every;
+            w.probe_.probeEveryCycles = every;
         }
-        p.base += addr_base;
-        return std::make_unique<ProbeWorkload>(p);
+        return w;
     }
     if (name.rfind("covert:", 0) == 0) {
-        CovertSenderParams p;
-        p.key = keyBits(parseKeyHex(name, name.substr(7), 7));
-        p.bufferBase += addr_base;
-        return std::make_unique<CovertSender>(p);
+        w.kind_ = CompiledWorkload::Kind::Covert;
+        w.covert_.key = keyBits(parseKeyHex(name, name.substr(7), 7));
+        return w;
     }
     if (name.rfind("hammer:", 0) == 0) {
         // RowHammer-pattern covert sender: 1-pulses ping-pong between
         // two rows of one bank (ACT per access) instead of streaming.
-        CovertSenderParams p;
-        p.key = keyBits(parseKeyHex(name, name.substr(7), 7));
-        p.hammerRows = 2;
-        p.bufferBase += addr_base;
-        return std::make_unique<CovertSender>(p);
+        w.kind_ = CompiledWorkload::Kind::Hammer;
+        w.covert_.key = keyBits(parseKeyHex(name, name.substr(7), 7));
+        w.covert_.hammerRows = 2;
+        return w;
     }
     if (name.rfind("pim:", 0) == 0) {
         // "pim:HEX[:PULSE]" — PIM-command sender, optional pulse
         // length in CPU cycles.
+        w.kind_ = CompiledWorkload::Kind::Pim;
         std::string rest = name.substr(4);
-        PimSenderParams p;
         const std::size_t colon = rest.find(':');
         if (colon != std::string::npos) {
             const std::string pulse_str = rest.substr(colon + 1);
@@ -275,24 +389,96 @@ makeWorkload(const std::string &name, std::uint64_t seed, Addr addr_base)
                 failWorkload(name, "bad PIM pulse (cycles >= 100)",
                              pulse_str, 4 + colon + 1);
             }
-            p.pulseCycles = pulse;
+            w.pim_.pulseCycles = pulse;
             rest = rest.substr(0, colon);
         }
-        p.key = keyBits(parseKeyHex(name, rest, 4));
-        p.bufferBase += addr_base;
-        return std::make_unique<PimCovertSender>(p);
+        w.pim_.key = keyBits(parseKeyHex(name, rest, 4));
+        return w;
     }
     if (name.rfind("dramsim2:", 0) == 0) {
-        return loadTraceWorkload(TraceFileFormat::DramSim2,
-                                 name.substr(9), addr_base);
+        w.kind_ = CompiledWorkload::Kind::File;
+        w.traceItems_ =
+            loadTraceItems(TraceFileFormat::DramSim2, name.substr(9));
+        w.traceName_ = "dramsim2:" + name.substr(9);
+        return w;
     }
     if (name.rfind("champsim:", 0) == 0) {
-        return loadTraceWorkload(TraceFileFormat::ChampSim,
-                                 name.substr(9), addr_base);
+        w.kind_ = CompiledWorkload::Kind::File;
+        w.traceItems_ =
+            loadTraceItems(TraceFileFormat::ChampSim, name.substr(9));
+        w.traceName_ = "champsim:" + name.substr(9);
+        return w;
     }
-    WorkloadParams p = baseParams(name);
+    if (name.rfind("gem5:", 0) == 0) {
+        w.kind_ = CompiledWorkload::Kind::File;
+        w.traceItems_ =
+            loadTraceItems(TraceFileFormat::Gem5, name.substr(5));
+        w.traceName_ = "gem5:" + name.substr(5);
+        return w;
+    }
+    if (name == "webdiurnal" || name.rfind("webdiurnal:", 0) == 0) {
+        w.kind_ = CompiledWorkload::Kind::DiurnalWeb;
+        w.dayInstrs_ = 240000; // ~10k instructions per simulated hour
+        if (name.size() > 10) {
+            // "webdiurnal:DAY" compresses one 24-hour day into DAY
+            // instructions.
+            const std::string day_str = name.substr(11);
+            char *end = nullptr;
+            const unsigned long day =
+                std::strtoul(day_str.c_str(), &end, 10);
+            if (day_str.empty() || end == nullptr || *end != '\0' ||
+                day < 24) {
+                failWorkload(name,
+                             "bad day length (instructions >= 24)",
+                             day_str, 11);
+            }
+            w.dayInstrs_ = day;
+        }
+        return w;
+    }
+    w.kind_ = CompiledWorkload::Kind::Synthetic;
+    w.synth_ = baseParams(name);
+    return w;
+}
+
+std::unique_ptr<TraceSource>
+CompiledWorkload::instantiate(std::uint64_t seed, Addr addr_base) const
+{
+    switch (kind_) {
+      case Kind::Probe: {
+        ProbeParams p = probe_;
+        p.base += addr_base;
+        return std::make_unique<ProbeWorkload>(p);
+      }
+      case Kind::Covert:
+      case Kind::Hammer: {
+        CovertSenderParams p = covert_;
+        p.bufferBase += addr_base;
+        return std::make_unique<CovertSender>(p);
+      }
+      case Kind::Pim: {
+        PimSenderParams p = pim_;
+        p.bufferBase += addr_base;
+        return std::make_unique<PimCovertSender>(p);
+      }
+      case Kind::File:
+        return std::make_unique<FileTrace>(traceItems_, traceName_,
+                                           addr_base);
+      case Kind::DiurnalWeb:
+        return std::make_unique<DiurnalWebWorkload>(dayInstrs_, seed,
+                                                    addr_base);
+      case Kind::Synthetic:
+        break;
+    }
+    WorkloadParams p = synth_;
     p.addrBase = addr_base;
     return std::make_unique<SyntheticWorkload>(p, seed);
+}
+
+std::unique_ptr<TraceSource>
+makeWorkload(const std::string &name, std::uint64_t seed, Addr addr_base)
+{
+    return compileWorkload(name).instantiate(seed, addr_base);
 }
 
 } // namespace camo::trace

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "src/trace/covert.h"
+#include "src/trace/pim.h"
 #include "src/trace/synthetic.h"
 #include "src/trace/trace.h"
 
@@ -27,7 +29,7 @@ const std::vector<std::string> &workloadNames();
 
 /** Is `name` a known workload (including the parameterized
  *  "covert:" / "probe" / "hammer:" / "pim:" / "dramsim2:" /
- *  "champsim:" families)? */
+ *  "champsim:" / "gem5:" / "webdiurnal" families)? */
 bool isKnownWorkload(const std::string &name);
 
 /** Parameters for one of the 11 named workloads. */
@@ -46,8 +48,11 @@ WorkloadParams workloadParams(const std::string &name);
  *    row-conflict storm — drives TRR/PRAC RowHammer mitigations);
  *  - "pim:HEX" / "pim:HEX:PULSE" (PIM-command covert sender,
  *    src/trace/pim.h; PULSE in CPU cycles, default 5000);
- *  - "dramsim2:PATH" / "champsim:PATH" (trace-file replay,
- *    src/trace/file_trace.h; PATH may be "@sample").
+ *  - "dramsim2:PATH" / "champsim:PATH" / "gem5:PATH" (trace-file
+ *    replay, src/trace/file_trace.h; PATH may be "@sample");
+ *  - "webdiurnal" / "webdiurnal:DAY" (bursty web server following a
+ *    24-hour load curve with flash crowds; DAY = instructions per
+ *    simulated day, default 240000).
  *
  * Malformed parameterized names raise hard::ConfigError naming the
  * offending token and byte offset.
@@ -57,6 +62,65 @@ WorkloadParams workloadParams(const std::string &name);
 std::unique_ptr<TraceSource> makeWorkload(const std::string &name,
                                           std::uint64_t seed,
                                           Addr addr_base);
+
+/**
+ * A workload name, parsed and validated once.
+ *
+ * Sweeps and the GA instantiate the same workload mix hundreds of
+ * times with per-run seeds and address bases. CompiledWorkload does
+ * the name parsing, parameter validation, and (for "dramsim2:" /
+ * "champsim:" / "gem5:" names) the trace-file load + parse exactly
+ * once; instantiate() then builds a fresh TraceSource per run without
+ * re-touching the filesystem. Instantiation is bit-exact with
+ * makeWorkload (which now delegates here), so plan-built and
+ * directly-built systems produce identical results.
+ *
+ * Copying a CompiledWorkload is cheap: parsed trace items are shared
+ * immutably (std::shared_ptr), never duplicated.
+ */
+class CompiledWorkload
+{
+  public:
+    enum class Kind
+    {
+        Probe,      ///< "probe" / "probe:N"
+        Covert,     ///< "covert:HEX"
+        Hammer,     ///< "hammer:HEX"
+        Pim,        ///< "pim:HEX[:PULSE]"
+        File,       ///< "dramsim2:" / "champsim:" / "gem5:" replay
+        Synthetic,  ///< one of the 11 benchmark models
+        DiurnalWeb, ///< "webdiurnal[:DAY]"
+    };
+
+    Kind kind() const { return kind_; }
+    const std::string &name() const { return name_; }
+
+    /** Build a fresh per-run source. `seed` and `addr_base` play the
+     *  same roles as in makeWorkload. */
+    std::unique_ptr<TraceSource> instantiate(std::uint64_t seed,
+                                             Addr addr_base) const;
+
+  private:
+    friend CompiledWorkload compileWorkload(const std::string &name);
+    CompiledWorkload() = default;
+
+    Kind kind_ = Kind::Synthetic;
+    std::string name_;
+    ProbeParams probe_;
+    CovertSenderParams covert_;
+    PimSenderParams pim_;
+    WorkloadParams synth_;
+    std::shared_ptr<const std::vector<TraceItem>> traceItems_;
+    std::string traceName_;
+    std::uint64_t dayInstrs_ = 0;
+};
+
+/**
+ * Parse and validate `name` (same grammar as makeWorkload, identical
+ * ConfigError texts), loading any trace file it references.
+ * @throws hard::ConfigError on malformed or unknown names.
+ */
+CompiledWorkload compileWorkload(const std::string &name);
 
 } // namespace camo::trace
 

@@ -126,6 +126,48 @@ TEST(BenchDiff, SweepSpeedupNotGatedWithoutMatchingMultiJobCounts)
     EXPECT_TRUE(unequal.ok());
 }
 
+TEST(BenchDiff, SetupSpeedupIsGatedAndWallClocksAreNot)
+{
+    auto with_setup = [](double legacy, double plan) {
+        Value r = report(2.0);
+        Value setup = Value::makeObject();
+        setup["sec_per_sim_legacy"] = Value(legacy);
+        setup["sec_per_sim_plan"] = Value(plan);
+        setup["speedup"] = Value(legacy / plan);
+        r["setup"] = std::move(setup);
+        return r;
+    };
+    // 4x -> 1.5x plan speedup: a gated regression.
+    const obs::DiffReport d = obs::diffBenchReports(
+        with_setup(0.004, 0.001), with_setup(0.003, 0.002));
+    ASSERT_EQ(d.regressions().size(), 1u);
+    EXPECT_EQ(d.regressions()[0]->name, "setup.speedup");
+
+    // Uniformly slower host, same ratio: absolutes stay informational.
+    EXPECT_TRUE(obs::diffBenchReports(with_setup(0.004, 0.001),
+                                      with_setup(0.008, 0.002))
+                    .ok());
+}
+
+TEST(BenchDiff, SkippedParallelSpeedupGetsAnExplicitNote)
+{
+    Value one_core = report(2.0);
+    one_core["sweep"]["jobs"] = Value(std::uint64_t{1});
+    Value &sweep = one_core["sweep"];
+    // A 1-core report records the note instead of the number.
+    sweep["note"] = Value("skipped_parallel_speedup");
+
+    const obs::DiffReport d =
+        obs::diffBenchReports(report(2.0), one_core);
+    EXPECT_TRUE(d.ok());
+    bool found = false;
+    for (const std::string &n : d.notes)
+        found = found || n.find("skipped_parallel_speedup") !=
+                             std::string::npos;
+    EXPECT_TRUE(found) << "expected an explicit note naming "
+                          "skipped_parallel_speedup";
+}
+
 TEST(BenchDiff, MissingMetricsBecomeNotesNotFailures)
 {
     // v1-era report: no schema stamp, no sweep section, one row

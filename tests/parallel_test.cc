@@ -14,10 +14,13 @@
 #include <thread>
 #include <vector>
 
+#include "src/hard/error.h"
 #include "src/obs/registry.h"
 #include "src/sim/parallel.h"
+#include "src/sim/plan.h"
 #include "src/sim/presets.h"
 #include "src/sim/runner.h"
+#include "src/sim/shard.h"
 
 using namespace camo;
 
@@ -61,6 +64,36 @@ TEST(DeriveSeed, DeterministicDistinctAndNonZero)
         }
     }
     EXPECT_EQ(seen.size(), 3u * 4u * 8u) << "seed collision";
+}
+
+/** The engine's seed streams must never collide: stream 0 (sweep
+ *  jobs / GA alone-rate), streams generation+1 (GA children),
+ *  kRetrySeedStream (daemon retry re-derivation) and kShardSeedStream
+ *  (shard frame authentication) each own a disjoint seed space. */
+TEST(DeriveSeed, StreamIdsAreDisjointAcrossEngineUses)
+{
+    const std::uint64_t streams[] = {
+        0,    // sweep jobs and the GA's alone-rate runs
+        1,    // GA generation 0 children
+        2,    // GA generation 1 children
+        9,    // a later generation
+        sim::kRetrySeedStream,
+        sim::kShardSeedStream,
+    };
+    constexpr std::uint64_t kIndices = 64;
+    for (const std::uint64_t base : {1ull, 0x9E3779B97F4A7C15ull}) {
+        std::set<std::uint64_t> seen;
+        for (const std::uint64_t stream : streams) {
+            for (std::uint64_t idx = 0; idx < kIndices; ++idx)
+                seen.insert(sim::deriveSeed(base, stream, idx));
+        }
+        EXPECT_EQ(seen.size(), std::size(streams) * kIndices)
+            << "stream collision under base " << base;
+    }
+    // And the streams are pinned constants — a renumbering would
+    // silently re-seed published experiments.
+    EXPECT_EQ(sim::kRetrySeedStream, 0xFA117u);
+    EXPECT_EQ(sim::kShardSeedStream, 0xD15C0u);
 }
 
 TEST(ParallelMap, ResultsInSubmissionOrder)
@@ -201,4 +234,168 @@ TEST(EvaluateGenerationParallel, JobCountInvariant)
         /*epoch=*/10000, 4);
     EXPECT_EQ(one, four);
     ASSERT_EQ(one.size(), children.size());
+}
+
+// ---------------------------------------------------------------
+// SystemPlan: compiled-plan construction is bit-exact with the
+// legacy one-shot System constructor
+// ---------------------------------------------------------------
+
+TEST(SystemPlan, InstantiateMatchesLegacySystemByteForByte)
+{
+    sim::SystemConfig cfg = sim::paperConfig();
+    cfg.mitigation = sim::Mitigation::BDC;
+    cfg.seed = 11;
+    // Include a trace-replay workload so the eager-load path is
+    // exercised, not just the synthetic models.
+    const std::vector<std::string> mix = {"mcf", "dramsim2:@sample",
+                                          "astar", "astar"};
+
+    const std::string legacy = statsJsonOf(cfg, mix, kCycles);
+
+    const sim::SystemPlan plan(cfg, mix);
+    std::unique_ptr<sim::System> planned = plan.instantiate();
+    planned->run(kCycles);
+    obs::StatRegistry reg;
+    planned->registerStats(reg);
+    EXPECT_EQ(legacy, reg.toJson().dump(2));
+}
+
+TEST(SystemPlan, SeedOverrideMatchesRebuiltConfig)
+{
+    sim::SystemConfig cfg = sim::paperConfig();
+    cfg.mitigation = sim::Mitigation::ReqC;
+    const auto mix = sim::adversaryMix("bzip", "astar");
+
+    sim::SystemConfig reseeded = cfg;
+    reseeded.seed = sim::deriveSeed(cfg.seed, 0, 3);
+    const std::string legacy = statsJsonOf(reseeded, mix, kCycles);
+
+    const sim::SystemPlan plan(cfg, mix);
+    sim::PlanOverrides ov;
+    ov.seed = sim::deriveSeed(cfg.seed, 0, 3);
+    std::unique_ptr<sim::System> planned = plan.instantiate(ov);
+    planned->run(kCycles);
+    obs::StatRegistry reg;
+    planned->registerStats(reg);
+    EXPECT_EQ(legacy, reg.toJson().dump(2));
+}
+
+TEST(SystemPlan, RejectsMalformedInputsLikeSystemDoes)
+{
+    sim::SystemConfig cfg = sim::paperConfig();
+    // Bad workload name fails compilation at plan build.
+    EXPECT_THROW(sim::SystemPlan(cfg, {"mcf", "nope", "astar", "astar"}),
+                 hard::ConfigError);
+
+    // Wrong-size per-core override fails at instantiate.
+    const sim::SystemPlan plan(cfg, sim::adversaryMix("mcf", "astar"));
+    sim::PlanOverrides ov;
+    ov.reqBinsPerCore =
+        std::vector<shaper::BinConfig>(cfg.numCores + 1);
+    EXPECT_THROW((void)plan.instantiate(ov), hard::ConfigError);
+}
+
+// ---------------------------------------------------------------
+// Multi-process sharding: byte-identity with the in-process engine
+// and structured child-error propagation
+// ---------------------------------------------------------------
+
+TEST(RunConfigsSharded, MatchesInProcessEngineExactly)
+{
+    std::vector<sim::SimJob> batch;
+    std::size_t k = 0;
+    for (const char *adv : {"mcf", "libqt", "bzip", "hmmer", "gcc"}) {
+        sim::SystemConfig cfg = sim::paperConfig();
+        cfg.mitigation = sim::Mitigation::BDC;
+        cfg.seed = sim::deriveSeed(5, 0, k++);
+        batch.push_back(
+            {cfg, sim::adversaryMix(adv, "astar"), kCycles, 5000});
+    }
+
+    const auto inproc = sim::runConfigsParallel(batch, 2);
+    const auto two = sim::runConfigsSharded(batch, 2, 2);
+    const auto three = sim::runConfigsSharded(batch, 1, 3);
+    // More shards than jobs degrades gracefully to one job per shard.
+    const auto many = sim::runConfigsSharded(batch, 1, 16);
+    ASSERT_EQ(two.size(), batch.size());
+    ASSERT_EQ(three.size(), batch.size());
+    ASSERT_EQ(many.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_TRUE(sameMetrics(inproc[i], two[i])) << "job " << i;
+        EXPECT_TRUE(sameMetrics(inproc[i], three[i])) << "job " << i;
+        EXPECT_TRUE(sameMetrics(inproc[i], many[i])) << "job " << i;
+    }
+}
+
+TEST(RunConfigsSharded, ChildConfigErrorSurfacesInParent)
+{
+    std::vector<sim::SimJob> batch;
+    for (std::size_t k = 0; k < 3; ++k) {
+        sim::SystemConfig cfg = sim::paperConfig();
+        cfg.seed = 1 + k;
+        batch.push_back(
+            {cfg, sim::adversaryMix("mcf", "astar"), 10000, 1000});
+    }
+    // Poison the middle job: its shard must report a structured
+    // ConfigError that the parent rethrows with the original text.
+    batch[1].workloads[1] = "webdiurnal:9";
+    try {
+        (void)sim::runConfigsSharded(batch, 1, 2);
+        FAIL() << "poisoned batch was accepted";
+    } catch (const hard::ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "bad day length (instructions >= 24)"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(EvaluateGenerationSharded, MatchesInProcessEngineExactly)
+{
+    sim::SystemConfig cfg = sim::paperConfig();
+    cfg.mitigation = sim::Mitigation::ReqC;
+    const auto mix = sim::adversaryMix("mcf", "astar");
+    const sim::SystemPlan plan(cfg, mix);
+
+    const std::size_t genome_len = cfg.numCores * 10;
+    std::vector<ga::Genome> children;
+    for (std::uint32_t v : {1u, 2u, 3u, 4u, 5u})
+        children.push_back(ga::Genome(genome_len, v));
+    const std::vector<double> alone_rate(cfg.numCores, 0.01);
+
+    const auto inproc = sim::evaluateGenerationParallel(
+        cfg, mix, children, /*generation=*/2, alone_rate,
+        /*epoch=*/10000, 2);
+    const auto sharded = sim::evaluateGenerationSharded(
+        plan, children, /*generation=*/2, alone_rate,
+        /*epoch=*/10000, 1, 2);
+    EXPECT_EQ(inproc, sharded);
+}
+
+TEST(OfflineGa, ShardProcsInvariant)
+{
+    sim::SystemConfig cfg = sim::paperConfig();
+    cfg.mitigation = sim::Mitigation::BDC;
+    ga::GaConfig ga_cfg;
+    ga_cfg.generations = 2;
+    ga_cfg.populationSize = 6;
+    const auto mix = sim::adversaryMix("bzip", "astar");
+
+    const auto inproc =
+        sim::runOfflineGa(cfg, mix, ga_cfg, /*epoch=*/10000, 2);
+    const auto sharded = sim::runOfflineGa(cfg, mix, ga_cfg,
+                                           /*epoch=*/10000, 1,
+                                           /*shard_procs=*/2);
+
+    EXPECT_EQ(inproc.bestFitness, sharded.bestFitness);
+    EXPECT_EQ(inproc.generationBest, sharded.generationBest);
+    ASSERT_EQ(inproc.reqBinsPerCore.size(),
+              sharded.reqBinsPerCore.size());
+    for (std::size_t c = 0; c < inproc.reqBinsPerCore.size(); ++c) {
+        EXPECT_EQ(inproc.reqBinsPerCore[c].toString(),
+                  sharded.reqBinsPerCore[c].toString());
+        EXPECT_EQ(inproc.respBinsPerCore[c].toString(),
+                  sharded.respBinsPerCore[c].toString());
+    }
 }

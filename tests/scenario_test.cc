@@ -193,6 +193,137 @@ TEST(FileTraceChampSim, RejectionMatrix)
 }
 
 // ---------------------------------------------------------------
+// gem5 parsing
+// ---------------------------------------------------------------
+
+TEST(FileTraceGem5, GoldenFixtureParses)
+{
+    const std::string text = readFile(goldenPath("trace_gem5.csv"));
+    const std::vector<trace::TraceItem> items =
+        trace::parseGem5Trace(text, "golden");
+    // Five packets; the 128-byte WriteReq spans two 64-byte lines.
+    ASSERT_EQ(items.size(), 6u);
+
+    // First record: absolute tick becomes the initial wait.
+    EXPECT_EQ(items[0].waitCycles, 1000u);
+    EXPECT_EQ(items[0].addr, 0x2000u);
+    EXPECT_FALSE(items[0].isWrite);
+    // Later records: tick deltas.
+    EXPECT_EQ(items[1].waitCycles, 10u);
+    EXPECT_EQ(items[1].addr, 0x2040u);
+    EXPECT_TRUE(items[1].isWrite);
+    // Decimal address (gem5's native dump form).
+    EXPECT_EQ(items[2].waitCycles, 30u);
+    EXPECT_EQ(items[2].addr, 8192u);
+    EXPECT_FALSE(items[2].isWrite);
+    // 128-byte packet: first line keeps the exact address and the
+    // tick delta, the continuation line is 64-aligned and immediate.
+    EXPECT_EQ(items[3].waitCycles, 60u);
+    EXPECT_EQ(items[3].addr, 0x3fc0u);
+    EXPECT_TRUE(items[3].isWrite);
+    EXPECT_EQ(items[4].waitCycles, 0u);
+    EXPECT_EQ(items[4].addr, 0x4000u);
+    EXPECT_TRUE(items[4].isWrite);
+    // Sub-line packet within one 64-byte line: exact address kept.
+    EXPECT_EQ(items[5].waitCycles, 100u);
+    EXPECT_EQ(items[5].addr, 0x5010u);
+    EXPECT_FALSE(items[5].isWrite);
+}
+
+TEST(FileTraceGem5, ToleratesCsvWhitespaceAndComments)
+{
+    const std::string messy =
+        "# header comment\n"
+        "\n"
+        "  1000 , r , 0x2000 , 64  ; trailing comment is a comment\n"
+        "1010,w,0x2040,64\n";
+    // The ';' comment rule applies to whole lines only; a trailing
+    // comment would corrupt the SIZE field, so keep it out of the
+    // tolerated set — only per-field whitespace and full-line
+    // comments must pass.
+    try {
+        (void)trace::parseGem5Trace(messy, "messy");
+        FAIL() << "trailing comment should corrupt the size field";
+    } catch (const hard::ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("bad size"),
+                  std::string::npos)
+            << e.what();
+    }
+    const std::string clean =
+        "# header comment\n"
+        "\n"
+        "  1000 , r , 0x2000 , 64\n"
+        "; another comment style\n"
+        "1010,w,0x2040,64\n";
+    const auto items = trace::parseGem5Trace(clean, "clean");
+    ASSERT_EQ(items.size(), 2u);
+    EXPECT_EQ(items[0].waitCycles, 1000u);
+    EXPECT_EQ(items[1].waitCycles, 10u);
+    EXPECT_TRUE(items[1].isWrite);
+}
+
+TEST(FileTraceGem5, BuiltinSampleParses)
+{
+    const std::string &sample =
+        trace::builtinSampleTrace(trace::TraceFileFormat::Gem5);
+    const auto items = trace::parseGem5Trace(sample, "sample");
+    EXPECT_GT(items.size(), 100u);
+    // The sample includes 128-byte packets, so continuation items
+    // (waitCycles == 0, 64-aligned address) must appear.
+    std::size_t continuations = 0;
+    for (const trace::TraceItem &item : items) {
+        if (item.waitCycles == 0) {
+            ++continuations;
+            EXPECT_EQ(item.addr % 64, 0u);
+        }
+    }
+    EXPECT_GT(continuations, 0u);
+}
+
+/** Same contract as the DRAMSim2 matrix: every malformed input
+ *  raises hard::ConfigError naming the offending token and its
+ *  absolute byte offset. */
+TEST(FileTraceGem5, RejectionMatrix)
+{
+    struct Case
+    {
+        const char *text;
+        const char *needle;
+    };
+    const Case cases[] = {
+        {"1000,r,0x2000\n",
+         "incomplete record (want TICK,CMD,ADDR,SIZE) at token "
+         "'1000' at byte 0"},
+        {"1000,r,0x2000,64,9\n",
+         "unexpected trailing token '9' at byte 17"},
+        {"10x0,r,0x2000,64\n", "bad tick token '10x0' at byte 0"},
+        {"100,r,0x2000,64\n90,r,0x2000,64\n",
+         "non-monotonic tick token '90' at byte 16"},
+        {"1000,x,0x2000,64\n", "unknown command token 'x' at byte 5"},
+        {"1000,,0x2000,64\n", "unknown command token '' at byte 5"},
+        {"1000,r,0xZZ,64\n", "bad address token '0xZZ' at byte 7"},
+        {"1000,r,12a4,64\n", "bad address token '12a4' at byte 7"},
+        {"1000,r,0x2000,0\n",
+         "bad size (1..4096 bytes) token '0' at byte 14"},
+        {"1000,r,0x2000,4097\n",
+         "bad size (1..4096 bytes) token '4097' at byte 14"},
+        {"# only a comment\n", "contains no memory operations"},
+        {"", "contains no memory operations"},
+    };
+    for (const Case &c : cases) {
+        try {
+            trace::parseGem5Trace(c.text, "bad");
+            FAIL() << "accepted: " << c.text;
+        } catch (const hard::ConfigError &e) {
+            EXPECT_NE(std::string(e.what()).find(c.needle),
+                      std::string::npos)
+                << "message '" << e.what() << "' lacks '" << c.needle
+                << "'";
+        }
+    }
+}
+
+// ---------------------------------------------------------------
 // Workload-name frontend
 // ---------------------------------------------------------------
 
@@ -202,7 +333,12 @@ TEST(TraceWorkloads, ScenarioNamesAreKnown)
     EXPECT_TRUE(trace::isKnownWorkload("pim:5A5A5A5A:5000"));
     EXPECT_TRUE(trace::isKnownWorkload("dramsim2:@sample"));
     EXPECT_TRUE(trace::isKnownWorkload("champsim:@sample"));
+    EXPECT_TRUE(trace::isKnownWorkload("gem5:@sample"));
+    EXPECT_TRUE(trace::isKnownWorkload("webdiurnal"));
+    EXPECT_TRUE(trace::isKnownWorkload("webdiurnal:4800"));
     EXPECT_FALSE(trace::isKnownWorkload("rowhammer"));
+    EXPECT_FALSE(trace::isKnownWorkload("gem5"));
+    EXPECT_FALSE(trace::isKnownWorkload("webdiurnalish"));
 }
 
 TEST(TraceWorkloads, MalformedNamesNameTokenAndOffset)
@@ -220,6 +356,13 @@ TEST(TraceWorkloads, MalformedNamesNameTokenAndOffset)
         {"pim:2AAAAAAA:12x", "token '12x'"},
         {"dramsim2:@nope", "unknown builtin trace '@nope'"},
         {"champsim:/nonexistent/path.bin", "cannot open trace file"},
+        {"gem5:@nope", "unknown builtin trace '@nope'"},
+        {"gem5:/nonexistent/path.csv", "cannot open trace file"},
+        {"webdiurnal:",
+         "bad day length (instructions >= 24) token '' at byte 11"},
+        {"webdiurnal:23",
+         "bad day length (instructions >= 24) token '23' at byte 11"},
+        {"webdiurnal:24x", "token '24x' at byte 11"},
     };
     for (const Case &c : cases) {
         try {
@@ -232,6 +375,70 @@ TEST(TraceWorkloads, MalformedNamesNameTokenAndOffset)
                 << "'";
         }
     }
+}
+
+TEST(TraceWorkloads, WebDiurnalIsDeterministicPerSeed)
+{
+    auto drain = [](std::uint64_t seed) {
+        auto src = trace::makeWorkload("webdiurnal:4800", seed, 0x1000);
+        std::vector<trace::TraceItem> out;
+        for (int i = 0; i < 500; ++i)
+            out.push_back(src->next(0));
+        return out;
+    };
+    const auto a = drain(7);
+    const auto b = drain(7);
+    const auto c = drain(8);
+    ASSERT_EQ(a.size(), b.size());
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].addr, b[i].addr);
+        EXPECT_EQ(a[i].gapInstrs, b[i].gapInstrs);
+        EXPECT_EQ(a[i].isWrite, b[i].isWrite);
+        if (a[i].addr != c[i].addr || a[i].gapInstrs != c[i].gapInstrs)
+            differs = true;
+    }
+    EXPECT_TRUE(differs) << "seed must drive the request stream";
+}
+
+TEST(TraceWorkloads, WebDiurnalStreamsResponseBursts)
+{
+    // Every request touches the hot region then streams cold lines
+    // back-to-back; over a long drain both phases must appear, and
+    // burst items must be sequential 64-byte strides.
+    auto src = trace::makeWorkload("webdiurnal", 1, 0);
+    std::size_t hot = 0;
+    std::size_t sequential = 0;
+    trace::TraceItem prev = src->next(0);
+    for (int i = 0; i < 3000; ++i) {
+        const trace::TraceItem item = src->next(0);
+        if (item.addr < 32 * 1024)
+            ++hot;
+        if (item.gapInstrs == 0 && item.addr == prev.addr + 64)
+            ++sequential;
+        prev = item;
+    }
+    EXPECT_GT(hot, 10u);
+    EXPECT_GT(sequential, 100u);
+}
+
+TEST(TraceWorkloads, WebDiurnalSelectableFromTopologyJson)
+{
+    const sim::TopologyConfig topo = sim::parseTopology(
+        "{\"workloads\": [\"webdiurnal:4800\", \"mcf\"], "
+        "\"mitigation\": \"cs\"}");
+    ASSERT_EQ(topo.workloads.size(), 2u);
+    EXPECT_EQ(topo.workloads[0], "webdiurnal:4800");
+
+    // And a malformed day length fails topology validation too —
+    // compileWorkload runs when the system is built.
+    std::vector<sim::SimJob> batch;
+    batch.push_back({topo.system,
+                     {"webdiurnal:9", "mcf"},
+                     10000,
+                     1000});
+    EXPECT_THROW((void)sim::runConfigsParallel(batch, 1),
+                 hard::ConfigError);
 }
 
 TEST(TraceWorkloads, FileTraceLoopsForever)
